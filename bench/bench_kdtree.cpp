@@ -1,0 +1,72 @@
+// Micro-benchmark: the kd-tree baseline (build, single k-NN query, range
+// query) — the sequential comparator standing in for Vaidya's algorithm.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "knn/kdtree.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+void BM_KdBuild2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  for (auto _ : state) {
+    knn::KdTree<2> tree(span);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_KdBuild2D)->Range(1 << 12, 1 << 20);
+
+void BM_KdQueryK8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  knn::KdTree<2> tree(span);
+  for (auto _ : state) {
+    geo::Point<2> q{{rng.uniform(), rng.uniform()}};
+    auto best = tree.query(q, 8);
+    benchmark::DoNotOptimize(best.size());
+  }
+}
+BENCHMARK(BM_KdQueryK8)->Range(1 << 12, 1 << 20);
+
+void BM_KdRangeQuery(benchmark::State& state) {
+  Rng rng(3);
+  auto points = workload::uniform_cube<2>(1 << 16, rng);
+  std::span<const geo::Point<2>> span(points);
+  knn::KdTree<2> tree(span);
+  for (auto _ : state) {
+    geo::Point<2> q{{rng.uniform(), rng.uniform()}};
+    std::size_t hits = 0;
+    tree.for_each_in_ball(q, 0.02, [&](std::uint32_t, double) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_KdRangeQuery);
+
+void BM_KdAllKnn3D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto points = workload::uniform_cube<3>(n, rng);
+  std::span<const geo::Point<3>> span(points);
+  knn::KdTree<3> tree(span);
+  auto& pool = par::ThreadPool::global();
+  for (auto _ : state) {
+    auto result = tree.all_knn(pool, 4);
+    benchmark::DoNotOptimize(result.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_KdAllKnn3D)->Range(1 << 12, 1 << 16);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Micro-benchmark: end-to-end k-neighborhood computation — the paper's §6
+// engine vs the §5 hyperplane variant vs the kd-tree sequential baseline.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "core/engine.hpp"
+#include "knn/kdtree.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+void BM_ParallelNearestNeighborhood(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+  core::Config cfg;
+  cfg.k = 4;
+  for (auto _ : state) {
+    auto out = core::parallel_nearest_neighborhood<2>(span, cfg, pool);
+    benchmark::DoNotOptimize(out.knn.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelNearestNeighborhood)->Range(1 << 12, 1 << 18);
+
+void BM_SimpleParallelDnc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+  core::Config cfg;
+  cfg.k = 4;
+  for (auto _ : state) {
+    auto out = core::simple_parallel_dnc<2>(span, cfg, pool);
+    benchmark::DoNotOptimize(out.knn.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimpleParallelDnc)->Range(1 << 12, 1 << 18);
+
+void BM_KdTreeBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+  for (auto _ : state) {
+    knn::KdTree<2> tree(span);
+    auto result = tree.all_knn(pool, 4);
+    benchmark::DoNotOptimize(result.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_KdTreeBaseline)->Range(1 << 12, 1 << 18);
+
+void BM_EngineClusteredK8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto points = workload::gaussian_clusters<2>(n, 12, 0.02, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+  core::Config cfg;
+  cfg.k = 8;
+  for (auto _ : state) {
+    auto out = core::parallel_nearest_neighborhood<2>(span, cfg, pool);
+    benchmark::DoNotOptimize(out.knn.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineClusteredK8)->Range(1 << 12, 1 << 16);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Micro-benchmark: the §3 neighborhood query structure — build time,
+// single-point queries (vs a linear scan reference), and the batch
+// containment join used by punt corrections.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "core/query_tree.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/neighborhood.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+std::vector<geo::Ball<2>> make_balls(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto knn = knn::KdTree<2>(span).all_knn(par::ThreadPool::global(), 2);
+  return knn::neighborhood_system<2>(span, knn);
+}
+
+void BM_QueryTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto balls = make_balls(n, 1);
+  core::NeighborhoodQueryTree<2>::Params params;
+  Rng rng(2);
+  for (auto _ : state) {
+    core::NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                        par::ThreadPool::global());
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_QueryTreeBuild)->Range(1 << 12, 1 << 18);
+
+void BM_QueryTreePointQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto balls = make_balls(n, 3);
+  core::NeighborhoodQueryTree<2>::Params params;
+  Rng rng(4);
+  core::NeighborhoodQueryTree<2> tree(balls, params, rng,
+                                      par::ThreadPool::global());
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    geo::Point<2> p{{rng.uniform(), rng.uniform()}};
+    tree.query(p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_QueryTreePointQuery)->Range(1 << 12, 1 << 18);
+
+void BM_LinearScanReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto balls = make_balls(n, 5);
+  Rng rng(6);
+  for (auto _ : state) {
+    geo::Point<2> p{{rng.uniform(), rng.uniform()}};
+    std::size_t hits = 0;
+    for (const auto& b : balls)
+      if (b.contains(p)) ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LinearScanReference)->Range(1 << 12, 1 << 18);
+
+void BM_QueryTreeBatchJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto balls = make_balls(n, 7);
+  core::NeighborhoodQueryTree<2>::Params params;
+  Rng rng(8);
+  core::NeighborhoodQueryTree<2> tree(balls, params, rng,
+                                      par::ThreadPool::global());
+  auto probes = workload::uniform_cube<2>(n, rng);
+  std::atomic<std::size_t> hits{0};
+  for (auto _ : state) {
+    hits.store(0);
+    tree.batch_query(
+        par::ThreadPool::global(), probes.size(),
+        [&](std::size_t rank) { return probes[rank]; },
+        [&](std::size_t, std::uint32_t, double) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        });
+    benchmark::DoNotOptimize(hits.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_QueryTreeBatchJoin)->Range(1 << 12, 1 << 16);
+
+}  // namespace

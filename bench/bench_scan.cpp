@@ -1,0 +1,80 @@
+// Micro-benchmark: the SCAN primitive (parallel prefix sums) and the
+// pack/partition idioms built on it — the machine-model primitives every
+// algorithm in the library is charged against.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "parallel/parallel_pack.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::uint64_t> in(n);
+  for (auto& v : in) v = rng.below(100);
+  for (auto _ : state) {
+    auto out = par::exclusive_scan(
+        pool, in, std::uint64_t{0},
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ExclusiveScan)->Range(1 << 10, 1 << 22);
+
+void BM_SequentialScanReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::uint64_t> in(n), out(n);
+  for (auto& v : in) v = rng.below(100);
+  for (auto _ : state) {
+    std::exclusive_scan(in.begin(), in.end(), out.begin(), std::uint64_t{0});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SequentialScanReference)->Range(1 << 10, 1 << 22);
+
+void BM_ParallelPack(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::uint32_t> in(n);
+  for (auto& v : in) v = static_cast<std::uint32_t>(rng.below(1000));
+  for (auto _ : state) {
+    auto out =
+        par::parallel_pack(pool, in, [](std::uint32_t x) { return x & 1; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelPack)->Range(1 << 12, 1 << 20);
+
+void BM_ParallelPartition(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::uint32_t> base(n);
+  for (auto& v : base) v = static_cast<std::uint32_t>(rng.below(1000));
+  for (auto _ : state) {
+    auto data = base;
+    auto split = par::parallel_partition(
+        pool, data, [](std::uint32_t x) { return x < 500; });
+    benchmark::DoNotOptimize(split);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelPartition)->Range(1 << 12, 1 << 20);
+
+}  // namespace

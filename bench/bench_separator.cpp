@@ -1,0 +1,72 @@
+// Micro-benchmark: the Unit Time Sphere Separator — preprocessing
+// (normalize + lift + iterated-Radon centerpoint) and per-draw cost,
+// which the paper models as O(n)-work setup and O(1) draws.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+void BM_SamplerSetup2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  for (auto _ : state) {
+    separator::SphereSeparatorSampler<2> sampler(span, rng);
+    benchmark::DoNotOptimize(sampler.degenerate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SamplerSetup2D)->Range(1 << 10, 1 << 20);
+
+void BM_SamplerDraw2D(benchmark::State& state) {
+  Rng rng(2);
+  auto points = workload::uniform_cube<2>(1 << 16, rng);
+  std::span<const geo::Point<2>> span(points);
+  separator::SphereSeparatorSampler<2> sampler(span, rng);
+  for (auto _ : state) {
+    auto shape = sampler.draw(rng);
+    benchmark::DoNotOptimize(shape.has_value());
+  }
+}
+BENCHMARK(BM_SamplerDraw2D);
+
+void BM_SamplerDraw4D(benchmark::State& state) {
+  Rng rng(3);
+  auto points = workload::uniform_cube<4>(1 << 14, rng);
+  std::span<const geo::Point<4>> span(points);
+  separator::SphereSeparatorSampler<4> sampler(span, rng);
+  for (auto _ : state) {
+    auto shape = sampler.draw(rng);
+    benchmark::DoNotOptimize(shape.has_value());
+  }
+}
+BENCHMARK(BM_SamplerDraw4D);
+
+void BM_SplitValidation(benchmark::State& state) {
+  // Validating a candidate: one classify pass over the points.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+  separator::SphereSeparatorSampler<2> sampler(span, rng);
+  auto shape = sampler.draw(rng);
+  while (!shape) shape = sampler.draw(rng);
+  for (auto _ : state) {
+    auto counts = separator::split_counts<2>(span, *shape);
+    benchmark::DoNotOptimize(counts.inner);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_SplitValidation)->Range(1 << 12, 1 << 20);
+
+}  // namespace

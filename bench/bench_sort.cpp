@@ -1,0 +1,96 @@
+// Micro-benchmark: parallel merge sort (used by k-NN graph assembly)
+// against std::sort.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "parallel/parallel_sort.hpp"
+#include "parallel/radix_sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next();
+  return v;
+}
+
+void BM_ParallelSort(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto base = random_keys(n, 1);
+  for (auto _ : state) {
+    auto v = base;
+    par::parallel_sort(pool, v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelSort)->Range(1 << 12, 1 << 22);
+
+void BM_StdSortReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto base = random_keys(n, 1);
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_StdSortReference)->Range(1 << 12, 1 << 22);
+
+void BM_RadixSort64(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto base = random_keys(n, 3);
+  for (auto _ : state) {
+    auto v = base;
+    par::radix_sort(pool, v, 64);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_RadixSort64)->Range(1 << 12, 1 << 22);
+
+void BM_RadixSortNarrow16(benchmark::State& state) {
+  // Narrow keys need only two passes — the integer-sorting advantage the
+  // §1 CRCW toolkit exploits.
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng.below(1 << 16);
+  for (auto _ : state) {
+    auto v = base;
+    par::radix_sort(pool, v, 16);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_RadixSortNarrow16)->Range(1 << 12, 1 << 22);
+
+void BM_ParallelSortPresorted(benchmark::State& state) {
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto base = random_keys(n, 2);
+  std::sort(base.begin(), base.end());
+  for (auto _ : state) {
+    auto v = base;
+    par::parallel_sort(pool, v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelSortPresorted)->Range(1 << 14, 1 << 20);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// E12 — ablation of the §4 punting policy.
+//
+// The paper's hybrid rule ("run A first; if unlucky, run B") is compared
+// against its two degenerate variants:
+//   AlwaysPunt — every correction goes through the query structure
+//                (algorithm B only: the §5 behaviour with sphere cuts),
+//   FastOnly   — never punt voluntarily (algorithm A only, unbounded
+//                march budget).
+// Measured: model depth/work, punt and abort counts, and wall time, on a
+// benign and a clustered workload. The hybrid should match FastOnly on
+// benign inputs and degrade gracefully (like AlwaysPunt) under stress —
+// the Punting Lemma's "constant factor" claim, in numbers.
+#include "experiment_common.hpp"
+
+#include "core/engine.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "65536", "points").flag("seed", "12", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E12 / §4 — punting-policy ablation",
+      "the hybrid run-A-first-if-unlucky-run-B correction is as fast as A "
+      "with the reliability of B");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+
+  Table table({"workload", "policy", "depth", "work", "punts", "aborts",
+               "fast", "wall (s)"});
+  for (auto kind : {workload::Kind::UniformCube,
+                    workload::Kind::GaussianClusters,
+                    workload::Kind::Duplicates}) {
+    auto points = workload::generate<2>(kind, n, rng);
+    std::span<const geo::Point<2>> span(points);
+    const std::uint64_t seed = rng.next();
+
+    knn::KnnResult reference;
+    for (auto policy :
+         {core::CorrectionPolicy::Hybrid, core::CorrectionPolicy::AlwaysPunt,
+          core::CorrectionPolicy::FastOnly}) {
+      core::Config cfg;
+      cfg.k = 2;
+      cfg.seed = seed;
+      cfg.partition = core::PartitionRule::MttvSphere;
+      cfg.correction = policy;
+      Timer timer;
+      auto out = core::NearestNeighborEngine<2>::run(span, cfg, pool);
+      double wall = timer.seconds();
+      // All policies must agree exactly (they differ only in cost).
+      if (policy == core::CorrectionPolicy::Hybrid) {
+        reference = out.knn;
+      } else {
+        SEPDC_CHECK_MSG(out.knn.dist2 == reference.dist2,
+                        "correction policies disagree");
+      }
+      const char* name =
+          policy == core::CorrectionPolicy::Hybrid
+              ? "hybrid"
+              : (policy == core::CorrectionPolicy::AlwaysPunt
+                     ? "always-punt"
+                     : "fast-only");
+      table.new_row()
+          .cell(workload::kind_name(kind))
+          .cell(name)
+          .cell(out.cost.depth)
+          .cell(static_cast<std::size_t>(out.cost.work))
+          .cell(out.diag.punts)
+          .cell(out.diag.march_aborts)
+          .cell(out.diag.fast_corrections)
+          .cell(wall, 3);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

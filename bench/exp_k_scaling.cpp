@@ -1,0 +1,58 @@
+// E10 — §6.2: generalizing from k = 1 to k > 1 costs only an extra
+// O(log log k) factor in parallel time (the k-closest selection step);
+// work grows linearly in k.
+//
+// Measured at fixed n over a k-sweep: model depth (should grow far slower
+// than k — compare against both log log k and log k references), model
+// work per k, and wall-clock time.
+#include "experiment_common.hpp"
+
+#include "core/engine.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "65536", "points").flag("seed", "10", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E10 / §6.2 — scaling in k",
+      "k > 1 adds only an O(log log k) parallel-time factor; work grows "
+      "~linearly in k");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const geo::Point<2>> span(points);
+
+  Table table({"k", "depth", "depth/depth(k=1)", "work", "work/(k*n*logn)",
+               "wall (s)", "punts"});
+  double depth1 = 0.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    core::Config cfg;
+    cfg.k = k;
+    cfg.seed = 12345;  // same seed: isolates the effect of k
+    Timer timer;
+    auto out = core::parallel_nearest_neighborhood<2>(span, cfg, pool);
+    double wall = timer.seconds();
+    if (k == 1) depth1 = static_cast<double>(out.cost.depth);
+    double log_n = std::log2(static_cast<double>(n));
+    table.new_row()
+        .cell(k)
+        .cell(out.cost.depth)
+        .cell(static_cast<double>(out.cost.depth) / depth1, 2)
+        .cell(static_cast<std::size_t>(out.cost.work))
+        .cell(static_cast<double>(out.cost.work) /
+                  (static_cast<double>(k) * static_cast<double>(n) * log_n),
+              2)
+        .cell(wall, 3)
+        .cell(out.diag.punts);
+  }
+  table.print(std::cout);
+  std::printf("reference growth from k=1 to k=32: log log k factor = "
+              "%.2f, log k factor = %.2f, linear = 32.00 — the depth "
+              "column should track the smallest of these.\n",
+              std::log2(std::log2(32.0) + 1.0) + 1.0, std::log2(32.0));
+  return 0;
+}

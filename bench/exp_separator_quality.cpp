@@ -1,0 +1,108 @@
+// E1 — Theorem 2.1 (Sphere Separator Theorem), empirically.
+//
+// Claim: every k-ply neighborhood system has a sphere separator with
+// intersection number O(k^(1/d) n^((d-1)/d)) that (d+1)/(d+2)-splits it,
+// and the Unit Time Sphere Separator Algorithm finds one with constant
+// success probability per draw.
+//
+// Measured here, per dimension and workload, over an n-sweep:
+//   - acceptance rate of raw draws (δ-split achieved),
+//   - median/p95 intersection number of accepted separators,
+//   - the fitted exponent of median ι vs n, compared against (d-1)/d.
+#include "experiment_common.hpp"
+
+#include "geometry/constants.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+template <int D>
+void run_dimension(const std::vector<std::size_t>& sweep,
+                   workload::Kind kind, std::size_t draws, Rng& rng,
+                   Table& table) {
+  auto& pool = par::ThreadPool::global();
+  const double delta = geo::splitting_ratio(D) + 0.05;
+  std::vector<double> ns, medians;
+
+  for (std::size_t n : sweep) {
+    auto points = workload::generate<D>(kind, n, rng);
+    std::span<const geo::Point<D>> span(points);
+    auto balls = bench::neighborhood_of<D>(points, 1, pool);
+
+    separator::SphereSeparatorSampler<D> sampler(span, rng);
+    std::vector<double> iotas, fracs;
+    std::size_t accepted = 0, attempted = 0;
+    while (accepted < draws && attempted < draws * 20) {
+      ++attempted;
+      auto shape = sampler.draw(rng);
+      if (!shape) continue;
+      auto counts = separator::split_counts_parallel<D>(pool, span, *shape);
+      if (counts.inner == 0 || counts.outer == 0) continue;
+      double frac = counts.max_fraction();
+      if (frac > delta) continue;
+      ++accepted;
+      fracs.push_back(frac);
+      iotas.push_back(static_cast<double>(separator::intersection_number<D>(
+          std::span<const geo::Ball<D>>(balls), *shape)));
+    }
+    if (iotas.empty()) continue;
+    double accept_rate =
+        static_cast<double>(accepted) / static_cast<double>(attempted);
+    double med = stats::percentile(iotas, 0.5);
+    double p95 = stats::percentile(iotas, 0.95);
+    ns.push_back(static_cast<double>(n));
+    medians.push_back(std::max(med, 1.0));
+    table.new_row()
+        .cell(D)
+        .cell(workload::kind_name(kind))
+        .cell(n)
+        .cell(100.0 * accept_rate, 1)
+        .cell(stats::percentile(fracs, 0.5), 3)
+        .cell(med, 1)
+        .cell(p95, 1)
+        .cell(med / std::pow(static_cast<double>(n),
+                             geo::separator_exponent(D)),
+              3);
+  }
+  if (ns.size() >= 2) {
+    auto fit = stats::power_fit(ns, medians);
+    std::printf("d=%d %s: fitted iota exponent %.3f "
+                "(theorem: (d-1)/d = %.3f, r2=%.3f)\n",
+                D, workload::kind_name(kind), fit.exponent,
+                geo::separator_exponent(D), fit.r2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("draws", "40", "accepted separators per configuration")
+      .flag("max_n", "65536", "largest point count")
+      .flag("seed", "1", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E1 / Theorem 2.1 — sphere separator quality",
+      "iota(S) = O(n^((d-1)/d)) with a (d+1)/(d+2)+eps split, constant "
+      "per-draw success probability");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto draws = static_cast<std::size_t>(cli.get_int("draws"));
+  const auto max_n = static_cast<std::size_t>(cli.get_int("max_n"));
+  auto sweep = bench::geometric_sweep(1024, max_n, 4);
+
+  Table table({"d", "workload", "n", "accept%", "med split", "med iota",
+               "p95 iota", "iota/n^((d-1)/d)"});
+  run_dimension<2>(sweep, workload::Kind::UniformCube, draws, rng, table);
+  run_dimension<2>(sweep, workload::Kind::GaussianClusters, draws, rng,
+                   table);
+  run_dimension<3>(sweep, workload::Kind::UniformCube, draws, rng, table);
+  run_dimension<4>(bench::geometric_sweep(1024, max_n / 4, 4),
+                   workload::Kind::UniformCube, draws, rng, table);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E5 — Lemma 5.1: Simple Parallel Divide-and-Conquer runs in O(log² n)
+// model time on n processors.
+//
+// The §5 algorithm splits by hyperplane medians and corrects every level
+// through the query structure. Measured over an n-sweep: model depth and
+// depth/log²n (should flatten), total work, punt (query-structure
+// correction) counts, and the per-node cut-ball load that motivates
+// spheres — on both benign and adversarial workloads.
+#include "experiment_common.hpp"
+
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("max_n", "131072", "largest point count")
+      .flag("k", "1", "neighbors")
+      .flag("seed", "5", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E5 / Lemma 5.1 — Simple Parallel Divide-and-Conquer",
+      "hyperplane splits + query-structure correction terminate in "
+      "O(log^2 n) time with n processors w.h.p.");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+
+  Table table({"workload", "n", "depth", "depth/log^2 n", "work/nlogn",
+               "punts", "max cut balls", "max cut frac"});
+  for (auto kind :
+       {workload::Kind::UniformCube, workload::Kind::AdversarialSlab}) {
+    std::vector<double> ns, depths;
+    for (std::size_t n : bench::geometric_sweep(
+             2048, static_cast<std::size_t>(cli.get_int("max_n")), 2)) {
+      auto points = workload::generate<2>(kind, n, rng);
+      std::span<const geo::Point<2>> span(points);
+      std::vector<double> run_depths;
+      typename core::NearestNeighborEngine<2>::Output out;
+      for (int rep = 0; rep < 3; ++rep) {
+        core::Config cfg;
+        cfg.k = k;
+        cfg.seed = rng.next();
+        out = core::simple_parallel_dnc<2>(span, cfg, pool);
+        run_depths.push_back(static_cast<double>(out.cost.depth));
+      }
+      double depth = stats::percentile(run_depths, 0.5);
+      double log_n = std::log2(static_cast<double>(n));
+      ns.push_back(static_cast<double>(n));
+      depths.push_back(depth);
+      table.new_row()
+          .cell(workload::kind_name(kind))
+          .cell(n)
+          .cell(depth, 0)
+          .cell(depth / (log_n * log_n), 2)
+          .cell(static_cast<double>(out.cost.work) /
+                    (static_cast<double>(n) * log_n),
+                2)
+          .cell(out.diag.punts)
+          .cell(out.diag.max_cut_balls)
+          .cell(out.diag.max_cut_fraction, 3);
+    }
+    // Lemma 5.1 predicts depth affine in log² n.
+    std::vector<double> log2_ns(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      double l = std::log2(ns[i]);
+      log2_ns[i] = l * l;
+    }
+    auto fit = stats::linear_fit(log2_ns, depths);
+    std::printf("%s: depth = %.2f * log2(n)^2 %+.1f (r2=%.3f) — affine in "
+                "log^2 n per Lemma 5.1\n",
+                workload::kind_name(kind), fit.slope, fit.intercept,
+                fit.r2);
+  }
+  table.print(std::cout);
+  std::printf("note: on the adversarial slab the hyperplane median is "
+              "crossed by a constant fraction of the balls (max cut frac "
+              "column) — the Omega(n) weakness §1 attributes to "
+              "hyperplane partitioning.\n");
+  return 0;
+}

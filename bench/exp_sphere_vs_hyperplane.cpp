@@ -1,0 +1,109 @@
+// E7 — the paper's central motivation (§1): hyperplane cuts can be
+// crossed by Ω(n) k-nearest-neighbor balls, sphere separators by o(n).
+//
+// Measured over an n-sweep on uniform and adversarial-slab workloads: the
+// number of k-neighborhood balls cut by (a) the median hyperplane and
+// (b) an accepted MTTV sphere separator, with fitted growth exponents.
+// Expected shape: on the slab the hyperplane's cut count grows linearly
+// (exponent ~1) while the sphere's stays sublinear — the crossover that
+// justifies separator-based divide and conquer.
+#include "experiment_common.hpp"
+
+#include "geometry/constants.hpp"
+#include "separator/hyperplane.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+// Median of accepted-sphere cut counts over several draws.
+template <int D>
+double sphere_cut_median(std::span<const geo::Point<D>> span,
+                         std::span<const geo::Ball<D>> balls, Rng& rng) {
+  const double delta = geo::splitting_ratio(D) + 0.05;
+  separator::SphereSeparatorSampler<D> sampler(span, rng);
+  std::vector<double> cuts;
+  std::size_t attempts = 0;
+  while (cuts.size() < 15 && attempts < 300) {
+    ++attempts;
+    auto shape = sampler.draw(rng);
+    if (!shape) continue;
+    auto counts = separator::split_counts<D>(span, *shape);
+    if (counts.inner == 0 || counts.outer == 0 ||
+        counts.max_fraction() > delta)
+      continue;
+    cuts.push_back(static_cast<double>(
+        separator::intersection_number<D>(balls, *shape)));
+  }
+  return cuts.empty() ? 0.0 : stats::percentile(cuts, 0.5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("max_n", "131072", "largest point count")
+      .flag("k", "1", "neighbors")
+      .flag("seed", "7", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E7 / §1 motivation — sphere vs hyperplane partitioning",
+      "k-NN balls crossing a balanced hyperplane can be Omega(n); a "
+      "sphere separator cuts only O(n^((d-1)/d))");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+
+  Table table({"workload", "n", "hyperplane cuts", "hp frac", "sphere cuts",
+               "sp frac", "hp/sp ratio"});
+  for (auto kind :
+       {workload::Kind::UniformCube, workload::Kind::AdversarialSlab}) {
+    std::vector<double> ns, hp_cuts, sp_cuts;
+    for (std::size_t n : bench::geometric_sweep(
+             2048, static_cast<std::size_t>(cli.get_int("max_n")), 4)) {
+      // The adversarial instance concentrates the points in a slab whose
+      // thickness scales with the nearest-neighbor spacing, so Bentley's
+      // fixed hyperplane (axis 0) must pass through a constant fraction of
+      // the k-NN balls — the Ω(n) configuration of §1.
+      auto points =
+          kind == workload::Kind::AdversarialSlab
+              ? workload::adversarial_slab<2>(
+                    n, 4.0 / static_cast<double>(n), rng)
+              : workload::generate<2>(kind, n, rng);
+      std::span<const geo::Point<2>> span(points);
+      auto balls = bench::neighborhood_of<2>(points, k, pool);
+      std::span<const geo::Ball<2>> bspan(balls);
+
+      auto plane = separator::hyperplane_median<2>(span, /*axis=*/0);
+      double hp = plane ? static_cast<double>(
+                              separator::intersection_number<2>(bspan,
+                                                                *plane))
+                        : 0.0;
+      double sp = sphere_cut_median<2>(span, bspan, rng);
+
+      ns.push_back(static_cast<double>(n));
+      hp_cuts.push_back(std::max(hp, 1.0));
+      sp_cuts.push_back(std::max(sp, 1.0));
+      table.new_row()
+          .cell(workload::kind_name(kind))
+          .cell(n)
+          .cell(hp, 0)
+          .cell(hp / static_cast<double>(n), 4)
+          .cell(sp, 0)
+          .cell(sp / static_cast<double>(n), 4)
+          .cell(sp > 0 ? hp / sp : 0.0, 1);
+    }
+    auto hp_fit = stats::power_fit(ns, hp_cuts);
+    auto sp_fit = stats::power_fit(ns, sp_cuts);
+    std::printf("%s: hyperplane cut exponent %.3f | sphere cut exponent "
+                "%.3f (theorem bound (d-1)/d = %.2f)\n",
+                workload::kind_name(kind), hp_fit.exponent, sp_fit.exponent,
+                geo::separator_exponent(2));
+  }
+  table.print(std::cout);
+  return 0;
+}

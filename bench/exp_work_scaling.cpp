@@ -1,0 +1,115 @@
+// E8 — §1: "our algorithm uses no more work than the best sequential
+// algorithm" (Vaidya: O(kn log n) for fixed d).
+//
+// Measured over an n-sweep: the engine's model work against n·log n
+// (fitted exponent ≈ 1 plus log factors), and wall-clock time against the
+// kd-tree sequential baseline (the Vaidya proxy) and brute force (small n
+// only, to show the quadratic reference).
+#include "experiment_common.hpp"
+
+#include "core/engine.hpp"
+#include "knn/brute_force.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("max_n", "262144", "largest point count")
+      .flag("k", "2", "neighbors")
+      .flag("seed", "8", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "E8 / §1 — optimal work",
+      "total work O(n log n) for fixed k and d, matching Vaidya's "
+      "sequential algorithm (kd-tree baseline as proxy)");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+
+  Table table({"n", "model work", "work/nlogn", "engine (s)",
+               "kdtree (s)", "engine/kdtree", "brute (s)"});
+  std::vector<double> ns, works;
+  for (std::size_t n : bench::geometric_sweep(
+           4096, static_cast<std::size_t>(cli.get_int("max_n")), 4)) {
+    auto points = workload::uniform_cube<2>(n, rng);
+    std::span<const geo::Point<2>> span(points);
+
+    core::Config cfg;
+    cfg.k = k;
+    cfg.seed = rng.next();
+    Timer t_engine;
+    auto out = core::parallel_nearest_neighborhood<2>(span, cfg, pool);
+    double engine_s = t_engine.seconds();
+
+    Timer t_kd;
+    knn::KdTree<2> tree(span);
+    auto kd = tree.all_knn(pool, k);
+    double kd_s = t_kd.seconds();
+    SEPDC_CHECK_MSG(kd.dist2 == out.knn.dist2,
+                    "engine and kd-tree disagree");
+
+    double brute_s = -1.0;
+    if (n <= 16384) {
+      Timer t_bf;
+      auto bf = knn::brute_force_parallel<2>(pool, span, k);
+      brute_s = t_bf.seconds();
+      SEPDC_CHECK(bf.neighbors == out.knn.neighbors);
+    }
+
+    double log_n = std::log2(static_cast<double>(n));
+    ns.push_back(static_cast<double>(n));
+    works.push_back(static_cast<double>(out.cost.work));
+    auto& row = table.new_row()
+                    .cell(n)
+                    .cell(static_cast<std::size_t>(out.cost.work))
+                    .cell(static_cast<double>(out.cost.work) /
+                              (static_cast<double>(n) * log_n),
+                          2)
+                    .cell(engine_s, 3)
+                    .cell(kd_s, 3)
+                    .cell(engine_s / kd_s, 2);
+    if (brute_s >= 0.0)
+      row.cell(brute_s, 3);
+    else
+      row.cell("-");
+  }
+  table.print(std::cout);
+  auto fit = stats::power_fit(ns, works);
+  std::printf("model work vs n: fitted exponent %.3f "
+              "(O(n log n) predicts ~1.0-1.1; quadratic would be 2.0)\n",
+              fit.exponent);
+
+  // Hypothetical-speedup curve (Brent's theorem) from the largest run's
+  // measured (work, depth): what the measured model costs predict for a
+  // machine with p processors. The saturation point work/depth is the
+  // run's parallelism — with depth O(log n) it grows like n/log n, the
+  // substance of the "n processors, O(log n) time" claim.
+  {
+    const std::size_t n = static_cast<std::size_t>(ns.back());
+    auto points = workload::uniform_cube<2>(n, rng);
+    core::Config cfg;
+    cfg.k = k;
+    cfg.seed = rng.next();
+    auto out = core::parallel_nearest_neighborhood<2>(
+        std::span<const geo::Point<2>>(points), cfg, pool);
+    std::printf("\npredicted speedup on p processors (Brent, n=%zu, "
+                "work=%llu, depth=%llu, parallelism=%.0f):\n",
+                n, static_cast<unsigned long long>(out.cost.work),
+                static_cast<unsigned long long>(out.cost.depth),
+                static_cast<double>(out.cost.work) /
+                    static_cast<double>(out.cost.depth));
+    Table stable({"p", "predicted time", "speedup", "efficiency"});
+    double t1 = pvm::brent_time(out.cost, 1);
+    for (std::size_t p = 1; p <= (1u << 20); p *= 8) {
+      double tp = pvm::brent_time(out.cost, p);
+      stable.new_row()
+          .cell(p)
+          .cell(tp, 0)
+          .cell(t1 / tp, 1)
+          .cell(t1 / tp / static_cast<double>(p), 3);
+    }
+    stable.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "knn/kdtree.hpp"
+#include "knn/neighborhood.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::bench {
+
+// Prints the experiment banner: every binary states which paper claim it
+// regenerates so bench_output.txt is self-describing.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+// The k-neighborhood system of a generated workload (kd-tree oracle).
+template <int D>
+std::vector<geo::Ball<D>> neighborhood_of(
+    const std::vector<geo::Point<D>>& points, std::size_t k,
+    par::ThreadPool& pool) {
+  std::span<const geo::Point<D>> span(points);
+  auto knn = knn::KdTree<D>(span).all_knn(pool, k);
+  return knn::neighborhood_system<D>(span, knn);
+}
+
+// Geometric sweep n = lo, lo*factor, ... <= hi.
+inline std::vector<std::size_t> geometric_sweep(std::size_t lo,
+                                                std::size_t hi,
+                                                std::size_t factor = 4) {
+  std::vector<std::size_t> out;
+  for (std::size_t n = lo; n <= hi; n *= factor) out.push_back(n);
+  return out;
+}
+
+}  // namespace sepdc::bench

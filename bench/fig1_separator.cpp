@@ -1,0 +1,102 @@
+// F1 — Figure 1: "A sphere separator".
+//
+// The paper's only figure is a schematic of a sphere separator cutting a
+// neighborhood system into interior / exterior / intersected balls. This
+// binary regenerates it as data: a clustered 2-D instance, an accepted
+// separator, the three-way classification counts, and (optionally) a CSV
+// suitable for plotting.
+#include <fstream>
+#include <optional>
+
+#include "experiment_common.hpp"
+#include "geometry/constants.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "1024", "points")
+      .flag("csv", "fig1_separator.csv", "output CSV ('' to skip)")
+      .flag("seed", "1992", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner("F1 / Figure 1 — a sphere separator over a neighborhood "
+                "system",
+                "a (d-1)-sphere splits the balls into interior B_I, "
+                "exterior B_E, and a small intersected set B_O (§2.1)");
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+
+  auto points = workload::gaussian_clusters<2>(n, 6, 0.03, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto balls = bench::neighborhood_of<2>(points, 1, pool);
+
+  const double delta = geo::splitting_ratio(2) + 0.05;
+  separator::SphereSeparatorSampler<2> sampler(span, rng);
+  std::optional<geo::SeparatorShape<2>> shape;
+  std::size_t attempts = 0;
+  while (!shape && attempts < 200) {
+    ++attempts;
+    auto candidate = sampler.draw(rng);
+    if (!candidate) continue;
+    auto counts = separator::split_counts<2>(span, *candidate);
+    if (counts.inner && counts.outer && counts.max_fraction() <= delta)
+      shape = candidate;
+  }
+  if (!shape) {
+    std::printf("no separator accepted in %zu draws\n", attempts);
+    return 1;
+  }
+
+  std::size_t interior = 0, exterior = 0, cut = 0;
+  for (const auto& b : balls) {
+    switch (shape->classify(b)) {
+      case geo::Region::Inner: ++interior; break;
+      case geo::Region::Outer: ++exterior; break;
+      case geo::Region::Cut: ++cut; break;
+    }
+  }
+
+  Table table({"quantity", "value"});
+  table.new_row().cell("points n").cell(n);
+  table.new_row().cell("separator accepted after draws").cell(attempts);
+  table.new_row().cell("separator kind").cell(
+      shape->is_sphere() ? "sphere" : "hyperplane");
+  if (shape->is_sphere()) {
+    table.new_row().cell("separator radius").cell(shape->sphere().radius, 4);
+  }
+  table.new_row().cell("|B_I| interior balls").cell(interior);
+  table.new_row().cell("|B_E| exterior balls").cell(exterior);
+  table.new_row().cell("|B_O| cut balls (iota)").cell(cut);
+  table.new_row().cell("iota / sqrt(n)").cell(
+      static_cast<double>(cut) / std::sqrt(static_cast<double>(n)), 3);
+  table.new_row().cell("max side fraction").cell(
+      static_cast<double>(std::max(interior, exterior) + cut) /
+          static_cast<double>(n),
+      3);
+  table.print(std::cout);
+
+  std::string csv = cli.get("csv");
+  if (!csv.empty()) {
+    std::ofstream os(csv);
+    os << "kind,x,y,radius,class\n";
+    if (shape->is_sphere()) {
+      const auto& s = shape->sphere();
+      os << "separator," << s.center[0] << "," << s.center[1] << ","
+         << s.radius << ",\n";
+    }
+    for (const auto& b : balls) {
+      const char* cls =
+          shape->classify(b) == geo::Region::Inner
+              ? "interior"
+              : (shape->classify(b) == geo::Region::Outer ? "exterior"
+                                                          : "cut");
+      os << "ball," << b.center[0] << "," << b.center[1] << "," << b.radius
+         << "," << cls << "\n";
+    }
+    std::printf("wrote %s (plot with any CSV tool)\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Distance-based outlier detection with k-neighborhood radii.
+//
+// The k-neighborhood ball radius (distance to the k-th nearest neighbor)
+// is exactly what the paper's algorithm computes, and it is the classic
+// kth-NN outlier score: planted outliers far from every cluster get much
+// larger radii than clustered inliers. Reports precision of the top-m
+// scores against the planted ground truth.
+//
+//   ./outlier_detection --n=30000 --outliers=30 --k=4
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/api.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "30000", "inlier points (clustered)")
+      .flag("outliers", "30", "planted outliers")
+      .flag("k", "4", "k for the k-th neighbor score")
+      .flag("seed", "11", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto planted = static_cast<std::size_t>(cli.get_int("outliers"));
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Tight clusters in the unit square; outliers scattered on a far ring.
+  auto points = workload::gaussian_clusters<2>(n, 10, 0.01, rng);
+  for (std::size_t i = 0; i < planted; ++i) {
+    double angle = rng.uniform(0.0, 6.283185307179586);
+    points.push_back({{0.5 + 4.0 * std::cos(angle),
+                       0.5 + 4.0 * std::sin(angle)}});
+  }
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+
+  core::Config cfg;
+  cfg.seed = rng.next();
+  Timer timer;
+  auto balls = core::build_neighborhood_system<2>(span, k, cfg, pool);
+  double elapsed = timer.seconds();
+
+  // Rank by score (the ball radius), descending.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return balls[a].radius > balls[b].radius;
+  });
+
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < planted; ++r)
+    if (order[r] >= n) ++hits;  // planted outliers have ids >= n
+  double precision =
+      static_cast<double>(hits) / static_cast<double>(planted);
+
+  std::printf("k-th neighbor outlier scores on %zu points (+%zu planted)\n",
+              n, planted);
+  std::printf("  k-neighborhood system via §6 algorithm: %.3f s\n", elapsed);
+  std::printf("  precision@%zu: %.1f%%\n", planted, 100.0 * precision);
+  std::printf("  top-5 scores:");
+  for (std::size_t r = 0; r < 5 && r < order.size(); ++r)
+    std::printf(" %.3f", balls[order[r]].radius);
+  std::printf("\n");
+  return precision >= 0.9 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// The neighborhood query problem (§3) as a standalone service.
+//
+// Builds the separator-based search structure over a k-neighborhood
+// system, answers a stream of point queries ("which neighborhoods contain
+// p?"), and compares its speed and answers against a linear scan —
+// demonstrating Q(n,d) = O(k + log n) query time with O(n) space.
+//
+//   ./query_service --n=50000 --k=2 --queries=20000
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "core/query_tree.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/neighborhood.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "50000", "neighborhood balls")
+      .flag("k", "2", "k of the k-neighborhood system")
+      .flag("queries", "20000", "number of point queries")
+      .flag("seed", "3", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  const auto q = static_cast<std::size_t>(cli.get_int("queries"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+
+  auto points = workload::gaussian_clusters<2>(n, 20, 0.02, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto knn = knn::KdTree<2>(span).all_knn(pool, k);
+  auto balls = knn::neighborhood_system<2>(span, knn);
+
+  core::NeighborhoodQueryTree<2>::Params params;
+  Timer build_timer;
+  core::NeighborhoodQueryTree<2> tree(balls, params, rng.split(), pool);
+  double build_time = build_timer.seconds();
+
+  std::vector<geo::Point<2>> probes(q);
+  for (auto& p : probes)
+    p = {{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)}};
+
+  Timer query_timer;
+  std::size_t total_hits = 0;
+  std::vector<std::uint32_t> out;
+  for (const auto& p : probes) {
+    out.clear();
+    tree.query(p, out, core::Containment::Interior);
+    total_hits += out.size();
+  }
+  double tree_time = query_timer.seconds();
+
+  query_timer.reset();
+  std::size_t scan_hits = 0;
+  for (const auto& p : probes) {
+    for (const auto& b : balls)
+      if (b.contains(p)) ++scan_hits;
+  }
+  double scan_time = query_timer.seconds();
+
+  std::printf("neighborhood query structure over %zu balls (k=%zu)\n", n, k);
+  std::printf("  build: %.3f s | height %zu | leaves %zu | stored %zu "
+              "(duplication %.2fx)\n",
+              build_time, tree.height(), tree.leaf_count(),
+              tree.stored_balls(),
+              static_cast<double>(tree.stored_balls()) /
+                  static_cast<double>(n));
+  std::printf("  %zu queries: tree %.3f s (%.1f us/query), linear scan "
+              "%.3f s (%.1f us/query)\n",
+              q, tree_time, 1e6 * tree_time / static_cast<double>(q),
+              scan_time, 1e6 * scan_time / static_cast<double>(q));
+  std::printf("  speedup %.1fx | hits agree: %s (%zu)\n",
+              scan_time / tree_time,
+              total_hits == scan_hits ? "yes" : "NO", total_hits);
+  return total_hits == scan_hits ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Quickstart: build the k-nearest-neighbor graph of a random point set
+// with the paper's Parallel Nearest Neighborhood algorithm (§6), print
+// what happened, and spot-check the result against brute force.
+//
+//   ./quickstart --n=20000 --k=3 --dim=2 --workload=clusters
+#include <cstdio>
+#include <span>
+
+#include "core/api.hpp"
+#include "knn/brute_force.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+template <int D>
+int run(const sepdc::Cli& cli) {
+  using namespace sepdc;
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  auto kind = workload::parse_kind(cli.get("workload"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  auto points = workload::generate<D>(kind, n, rng);
+  std::span<const geo::Point<D>> span(points);
+  auto& pool = par::ThreadPool::global();
+
+  core::Config cfg;
+  cfg.seed = rng.next();
+
+  Timer timer;
+  auto out = core::build_knn_graph<D>(span, k, cfg, pool);
+  double elapsed = timer.seconds();
+
+  std::printf("built the %zu-NN graph of %zu %s points in R^%d\n", k, n,
+              workload::kind_name(kind), D);
+  std::printf("  wall time          : %.3f s (%u threads)\n", elapsed,
+              pool.concurrency());
+  std::printf("  vertices / edges   : %zu / %zu\n",
+              out.graph.vertex_count(), out.graph.edge_count());
+  std::printf("  max degree         : %zu\n", out.graph.max_degree());
+  std::printf("  components         : %zu\n", out.graph.component_count());
+  std::printf("model cost (parallel vector machine, unit-time SCAN):\n");
+  std::printf("  work               : %llu\n",
+              static_cast<unsigned long long>(out.cost.work));
+  std::printf("  depth              : %llu  (log2 n = %llu)\n",
+              static_cast<unsigned long long>(out.cost.depth),
+              static_cast<unsigned long long>(pvm::ceil_log2(n)));
+  std::printf("algorithm diagnostics:\n");
+  std::printf("  partition nodes    : %zu (height %zu)\n", out.diag.nodes,
+              out.diag.tree_height);
+  std::printf("  separator attempts : %zu (worst node %zu)\n",
+              out.diag.separator_attempts, out.diag.max_attempts_at_node);
+  std::printf("  fast corrections   : %zu, punts: %zu\n",
+              out.diag.fast_corrections, out.diag.punts);
+
+  // Spot-check a sample of rows against brute force.
+  std::size_t check = std::min<std::size_t>(n, 256);
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < check; ++s) {
+    std::size_t i = rng.below(n);
+    knn::TopK ref(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      ref.offer(geo::distance2(points[i], points[j]),
+                static_cast<std::uint32_t>(j));
+    }
+    auto sorted = ref.take_sorted();
+    auto row = out.knn.row_dist2(i);
+    for (std::size_t s2 = 0; s2 < sorted.size(); ++s2)
+      if (row[s2] != sorted[s2].dist2) ++mismatches;
+  }
+  std::printf("spot check           : %zu rows sampled, %zu mismatches\n",
+              check, mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sepdc::Cli cli;
+  cli.flag("n", "20000", "number of points")
+      .flag("k", "3", "neighbors per point")
+      .flag("dim", "2", "dimension (2, 3, or 4)")
+      .flag("workload", "uniform", "point distribution")
+      .flag("seed", "1992", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  switch (cli.get_int("dim")) {
+    case 2: return run<2>(cli);
+    case 3: return run<3>(cli);
+    case 4: return run<4>(cli);
+    default:
+      std::fprintf(stderr, "--dim must be 2, 3, or 4\n");
+      return 2;
+  }
+}

@@ -1,0 +1,119 @@
+// The Figure-1 story, textually: run the Unit Time Sphere Separator on
+// several workloads and report split balance, intersection numbers, and
+// acceptance rates — optionally dumping a CSV of one instance (balls plus
+// the chosen sphere) for plotting.
+//
+//   ./separator_demo --n=4096 --k=1 --csv=fig1.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+
+#include "geometry/constants.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/neighborhood.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "4096", "points per workload")
+      .flag("k", "1", "neighborhood parameter")
+      .flag("draws", "100", "candidate draws per workload")
+      .flag("csv", "", "write one annotated instance to this CSV path")
+      .flag("seed", "1992", "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  const auto draws = static_cast<std::size_t>(cli.get_int("draws"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto& pool = par::ThreadPool::global();
+  const double delta = geo::splitting_ratio(2) + 0.05;
+
+  Table table({"workload", "accept%", "median split", "median iota",
+               "iota/sqrt(n)", "centerpoint |r|"});
+
+  for (auto kind :
+       {workload::Kind::UniformCube, workload::Kind::GaussianClusters,
+        workload::Kind::SphereShell, workload::Kind::AdversarialSlab}) {
+    auto points = workload::generate<2>(kind, n, rng);
+    std::span<const geo::Point<2>> span(points);
+    auto knn = knn::KdTree<2>(span).all_knn(pool, k);
+    auto balls = knn::neighborhood_system<2>(span, knn);
+
+    separator::SphereSeparatorSampler<2> sampler(span, rng);
+    std::vector<double> splits, iotas;
+    std::size_t accepted = 0;
+    for (std::size_t t = 0; t < draws; ++t) {
+      auto shape = sampler.draw(rng);
+      if (!shape) continue;
+      auto counts = separator::split_counts<2>(span, *shape);
+      if (counts.inner == 0 || counts.outer == 0) continue;
+      double frac = counts.max_fraction();
+      if (frac > delta) continue;
+      ++accepted;
+      splits.push_back(frac);
+      iotas.push_back(static_cast<double>(separator::intersection_number<2>(
+          std::span<const geo::Ball<2>>(balls), *shape)));
+    }
+    double med_split = splits.empty() ? 1.0 : stats::percentile(splits, 0.5);
+    double med_iota = iotas.empty() ? 0.0 : stats::percentile(iotas, 0.5);
+    table.new_row()
+        .cell(workload::kind_name(kind))
+        .cell(100.0 * static_cast<double>(accepted) /
+                  static_cast<double>(draws),
+              1)
+        .cell(med_split, 3)
+        .cell(med_iota, 1)
+        .cell(med_iota / std::sqrt(static_cast<double>(n)), 2)
+        .cell(sampler.centerpoint_radius(), 3);
+  }
+  std::printf("Unit Time Sphere Separator on 2-D workloads "
+              "(n=%zu, k=%zu, delta=%.2f):\n",
+              n, k, delta);
+  table.print(std::cout);
+
+  // Optional Figure-1 CSV: one clustered instance with classification.
+  std::string csv = cli.get("csv");
+  if (!csv.empty()) {
+    auto points = workload::gaussian_clusters<2>(512, 5, 0.03, rng);
+    std::span<const geo::Point<2>> span(points);
+    auto knn = knn::KdTree<2>(span).all_knn(pool, 1);
+    auto balls = knn::neighborhood_system<2>(span, knn);
+    separator::SphereSeparatorSampler<2> sampler(span, rng);
+    std::optional<geo::SeparatorShape<2>> shape;
+    for (int t = 0; t < 100 && !shape; ++t) {
+      auto candidate = sampler.draw(rng);
+      if (!candidate) continue;
+      auto counts = separator::split_counts<2>(span, *candidate);
+      if (counts.max_fraction() <= delta && counts.inner && counts.outer)
+        shape = candidate;
+    }
+    std::ofstream os(csv);
+    os << "kind,x,y,radius,class\n";
+    if (shape && shape->is_sphere()) {
+      const auto& s = shape->sphere();
+      os << "separator," << s.center[0] << "," << s.center[1] << ","
+         << s.radius << ",\n";
+    }
+    for (std::size_t i = 0; i < balls.size(); ++i) {
+      const char* cls = "cut";
+      if (shape) {
+        auto region = shape->classify(balls[i]);
+        cls = region == geo::Region::Inner
+                  ? "interior"
+                  : (region == geo::Region::Outer ? "exterior" : "cut");
+      }
+      os << "ball," << balls[i].center[0] << "," << balls[i].center[1]
+         << "," << balls[i].radius << "," << cls << "\n";
+    }
+    std::printf("wrote Figure-1 style instance to %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build, test, and regenerate every experiment; record the outputs the
+# repository's EXPERIMENTS.md discusses.
+set -eu
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,47 @@
+// Top-level convenience API: one call from points to the k-nearest
+// neighbor graph of Definition 1.1, using the paper's §6 algorithm.
+#pragma once
+
+#include <span>
+
+#include "core/engine.hpp"
+#include "knn/graph.hpp"
+#include "knn/neighborhood.hpp"
+
+namespace sepdc::core {
+
+template <int D>
+struct KnnGraphOutput {
+  knn::KnnResult knn;
+  knn::KnnGraph graph;
+  pvm::Cost cost;
+  Diagnostics diag;
+};
+
+// Computes the k-nearest-neighbor graph of `points` with the separator
+// based divide and conquer (Parallel Nearest Neighborhood, §6).
+template <int D>
+KnnGraphOutput<D> build_knn_graph(std::span<const geo::Point<D>> points,
+                                  std::size_t k, const Config& base_cfg,
+                                  par::ThreadPool& pool) {
+  Config cfg = base_cfg;
+  cfg.k = k;
+  auto out = parallel_nearest_neighborhood<D>(points, cfg, pool);
+  auto graph = knn::KnnGraph::from_result(pool, out.knn);
+  return KnnGraphOutput<D>{std::move(out.knn), std::move(graph), out.cost,
+                           out.diag};
+}
+
+// The k-neighborhood system (§5.1) of `points`: the balls whose radii are
+// the k-th nearest neighbor distances.
+template <int D>
+std::vector<geo::Ball<D>> build_neighborhood_system(
+    std::span<const geo::Point<D>> points, std::size_t k,
+    const Config& base_cfg, par::ThreadPool& pool) {
+  Config cfg = base_cfg;
+  cfg.k = k;
+  auto out = parallel_nearest_neighborhood<D>(points, cfg, pool);
+  return knn::neighborhood_system<D>(points, out.knn);
+}
+
+}  // namespace sepdc::core

@@ -1,0 +1,98 @@
+// Configuration for the separator-based divide-and-conquer algorithms.
+//
+// One engine covers both of the paper's algorithms:
+//   §5 Simple Parallel Divide-and-Conquer  = {HyperplaneMedian, AlwaysPunt}
+//   §6 Parallel Nearest Neighborhood       = {MttvSphere, Hybrid}
+// The remaining combinations are the ablations DESIGN.md calls out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pvm/cost.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::core {
+
+enum class PartitionRule : std::uint8_t {
+  MttvSphere,        // Unit Time Sphere Separator draws with retry (§6)
+  HyperplaneMedian,  // Bentley-style median cut (§5 / baseline)
+};
+
+enum class CorrectionPolicy : std::uint8_t {
+  Hybrid,      // fast correction, punt on bad luck (§6, the paper's policy)
+  AlwaysPunt,  // always correct through the query structure (§5)
+  FastOnly,    // never punt: retry fast correction regardless (ablation;
+               // falls back to punt only when correctness demands it)
+};
+
+enum class FastCorrectionCharging : std::uint8_t {
+  // Charge the Lemma 6.3 accounting: constant model depth per correction
+  // (what Theorem 6.1 assumes, given h·2^h processors).
+  Paper,
+  // Charge the level-synchronous implementation honestly: one map+pack per
+  // marched level.
+  LevelSync,
+};
+
+struct Config {
+  std::size_t k = 1;
+
+  // Splitting-ratio slack: a draw is accepted when the larger side holds at
+  // most (d+1)/(d+2) + delta_slack of the points.
+  double delta_slack = 0.05;
+
+  // Punt threshold: punt when the number of cut balls at a node of size m
+  // exceeds punt_iota_scale * m^((d-1)/d + mu_slack) (§6 Correction step
+  // 1; the scale absorbs the constant hidden in Theorem 2.1's O(·)).
+  double mu_slack = 0.05;
+  double punt_iota_scale = 6.0;
+
+  // Base case: subproblems of size <= max(base_case_floor,
+  // base_case_k_factor*(k+1), ceil(log2 n)) are solved by brute force
+  // ("if m <= log n ... testing all pairs"). The k factor keeps recursion
+  // sides large enough to fill k-NN rows.
+  std::size_t base_case_floor = 32;
+  std::size_t base_case_k_factor = 20;
+
+  // Separator retry budget per node before falling back (best draw, then
+  // hyperplane median, then brute force).
+  std::size_t max_separator_attempts = 64;
+
+  // Abort threshold for the fast-correction march: give up (and punt) when
+  // the active (ball,node) frontier at some level exceeds
+  // march_budget_factor * m (Lemma 6.2 says it stays ~m^(1-η) w.h.p.).
+  double march_budget_factor = 1.0;
+
+  PartitionRule partition = PartitionRule::MttvSphere;
+  CorrectionPolicy correction = CorrectionPolicy::Hybrid;
+  FastCorrectionCharging fast_charging = FastCorrectionCharging::Paper;
+
+  // Query-structure parameters (§3), also used by punt corrections.
+  std::size_t query_leaf_size = 64;   // m0
+  double query_iota_fraction = 0.15;  // accept when ι <= this fraction of m
+  double query_iota_scale = 2.0;      // ... or <= scale * m^μ
+
+  pvm::CostConfig cost;
+  std::uint64_t seed = 1992;
+
+  // Rejects configurations that cannot produce a correct or terminating
+  // run; called by the engine before starting.
+  void validate() const {
+    SEPDC_CHECK_MSG(k >= 1, "k must be at least 1");
+    SEPDC_CHECK_MSG(delta_slack > -0.25 && delta_slack < 0.5,
+                    "delta_slack out of sensible range");
+    SEPDC_CHECK_MSG(mu_slack >= 0.0 && mu_slack < 0.5,
+                    "mu_slack out of sensible range");
+    SEPDC_CHECK_MSG(punt_iota_scale >= 0.0, "negative punt threshold");
+    SEPDC_CHECK_MSG(max_separator_attempts >= 1,
+                    "need at least one separator attempt");
+    SEPDC_CHECK_MSG(march_budget_factor > 0.0,
+                    "march budget must be positive");
+    SEPDC_CHECK_MSG(query_leaf_size >= 1, "query leaves must hold a ball");
+    SEPDC_CHECK_MSG(query_iota_fraction > 0.0 && query_iota_fraction < 1.0,
+                    "query iota fraction must be in (0,1)");
+  }
+};
+
+}  // namespace sepdc::core

@@ -1,0 +1,88 @@
+// Run diagnostics collected by the divide-and-conquer engine.
+//
+// These are the observables the experiments report: separator attempt
+// counts (the Bernoulli trials of Theorem 3.1/6.1), punt counts (§4), cut
+// ball counts (Theorem 2.1 / Lemma 6.1), and the marching frontier peaks
+// (Lemma 6.2). Each recursive strand owns a private instance; parents
+// merge children, so no synchronization is needed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace sepdc::core {
+
+struct Diagnostics {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t tree_height = 0;
+
+  std::size_t separator_attempts = 0;      // total candidate draws
+  std::size_t max_attempts_at_node = 0;    // worst node
+  std::size_t separator_fallbacks = 0;     // best-draw / hyperplane rescues
+  std::size_t brute_force_fallbacks = 0;   // nodes solved quadratically
+
+  std::size_t fast_corrections = 0;  // sides corrected by marching
+  std::size_t punts = 0;             // sides corrected via query structure
+  std::size_t march_aborts = 0;      // marches exceeding the frontier budget
+
+  std::size_t total_cut_balls = 0;  // Σ over nodes of ι at the node
+  std::size_t max_cut_balls = 0;
+  double max_cut_fraction = 0.0;     // max over nodes of ι / m
+  double max_march_fraction = 0.0;   // max over marches of peak_active / m
+  std::size_t corrected_balls = 0;   // balls whose rows actually changed
+
+  // Query-structure statistics accumulated from punt corrections.
+  std::size_t query_builds = 0;
+  std::size_t query_build_height = 0;  // max height among built structures
+
+  // Per-recursion-level totals (index = depth from the root): points
+  // handled and balls cut at that level. The per-level cut mass is what
+  // drives the correction work bound (Σ_levels ι_level = total cut).
+  std::vector<std::size_t> points_by_level;
+  std::vector<std::size_t> cuts_by_level;
+
+  void record_level(std::size_t depth, std::size_t points,
+                    std::size_t cuts) {
+    if (points_by_level.size() <= depth) {
+      points_by_level.resize(depth + 1, 0);
+      cuts_by_level.resize(depth + 1, 0);
+    }
+    points_by_level[depth] += points;
+    cuts_by_level[depth] += cuts;
+  }
+
+  void merge(const Diagnostics& child) {
+    nodes += child.nodes;
+    leaves += child.leaves;
+    tree_height = std::max(tree_height, child.tree_height);
+    separator_attempts += child.separator_attempts;
+    max_attempts_at_node =
+        std::max(max_attempts_at_node, child.max_attempts_at_node);
+    separator_fallbacks += child.separator_fallbacks;
+    brute_force_fallbacks += child.brute_force_fallbacks;
+    fast_corrections += child.fast_corrections;
+    punts += child.punts;
+    march_aborts += child.march_aborts;
+    total_cut_balls += child.total_cut_balls;
+    max_cut_balls = std::max(max_cut_balls, child.max_cut_balls);
+    max_cut_fraction = std::max(max_cut_fraction, child.max_cut_fraction);
+    max_march_fraction =
+        std::max(max_march_fraction, child.max_march_fraction);
+    corrected_balls += child.corrected_balls;
+    query_builds += child.query_builds;
+    query_build_height =
+        std::max(query_build_height, child.query_build_height);
+    if (child.points_by_level.size() > points_by_level.size()) {
+      points_by_level.resize(child.points_by_level.size(), 0);
+      cuts_by_level.resize(child.cuts_by_level.size(), 0);
+    }
+    for (std::size_t d = 0; d < child.points_by_level.size(); ++d) {
+      points_by_level[d] += child.points_by_level[d];
+      cuts_by_level[d] += child.cuts_by_level[d];
+    }
+  }
+};
+
+}  // namespace sepdc::core

@@ -1,0 +1,603 @@
+// Separator-based parallel divide and conquer for the k-neighborhood
+// system / k-nearest-neighbor graph (§5 and §6 of the paper).
+//
+// One engine implements both algorithms:
+//   Parallel Nearest Neighborhood (§6): sphere-separator partition,
+//     parallel recursion, then correction of the balls the separator cuts
+//     — fast correction by marching cut balls down the other side's
+//     partition tree (Lemma 6.3), punting to the §3 query structure when
+//     there are too many cut balls or the march frontier explodes (§4).
+//   Simple Parallel Divide-and-Conquer (§5): hyperplane median partition
+//     with corrections always routed through the query structure.
+//
+// The engine runs on a real thread pool and simultaneously accounts model
+// cost (work/depth) in the parallel vector model; the measured depth is
+// the quantity Lemma 5.1 / Theorem 6.1 bound.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/diagnostics.hpp"
+#include "core/partition_tree.hpp"
+#include "core/query_tree.hpp"
+#include "core/separator_search.hpp"
+#include "geometry/constants.hpp"
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+#include "knn/result.hpp"
+#include "knn/topk.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pvm/machine.hpp"
+#include "separator/hyperplane.hpp"
+#include "separator/mttv.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::core {
+
+template <int D>
+class NearestNeighborEngine {
+ public:
+  struct Output {
+    knn::KnnResult knn;  // rows indexed by original point id
+    pvm::Cost cost;      // parallel-vector-model cost of the whole run
+    Diagnostics diag;
+    std::unique_ptr<PartitionNode<D>> tree;
+  };
+
+  static Output run(std::span<const geo::Point<D>> points, const Config& cfg,
+                    par::ThreadPool& pool) {
+    cfg.validate();
+    SEPDC_CHECK_MSG(!points.empty(), "empty input");
+    NearestNeighborEngine engine(points, cfg, pool);
+    return engine.execute();
+  }
+
+ private:
+  NearestNeighborEngine(std::span<const geo::Point<D>> points,
+                        const Config& cfg, par::ThreadPool& pool)
+      : points_(points),
+        cfg_(cfg),
+        pool_(pool),
+        n_(points.size()),
+        result_(knn::KnnResult::empty(points.size(), cfg.k)),
+        perm_(points.size()) {
+    for (std::size_t i = 0; i < n_; ++i)
+      perm_[i] = static_cast<std::uint32_t>(i);
+    base_size_ = std::max({cfg_.base_case_floor,
+                           cfg_.base_case_k_factor * (cfg_.k + 1),
+                           static_cast<std::size_t>(pvm::ceil_log2(n_))});
+  }
+
+  struct NodeOutcome {
+    std::unique_ptr<PartitionNode<D>> tree;
+    pvm::Cost cost;
+    Diagnostics diag;
+  };
+
+  Output execute() {
+    Rng rng(cfg_.seed);
+    NodeOutcome root = solve(0, static_cast<std::uint32_t>(n_), rng, 0);
+    return Output{std::move(result_), root.cost, root.diag,
+                  std::move(root.tree)};
+  }
+
+  // ---------------------------------------------------------------- solve
+
+  NodeOutcome solve(std::uint32_t begin, std::uint32_t end, Rng& rng,
+                    std::size_t depth) {
+    const std::size_t m = end - begin;
+    if (m <= base_size_) return solve_base(begin, end);
+
+    Diagnostics diag;
+    diag.nodes = 1;
+    pvm::Ledger ledger;
+
+    auto shape = choose_separator(begin, end, rng, depth, diag, ledger);
+    if (!shape) {
+      // Unsplittable node (e.g. all points identical): solve directly.
+      NodeOutcome base = solve_base(begin, end);
+      base.diag.brute_force_fallbacks += 1;
+      base.cost += ledger.total();
+      base.diag.separator_attempts += diag.separator_attempts;
+      base.diag.separator_fallbacks += diag.separator_fallbacks;
+      return base;
+    }
+
+    std::uint32_t mid = partition_range(begin, end, *shape);
+    ledger.charge(pvm::pack_cost(m, cfg_.cost));
+    SEPDC_ASSERT(mid > begin && mid < end);
+
+    NodeOutcome inner, outer;
+    Rng inner_rng = rng.split();
+    Rng outer_rng = rng.split();
+    // Spawn pool tasks only for large subproblems: small ones run inline.
+    // This keeps the task count O(n / grain), which bounds the depth of
+    // helping-wait chains (a waiting thread executes other queued tasks,
+    // so thousands of tiny tasks could otherwise nest on one stack). The
+    // model cost is charged as parallel either way — the recursion is
+    // logically parallel; inlining is an execution-engine choice.
+    constexpr std::size_t kSpawnGrain = 8192;
+    if (m >= kSpawnGrain) {
+      par::parallel_invoke(
+          pool_, [&] { inner = solve(begin, mid, inner_rng, depth + 1); },
+          [&] { outer = solve(mid, end, outer_rng, depth + 1); });
+    } else {
+      inner = solve(begin, mid, inner_rng, depth + 1);
+      outer = solve(mid, end, outer_rng, depth + 1);
+    }
+    ledger.charge_parallel(inner.cost, outer.cost);
+    diag.merge(inner.diag);
+    diag.merge(outer.diag);
+    diag.tree_height += 1;
+
+    Rng correction_rng = rng.split();
+    correct(begin, mid, end, *shape, inner.tree.get(), outer.tree.get(),
+            correction_rng, depth, diag, ledger);
+
+    auto tree = PartitionNode<D>::make_internal(
+        begin, end, *shape, std::move(inner.tree), std::move(outer.tree));
+    return NodeOutcome{std::move(tree), ledger.total(), diag};
+  }
+
+  // ------------------------------------------------------------ base case
+
+  NodeOutcome solve_base(std::uint32_t begin, std::uint32_t end) {
+    const std::size_t m = end - begin;
+    const std::size_t k = cfg_.k;
+    Diagnostics diag;
+    diag.nodes = 1;
+    diag.leaves = 1;
+    diag.tree_height = 1;
+    pvm::Cost cost;
+
+    auto box = geo::Aabb<D>::empty();
+    for (std::uint32_t i = begin; i < end; ++i)
+      box.expand(points_[perm_[i]]);
+
+    if (box.extent() == 0.0 && m > 1) {
+      // All points in the range are identical: everyone's k nearest are
+      // the k smallest other ids (distance 0, ties broken by id to match
+      // the brute-force oracle exactly).
+      std::vector<std::uint32_t> ids(perm_.begin() + begin,
+                                     perm_.begin() + end);
+      std::sort(ids.begin(), ids.end());
+      const std::size_t take = std::min(k, m - 1);
+      for (std::uint32_t i = begin; i < end; ++i) {
+        std::uint32_t self = perm_[i];
+        auto nbr = result_.row_neighbors(self);
+        auto d2 = result_.row_dist2(self);
+        std::size_t written = 0;
+        for (std::uint32_t id : ids) {
+          if (id == self) continue;
+          nbr[written] = id;
+          d2[written] = 0.0;
+          if (++written == take) break;
+        }
+      }
+      cost += pvm::Cost{static_cast<std::uint64_t>(m * k), 1};
+      return NodeOutcome{PartitionNode<D>::make_leaf(begin, end), cost,
+                         diag};
+    }
+
+    // All-pairs base case ("m time using m processors"): depth m, work m².
+    for (std::uint32_t i = begin; i < end; ++i) {
+      std::uint32_t self = perm_[i];
+      knn::TopK best(k);
+      for (std::uint32_t j = begin; j < end; ++j) {
+        if (j == i) continue;
+        std::uint32_t other = perm_[j];
+        best.offer(geo::distance2(points_[self], points_[other]), other);
+      }
+      write_row(self, best);
+    }
+    cost += pvm::Cost{static_cast<std::uint64_t>(m) * m,
+                      static_cast<std::uint64_t>(m)};
+    return NodeOutcome{PartitionNode<D>::make_leaf(begin, end), cost, diag};
+  }
+
+  void write_row(std::uint32_t id, knn::TopK& best) {
+    auto sorted = best.take_sorted();
+    auto nbr = result_.row_neighbors(id);
+    auto d2 = result_.row_dist2(id);
+    std::size_t s = 0;
+    for (; s < sorted.size(); ++s) {
+      nbr[s] = sorted[s].index;
+      d2[s] = sorted[s].dist2;
+    }
+    for (; s < cfg_.k; ++s) {
+      nbr[s] = knn::KnnResult::kInvalid;
+      d2[s] = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  // ------------------------------------------------------- separator step
+
+  std::optional<geo::SeparatorShape<D>> choose_separator(
+      std::uint32_t begin, std::uint32_t end, Rng& rng, std::size_t depth,
+      Diagnostics& diag, pvm::Ledger& ledger) {
+    const std::size_t m = end - begin;
+    auto at = [&](std::size_t i) {
+      return points_[perm_[begin + i]];
+    };
+    auto outcome = find_point_separator<D>(
+        m, at, cfg_.partition, geo::splitting_ratio(D) + cfg_.delta_slack,
+        cfg_.max_separator_attempts, static_cast<int>(depth % D), rng,
+        cfg_.cost);
+    ledger.charge(outcome.cost);
+    diag.separator_attempts += outcome.attempts;
+    diag.max_attempts_at_node =
+        std::max(diag.max_attempts_at_node, outcome.attempts);
+    if (outcome.fallback) diag.separator_fallbacks += 1;
+    return outcome.shape;
+  }
+
+  std::uint32_t partition_range(std::uint32_t begin, std::uint32_t end,
+                                const geo::SeparatorShape<D>& shape) {
+    std::vector<std::uint32_t> inner_ids, outer_ids;
+    inner_ids.reserve(end - begin);
+    outer_ids.reserve(end - begin);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      std::uint32_t id = perm_[i];
+      if (shape.classify(points_[id]) == geo::Side::Inner)
+        inner_ids.push_back(id);
+      else
+        outer_ids.push_back(id);
+    }
+    std::copy(inner_ids.begin(), inner_ids.end(), perm_.begin() + begin);
+    std::copy(outer_ids.begin(), outer_ids.end(),
+              perm_.begin() + begin + inner_ids.size());
+    return begin + static_cast<std::uint32_t>(inner_ids.size());
+  }
+
+  // ---------------------------------------------------------- correction
+
+  geo::Ball<D> ball_of(std::uint32_t id) const {
+    return geo::Ball<D>{points_[id], std::sqrt(result_.radius2(id))};
+  }
+
+  void correct(std::uint32_t begin, std::uint32_t mid, std::uint32_t end,
+               const geo::SeparatorShape<D>& shape,
+               const PartitionNode<D>* inner_tree,
+               const PartitionNode<D>* outer_tree, Rng& rng,
+               std::size_t depth, Diagnostics& diag, pvm::Ledger& ledger) {
+    const std::size_t m = end - begin;
+
+    // Cut balls per side (Lemma 6.1: only these can be wrong).
+    std::vector<std::uint32_t> cut_inner, cut_outer;
+    for (std::uint32_t i = begin; i < mid; ++i) {
+      std::uint32_t id = perm_[i];
+      if (shape.classify(ball_of(id)) == geo::Region::Cut)
+        cut_inner.push_back(id);
+    }
+    for (std::uint32_t i = mid; i < end; ++i) {
+      std::uint32_t id = perm_[i];
+      if (shape.classify(ball_of(id)) == geo::Region::Cut)
+        cut_outer.push_back(id);
+    }
+    ledger.charge(pvm::map_cost(m));
+    ledger.charge(pvm::pack_cost(m, cfg_.cost));
+
+    const std::size_t iota = cut_inner.size() + cut_outer.size();
+    diag.record_level(depth, m, iota);
+    diag.total_cut_balls += iota;
+    diag.max_cut_balls = std::max(diag.max_cut_balls, iota);
+    diag.max_cut_fraction =
+        std::max(diag.max_cut_fraction,
+                 static_cast<double>(iota) / static_cast<double>(m));
+    if (iota == 0) return;
+
+    // Theorem 2.1 bounds the expected cut count by O(k^(1/d) m^((d-1)/d));
+    // a punt should signal *bad luck*, not ordinary k growth, so the
+    // threshold carries the k^(1/d) factor.
+    const double mu =
+        geo::separator_exponent(D) + cfg_.mu_slack;
+    const double punt_threshold =
+        cfg_.punt_iota_scale *
+        std::pow(static_cast<double>(cfg_.k), 1.0 / D) *
+        std::pow(static_cast<double>(m), mu);
+    const bool force_punt =
+        cfg_.correction == CorrectionPolicy::AlwaysPunt ||
+        (cfg_.correction == CorrectionPolicy::Hybrid &&
+         static_cast<double>(iota) >= punt_threshold);
+    const std::size_t march_budget =
+        cfg_.correction == CorrectionPolicy::FastOnly
+            ? std::numeric_limits<std::size_t>::max()
+            : static_cast<std::size_t>(cfg_.march_budget_factor *
+                                       static_cast<double>(m)) +
+                  1;
+
+    // The two sides touch disjoint rows; run them in parallel and charge
+    // their model costs as parallel strands.
+    pvm::Cost cost_a, cost_b;
+    Diagnostics diag_a, diag_b;
+    Rng rng_a = rng.split();
+    Rng rng_b = rng.split();
+    auto side_a = [&] {
+      cost_a = correct_side(cut_inner, outer_tree, mid, end, force_punt,
+                            march_budget, rng_a, diag_a);
+    };
+    auto side_b = [&] {
+      cost_b = correct_side(cut_outer, inner_tree, begin, mid, force_punt,
+                            march_budget, rng_b, diag_b);
+    };
+    // As in solve(): spawn only when the node is large enough to be worth
+    // a task (and to keep helping-wait chains shallow).
+    if (m >= 8192) {
+      par::parallel_invoke(pool_, side_a, side_b);
+    } else {
+      side_a();
+      side_b();
+    }
+    ledger.charge_parallel(cost_a, cost_b);
+    diag.merge(diag_a);
+    diag.merge(diag_b);
+    // merge() sums node counters; the helper strands carried none.
+  }
+
+  // Corrects the cut balls of one side against the opposite side's points
+  // [tb, te) using its partition tree. Returns the model cost.
+  pvm::Cost correct_side(const std::vector<std::uint32_t>& cut_ids,
+                         const PartitionNode<D>* target_tree,
+                         std::uint32_t tb, std::uint32_t te, bool force_punt,
+                         std::size_t march_budget, Rng& rng,
+                         Diagnostics& diag) {
+    pvm::Ledger ledger;
+    if (cut_ids.empty()) return ledger.total();
+    if (!force_punt) {
+      if (fast_correct(cut_ids, target_tree, te - tb, march_budget, diag,
+                       ledger)) {
+        diag.fast_corrections += 1;
+        return ledger.total();
+      }
+      diag.march_aborts += 1;
+    }
+    diag.punts += 1;
+    punt_correct(cut_ids, tb, te, rng, diag, ledger);
+    return ledger.total();
+  }
+
+  // §6.2 Fast Correction: march the cut balls down the opposite partition
+  // tree to their reachable leaves, then rebuild each ball's k-NN row from
+  // its own-side row plus the leaf candidates. Returns false (leaving rows
+  // untouched) if the frontier exceeds the budget at any level.
+  bool fast_correct(const std::vector<std::uint32_t>& cut_ids,
+                    const PartitionNode<D>* target_tree,
+                    std::size_t target_size, std::size_t march_budget,
+                    Diagnostics& diag, pvm::Ledger& ledger) {
+    struct Active {
+      std::uint32_t ball;  // index into cut_ids
+      const PartitionNode<D>* node;
+    };
+    std::vector<geo::Ball<D>> balls(cut_ids.size());
+    std::vector<double> radius2(cut_ids.size());
+    for (std::size_t i = 0; i < cut_ids.size(); ++i) {
+      balls[i] = ball_of(cut_ids[i]);
+      radius2[i] = result_.radius2(cut_ids[i]);
+    }
+    ledger.charge(pvm::map_cost(cut_ids.size()));
+
+    std::vector<std::vector<const PartitionNode<D>*>> leaves(cut_ids.size());
+    std::vector<Active> frontier;
+    frontier.reserve(cut_ids.size() * 2);
+    for (std::size_t i = 0; i < cut_ids.size(); ++i)
+      frontier.push_back({static_cast<std::uint32_t>(i), target_tree});
+
+    std::size_t peak = frontier.size();
+    std::uint64_t march_work = 0;
+    std::size_t levels = 0;
+    std::vector<Active> next;
+    while (!frontier.empty()) {
+      ++levels;
+      peak = std::max(peak, frontier.size());
+      if (frontier.size() > march_budget) return false;
+      next.clear();
+      for (const Active& a : frontier) {
+        if (a.node->is_leaf()) {
+          leaves[a.ball].push_back(a.node);
+          continue;
+        }
+        geo::Region region = a.node->separator.classify(balls[a.ball]);
+        if (region != geo::Region::Outer)
+          next.push_back({a.ball, a.node->inner.get()});
+        if (region != geo::Region::Inner)
+          next.push_back({a.ball, a.node->outer.get()});
+      }
+      march_work += frontier.size();
+      if (cfg_.fast_charging == FastCorrectionCharging::LevelSync) {
+        ledger.charge(pvm::map_cost(frontier.size()));
+        ledger.charge(pvm::scan_cost(frontier.size(), cfg_.cost));
+      }
+      frontier.swap(next);
+    }
+    // Lemma 6.2 diagnostic: only meaningful at nodes large enough for the
+    // asymptotics to speak (tiny nodes trivially reach O(m) pairs).
+    if (target_size >= 256) {
+      diag.max_march_fraction = std::max(
+          diag.max_march_fraction,
+          static_cast<double>(peak) / static_cast<double>(target_size));
+    }
+
+    // Leaf scans + row merges (rows are disjoint: parallel over balls).
+    std::atomic<std::uint64_t> scan_work{0};
+    std::atomic<std::uint64_t> changed{0};
+    par::parallel_for(
+        pool_, 0, cut_ids.size(),
+        [&](std::size_t b) {
+          std::uint32_t self = cut_ids[b];
+          knn::TopK merged(cfg_.k);
+          seed_from_row(self, merged);
+          std::uint64_t scans = 0;
+          for (const PartitionNode<D>* leaf : leaves[b]) {
+            for (std::uint32_t i = leaf->begin; i < leaf->end; ++i) {
+              std::uint32_t other = perm_[i];
+              double d2 = geo::distance2(points_[self], points_[other]);
+              ++scans;
+              if (d2 <= radius2[b]) merged.offer(d2, other);
+            }
+          }
+          scan_work.fetch_add(scans, std::memory_order_relaxed);
+          if (rewrite_row(self, merged)) changed.fetch_add(1);
+        },
+        /*grain=*/16);
+    diag.corrected_balls += changed.load();
+
+    if (cfg_.fast_charging == FastCorrectionCharging::Paper) {
+      // Lemma 6.3 accounting: all reachability labels in one elementwise
+      // step, root-path ANDs via one SCAN, candidate gather + k-selection
+      // in a constant number of steps.
+      ledger.charge(pvm::Cost{march_work, 1});
+      ledger.charge(pvm::scan_cost(march_work, cfg_.cost));
+      ledger.charge(pvm::Cost{scan_work.load(), 1});
+      ledger.charge(pvm::reduce_cost(scan_work.load(), cfg_.cost));
+    } else {
+      ledger.charge(pvm::Cost{scan_work.load(), 1});
+      ledger.charge(pvm::reduce_cost(scan_work.load(), cfg_.cost));
+    }
+    (void)levels;
+    return true;
+  }
+
+  // Punt correction: build the §3 query structure over the cut balls and
+  // batch-query the opposite side's points through it.
+  void punt_correct(const std::vector<std::uint32_t>& cut_ids,
+                    std::uint32_t tb, std::uint32_t te, Rng& rng,
+                    Diagnostics& diag, pvm::Ledger& ledger) {
+    std::vector<geo::Ball<D>> balls(cut_ids.size());
+    for (std::size_t i = 0; i < cut_ids.size(); ++i)
+      balls[i] = ball_of(cut_ids[i]);
+    ledger.charge(pvm::map_cost(cut_ids.size()));
+
+    typename NeighborhoodQueryTree<D>::Params params;
+    params.leaf_size = cfg_.query_leaf_size;
+    params.delta_limit = geo::splitting_ratio(D) + cfg_.delta_slack;
+    params.mu = geo::separator_exponent(D) + cfg_.mu_slack;
+    params.iota_scale = cfg_.query_iota_scale;
+    params.iota_fraction = cfg_.query_iota_fraction;
+    params.max_attempts = cfg_.max_separator_attempts;
+    params.cost = cfg_.cost;
+
+    NeighborhoodQueryTree<D> qt(std::move(balls), params, rng.split(),
+                                pool_);
+    ledger.charge(qt.stats().cost);
+    diag.query_builds += 1;
+    diag.query_build_height =
+        std::max(diag.query_build_height, qt.height());
+
+    // Rank-indexed candidate buffers: the batch query touches each rank
+    // from exactly one worker, so no synchronization is needed.
+    const std::size_t count = te - tb;
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> per_rank(
+        count);
+    pvm::Cost qcost = qt.batch_query(
+        pool_, count,
+        [&](std::size_t rank) { return points_[perm_[tb + rank]]; },
+        [&](std::size_t rank, std::uint32_t ball_idx, double d2) {
+          per_rank[rank].emplace_back(ball_idx, d2);
+        },
+        Containment::Closed);
+    ledger.charge(qcost);
+
+    // Regroup by ball (one pack in the model).
+    std::vector<std::vector<knn::TopK::Entry>> per_ball(cut_ids.size());
+    std::uint64_t pairs = 0;
+    for (std::size_t rank = 0; rank < count; ++rank) {
+      std::uint32_t point_id = perm_[tb + rank];
+      for (auto [ball_idx, d2] : per_rank[rank]) {
+        per_ball[ball_idx].push_back(knn::TopK::Entry{d2, point_id});
+        ++pairs;
+      }
+    }
+    ledger.charge(pvm::pack_cost(pairs, cfg_.cost));
+
+    std::atomic<std::uint64_t> changed{0};
+    par::parallel_for(
+        pool_, 0, cut_ids.size(),
+        [&](std::size_t b) {
+          std::uint32_t self = cut_ids[b];
+          knn::TopK merged(cfg_.k);
+          seed_from_row(self, merged);
+          for (const auto& e : per_ball[b]) merged.offer(e.dist2, e.index);
+          if (rewrite_row(self, merged)) changed.fetch_add(1);
+        },
+        /*grain=*/16);
+    diag.corrected_balls += changed.load();
+    ledger.charge(pvm::map_cost(pairs));
+    ledger.charge(pvm::reduce_cost(pairs, cfg_.cost));
+  }
+
+  void seed_from_row(std::uint32_t id, knn::TopK& into) const {
+    auto nbr = result_.row_neighbors(id);
+    auto d2 = result_.row_dist2(id);
+    for (std::size_t s = 0; s < cfg_.k; ++s) {
+      if (nbr[s] == knn::KnnResult::kInvalid) break;
+      into.offer(d2[s], nbr[s]);
+    }
+  }
+
+  // Writes the merged selection back; returns true when the row changed.
+  bool rewrite_row(std::uint32_t id, knn::TopK& merged) {
+    auto sorted = merged.take_sorted();
+    auto nbr = result_.row_neighbors(id);
+    auto d2 = result_.row_dist2(id);
+    bool changed = false;
+    std::size_t s = 0;
+    for (; s < sorted.size(); ++s) {
+      if (nbr[s] != sorted[s].index || d2[s] != sorted[s].dist2)
+        changed = true;
+      nbr[s] = sorted[s].index;
+      d2[s] = sorted[s].dist2;
+    }
+    for (; s < cfg_.k; ++s) {
+      if (nbr[s] != knn::KnnResult::kInvalid) changed = true;
+      nbr[s] = knn::KnnResult::kInvalid;
+      d2[s] = std::numeric_limits<double>::infinity();
+    }
+    return changed;
+  }
+
+  std::span<const geo::Point<D>> points_;
+  Config cfg_;
+  par::ThreadPool& pool_;
+  std::size_t n_;
+  knn::KnnResult result_;
+  std::vector<std::uint32_t> perm_;
+  std::size_t base_size_ = 0;
+};
+
+// Convenience wrappers -----------------------------------------------------
+
+// Parallel Nearest Neighborhood (§6): the paper's headline algorithm.
+template <int D>
+typename NearestNeighborEngine<D>::Output parallel_nearest_neighborhood(
+    std::span<const geo::Point<D>> points, const Config& cfg,
+    par::ThreadPool& pool) {
+  Config c = cfg;
+  c.partition = PartitionRule::MttvSphere;
+  c.correction = CorrectionPolicy::Hybrid;
+  return NearestNeighborEngine<D>::run(points, c, pool);
+}
+
+// Simple Parallel Divide-and-Conquer (§5): hyperplane cuts, corrections
+// always through the query structure.
+template <int D>
+typename NearestNeighborEngine<D>::Output simple_parallel_dnc(
+    std::span<const geo::Point<D>> points, const Config& cfg,
+    par::ThreadPool& pool) {
+  Config c = cfg;
+  c.partition = PartitionRule::HyperplaneMedian;
+  c.correction = CorrectionPolicy::AlwaysPunt;
+  return NearestNeighborEngine<D>::run(points, c, pool);
+}
+
+}  // namespace sepdc::core

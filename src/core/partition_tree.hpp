@@ -1,0 +1,71 @@
+// The partition tree produced by the divide-and-conquer recursion.
+//
+// Each internal node records the separator that split its index range of
+// the (permuted) point array; leaves record base-case ranges. The §6 Fast
+// Correction marches neighborhood balls down this tree, so the tree is a
+// first-class output of the recursion (step 5 of Parallel Nearest
+// Neighborhood), not just a byproduct.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geometry/separator_shape.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::core {
+
+template <int D>
+struct PartitionNode {
+  // Range [begin, end) into the engine's permutation array.
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  // Valid iff both children exist.
+  geo::SeparatorShape<D> separator{};
+  std::unique_ptr<PartitionNode> inner;
+  std::unique_ptr<PartitionNode> outer;
+
+  bool is_leaf() const { return inner == nullptr; }
+  std::uint32_t size() const { return end - begin; }
+
+  std::size_t height() const {
+    if (is_leaf()) return 1;
+    return 1 + std::max(inner->height(), outer->height());
+  }
+
+  std::size_t node_count() const {
+    if (is_leaf()) return 1;
+    return 1 + inner->node_count() + outer->node_count();
+  }
+
+  std::size_t leaf_count() const {
+    if (is_leaf()) return 1;
+    return inner->leaf_count() + outer->leaf_count();
+  }
+
+  static std::unique_ptr<PartitionNode> make_leaf(std::uint32_t begin,
+                                                  std::uint32_t end) {
+    auto node = std::make_unique<PartitionNode>();
+    node->begin = begin;
+    node->end = end;
+    return node;
+  }
+
+  static std::unique_ptr<PartitionNode> make_internal(
+      std::uint32_t begin, std::uint32_t end,
+      geo::SeparatorShape<D> separator,
+      std::unique_ptr<PartitionNode> inner_child,
+      std::unique_ptr<PartitionNode> outer_child) {
+    SEPDC_ASSERT(inner_child && outer_child);
+    auto node = std::make_unique<PartitionNode>();
+    node->begin = begin;
+    node->end = end;
+    node->separator = separator;
+    node->inner = std::move(inner_child);
+    node->outer = std::move(outer_child);
+    return node;
+  }
+};
+
+}  // namespace sepdc::core

@@ -1,0 +1,373 @@
+// The separator-based search structure for the neighborhood query problem
+// (§3.2) with the parallel construction of §3.3.
+//
+// Given a k-ply neighborhood system, the tree stores a sphere separator at
+// each internal node; the left subtree holds the balls intersecting the
+// sphere or its interior (B_I ∪ B_O), the right subtree those intersecting
+// the sphere or its exterior (B_E ∪ B_O) — cut balls are duplicated. A
+// point query descends by point-in-sphere tests and scans one leaf, giving
+// Q(n,d) = O(k + log n); duplication is bounded by accepting only
+// separators with a small intersection number, giving S(n,d) = O(n).
+//
+// The same structure performs the "punt" correction of §5/§6: batch
+// queries report every (ball, point) containment pair.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geometry/ball.hpp"
+#include "geometry/separator_shape.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/parallel_for.hpp"
+#include "pvm/cost.hpp"
+#include "separator/hyperplane.hpp"
+#include "separator/mttv.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::core {
+
+enum class Containment : std::uint8_t {
+  Interior,  // strict: dist² < r² (the paper's query semantics)
+  Closed,    // dist² <= r² (used by corrections for exact tie handling)
+};
+
+// Which separator family the query structure splits with. The paper's
+// structure uses sphere separators; the hyperplane family is the
+// Bentley-style comparison (§3.1 contrasts it as the multi-dimensional
+// divide-and-conquer alternative) whose duplication is uncontrolled —
+// cut balls pile up along the cutting plane.
+enum class SplitFamily : std::uint8_t { Sphere, Hyperplane };
+
+template <int D>
+class NeighborhoodQueryTree {
+ public:
+  struct Params {
+    std::size_t leaf_size = 64;      // m0
+    double delta_limit = 0.85;       // accepted max-side fraction (centers)
+    double mu = 0.55;                // ι acceptance exponent
+    double iota_scale = 2.0;         // accept ι <= scale * m^μ ...
+    double iota_fraction = 0.15;     // ... or ι <= fraction * m
+    std::size_t max_attempts = 64;
+    std::size_t parallel_grain = 2048;  // spawn children above this size
+    SplitFamily family = SplitFamily::Sphere;
+    pvm::CostConfig cost;
+  };
+
+  struct BuildStats {
+    std::size_t nodes = 0;
+    std::size_t leaves = 0;
+    std::size_t height = 0;
+    std::size_t stored_balls = 0;  // Σ leaf occupancy (duplication included)
+    std::size_t attempts = 0;
+    std::size_t fallbacks = 0;        // accepted a non-conforming best draw
+    std::size_t forced_leaves = 0;    // could not shrink: oversized leaf
+    pvm::Cost cost;                   // parallel model cost of the build
+  };
+
+  NeighborhoodQueryTree(std::vector<geo::Ball<D>> balls, const Params& params,
+                        Rng rng, par::ThreadPool& pool)
+      : balls_(std::move(balls)), params_(params) {
+    std::vector<std::uint32_t> all(balls_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<std::uint32_t>(i);
+    auto [node, stats] = build(std::move(all), rng, pool, 0);
+    root_ = std::move(node);
+    stats_ = stats;
+  }
+
+  const BuildStats& stats() const { return stats_; }
+  std::size_t ball_count() const { return balls_.size(); }
+  std::size_t height() const { return stats_.height; }
+  std::size_t leaf_count() const { return stats_.leaves; }
+  std::size_t stored_balls() const { return stats_.stored_balls; }
+
+  // Per-query cost breakdown: Q(n,d) = O(path + scanned) = O(log n + k).
+  struct QueryStats {
+    std::size_t nodes_visited = 0;  // root-to-leaf path length (+ leaf)
+    std::size_t balls_scanned = 0;  // leaf occupancy examined
+    std::size_t hits = 0;
+  };
+
+  // All balls containing p, appended to `out` (ids into the ball vector
+  // passed at construction). Returns the number of tree nodes visited.
+  std::size_t query(const geo::Point<D>& p, std::vector<std::uint32_t>& out,
+                    Containment mode = Containment::Interior) const {
+    return query_stats(p, out, mode).nodes_visited;
+  }
+
+  QueryStats query_stats(const geo::Point<D>& p,
+                         std::vector<std::uint32_t>& out,
+                         Containment mode = Containment::Interior) const {
+    QueryStats stats;
+    const Node* node = root_.get();
+    while (node && !node->is_leaf()) {
+      ++stats.nodes_visited;
+      node = node->separator.classify(p) == geo::Side::Inner
+                 ? node->left.get()
+                 : node->right.get();
+    }
+    if (!node) return stats;
+    ++stats.nodes_visited;
+    stats.balls_scanned = node->ball_ids.size();
+    for (std::uint32_t id : node->ball_ids) {
+      if (contains(balls_[id], p, mode)) {
+        out.push_back(id);
+        ++stats.hits;
+      }
+    }
+    return stats;
+  }
+
+  // Batch containment join: fn(rank, ball_id, dist2) for every point
+  // (given by accessor `at` over ranks [0, count)) contained in a ball.
+  // fn is invoked from worker threads, with ranks partitioned disjointly.
+  // Returns the model cost: the points march down the levels in lockstep,
+  // one elementwise step + one pack per level, then scan their leaves.
+  template <class PointAccess, class Fn>
+  pvm::Cost batch_query(par::ThreadPool& pool, std::size_t count,
+                        PointAccess at, Fn fn,
+                        Containment mode = Containment::Closed) const {
+    std::atomic<std::uint64_t> visited{0};
+    std::atomic<std::uint64_t> scanned{0};
+    par::parallel_for(pool, 0, count, [&](std::size_t rank) {
+      geo::Point<D> p = at(rank);
+      const Node* node = root_.get();
+      std::uint64_t path = 0;
+      while (node && !node->is_leaf()) {
+        ++path;
+        node = node->separator.classify(p) == geo::Side::Inner
+                   ? node->left.get()
+                   : node->right.get();
+      }
+      if (!node) return;
+      std::uint64_t scans = node->ball_ids.size();
+      for (std::uint32_t id : node->ball_ids) {
+        double d2 = geo::distance2(balls_[id].center, p);
+        if (matches(balls_[id], d2, mode)) fn(rank, id, d2);
+      }
+      visited.fetch_add(path, std::memory_order_relaxed);
+      scanned.fetch_add(scans, std::memory_order_relaxed);
+    });
+    // Level-synchronous accounting: each of the `height` levels costs one
+    // elementwise classify plus one pack over the (at most count-sized)
+    // frontier, then the leaf scans cost one elementwise step and one
+    // reduce. Work is the exact number of node visits and ball scans.
+    pvm::Cost per_level = pvm::seq(pvm::map_cost(0),
+                                   pvm::scan_cost(count, params_.cost));
+    pvm::Cost cost;
+    for (std::size_t level = 0; level < stats_.height; ++level)
+      cost += per_level;
+    cost += pvm::map_cost(0);
+    cost += pvm::reduce_cost(count, params_.cost);
+    cost.work = visited.load() + 2 * scanned.load() + count;
+    return cost;
+  }
+
+ private:
+  struct Node {
+    geo::SeparatorShape<D> separator{};
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    std::vector<std::uint32_t> ball_ids;  // leaves only
+
+    bool is_leaf() const { return left == nullptr; }
+  };
+
+  static bool contains(const geo::Ball<D>& b, const geo::Point<D>& p,
+                       Containment mode) {
+    double d2 = geo::distance2(b.center, p);
+    return matches(b, d2, mode);
+  }
+  static bool matches(const geo::Ball<D>& b, double d2, Containment mode) {
+    double r2 = b.radius * b.radius;
+    return mode == Containment::Interior ? d2 < r2 : d2 <= r2;
+  }
+
+  struct BuildResult {
+    std::unique_ptr<Node> node;
+    BuildStats stats;
+  };
+
+  BuildResult build(std::vector<std::uint32_t> ids, Rng rng,
+                    par::ThreadPool& pool, std::size_t depth) {
+    const std::size_t m = ids.size();
+    BuildStats stats;
+    stats.nodes = 1;
+    if (m <= params_.leaf_size) return make_leaf(std::move(ids), stats);
+
+    // Depth guard: adversarial inputs (heavy duplication) might refuse to
+    // shrink; cap the tree height to keep termination airtight.
+    const std::size_t depth_limit =
+        4 * pvm::ceil_log2(std::max<std::size_t>(balls_.size(), 2)) + 16;
+    if (depth > depth_limit) {
+      stats.forced_leaves = 1;
+      return make_leaf(std::move(ids), stats);
+    }
+
+    auto pick = choose_separator(ids, rng, depth, stats);
+    if (!pick) {
+      stats.forced_leaves = 1;
+      return make_leaf(std::move(ids), stats);
+    }
+
+    // Split: left = inner ∪ cut, right = outer ∪ cut.
+    std::vector<std::uint32_t> left_ids, right_ids;
+    left_ids.reserve(m / 2 + 8);
+    right_ids.reserve(m / 2 + 8);
+    for (std::uint32_t id : ids) {
+      geo::Region region = pick->classify(balls_[id]);
+      if (region != geo::Region::Outer) left_ids.push_back(id);
+      if (region != geo::Region::Inner) right_ids.push_back(id);
+    }
+    stats.cost += pvm::pack_cost(m, params_.cost);
+    if (left_ids.size() >= m || right_ids.size() >= m) {
+      // No shrink: a separator this bad was not supposed to be accepted;
+      // degrade to a (possibly oversized) leaf rather than recurse forever.
+      stats.forced_leaves = 1;
+      return make_leaf(std::move(ids), stats);
+    }
+    ids.clear();
+    ids.shrink_to_fit();
+
+    BuildResult left, right;
+    Rng right_rng = rng.split();
+    if (std::max(left_ids.size(), right_ids.size()) >=
+        params_.parallel_grain) {
+      par::parallel_invoke(
+          pool,
+          [&] {
+            left = build(std::move(left_ids), rng.split(), pool, depth + 1);
+          },
+          [&] {
+            right = build(std::move(right_ids), right_rng, pool, depth + 1);
+          });
+    } else {
+      left = build(std::move(left_ids), rng.split(), pool, depth + 1);
+      right = build(std::move(right_ids), right_rng, pool, depth + 1);
+    }
+
+    auto node = std::make_unique<Node>();
+    node->separator = *pick;
+    node->left = std::move(left.node);
+    node->right = std::move(right.node);
+
+    stats.cost += pvm::par(left.stats.cost, right.stats.cost);
+    accumulate(stats, left.stats);
+    accumulate(stats, right.stats);
+    stats.height = 1 + std::max(left.stats.height, right.stats.height);
+    return BuildResult{std::move(node), stats};
+  }
+
+  BuildResult make_leaf(std::vector<std::uint32_t> ids,
+                        BuildStats stats) const {
+    auto node = std::make_unique<Node>();
+    stats.leaves = 1;
+    stats.height = 1;
+    stats.stored_balls = ids.size();
+    stats.cost += pvm::unit_cost();
+    node->ball_ids = std::move(ids);
+    return BuildResult{std::move(node), stats};
+  }
+
+  static void accumulate(BuildStats& into, const BuildStats& child) {
+    into.nodes += child.nodes;
+    into.leaves += child.leaves;
+    into.stored_balls += child.stored_balls;
+    into.attempts += child.attempts;
+    into.fallbacks += child.fallbacks;
+    into.forced_leaves += child.forced_leaves;
+  }
+
+  // Draws sphere separators over the ball centers until one satisfies the
+  // §3 acceptance rule (δ-split of centers, small intersection number).
+  // Falls back to the best draw that still shrinks both children. In the
+  // Hyperplane family, a single axis-cycled median cut is used instead
+  // (Bentley-style; no ι control by construction).
+  std::optional<geo::SeparatorShape<D>> choose_separator(
+      const std::vector<std::uint32_t>& ids, Rng& rng, std::size_t depth,
+      BuildStats& stats) {
+    const std::size_t m = ids.size();
+    if (params_.family == SplitFamily::Hyperplane) {
+      std::vector<geo::Point<D>> centers(m);
+      for (std::size_t i = 0; i < m; ++i) centers[i] = balls_[ids[i]].center;
+      stats.attempts += 1;
+      stats.cost += pvm::Cost{2 * static_cast<std::uint64_t>(m),
+                              pvm::ceil_log2(m)};
+      return separator::hyperplane_median<D>(
+          std::span<const geo::Point<D>>(centers),
+          static_cast<int>(depth % D));
+    }
+    separator::SphereSeparatorSampler<D> sampler(
+        m, [&](std::size_t i) { return balls_[ids[i]].center; }, rng);
+    stats.cost += sampler.setup_cost();
+    if (sampler.degenerate()) return std::nullopt;
+
+    const double iota_limit = std::max(
+        4.0, std::min(params_.iota_scale *
+                          std::pow(static_cast<double>(m), params_.mu),
+                      params_.iota_fraction * static_cast<double>(m)));
+
+    std::optional<geo::SeparatorShape<D>> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t attempt = 0; attempt < params_.max_attempts; ++attempt) {
+      ++stats.attempts;
+      stats.cost += sampler.draw_cost();
+      auto shape = sampler.draw(rng);
+      if (!shape) continue;
+
+      std::size_t inner = 0, outer = 0, cut = 0;
+      for (std::uint32_t id : ids) {
+        geo::Region region = shape->classify(balls_[id]);
+        if (region == geo::Region::Cut)
+          ++cut;
+        else if (region == geo::Region::Inner)
+          ++inner;
+        else
+          ++outer;
+      }
+      stats.cost += pvm::map_cost(m);
+      stats.cost += pvm::reduce_cost(m, params_.cost);
+
+      std::size_t left = inner + cut, right = outer + cut;
+      if (left >= m || right >= m) continue;  // would not shrink
+      double center_frac =
+          static_cast<double>(std::max(inner + cut, outer + cut)) /
+          static_cast<double>(m);
+      if (center_frac <= params_.delta_limit &&
+          static_cast<double>(cut) <= iota_limit) {
+        return shape;  // conforming separator
+      }
+      // Fallback candidates must still control the duplication: a split
+      // that cuts a large fraction of the balls shrinks the node by
+      // count but grows the *stored* mass — on ball systems where every
+      // separator is crossed by nearly everything (e.g. sparse
+      // high-dimensional data), accepting such splits makes the build
+      // super-linear. Better a fat leaf than an exploding tree.
+      if (static_cast<double>(cut) >
+          std::max(4.0, params_.iota_fraction * static_cast<double>(m)))
+        continue;
+      double score = center_frac + static_cast<double>(cut) /
+                                       static_cast<double>(m);
+      if (score < best_score) {
+        best_score = score;
+        best = shape;
+      }
+    }
+    if (best) ++stats.fallbacks;
+    return best;
+  }
+
+  std::vector<geo::Ball<D>> balls_;
+  Params params_;
+  std::unique_ptr<Node> root_;
+  BuildStats stats_;
+};
+
+}  // namespace sepdc::core

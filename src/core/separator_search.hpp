@@ -1,0 +1,108 @@
+// The separator acceptance loop shared by the divide-and-conquer engine
+// and the standalone separator index: draw Unit Time Sphere Separator
+// candidates until one δ-splits the points, falling back to the best
+// draw seen and finally to a median hyperplane.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "geometry/constants.hpp"
+#include "geometry/separator_shape.hpp"
+#include "pvm/cost.hpp"
+#include "separator/hyperplane.hpp"
+#include "separator/mttv.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::core {
+
+template <int D>
+struct SeparatorSearchOutcome {
+  std::optional<geo::SeparatorShape<D>> shape;
+  std::size_t attempts = 0;   // candidate draws consumed
+  bool fallback = false;      // accepted best-effort / hyperplane rescue
+  pvm::Cost cost;             // model cost of the whole search
+};
+
+// Searches for a separator of the `count` points yielded by `at(i)`.
+//
+// MttvSphere: up to `max_attempts` draws, accepting the first whose larger
+// side holds at most `delta_limit` of the points; then the best non-trivial
+// draw; then a median hyperplane (widest axis). HyperplaneMedian: a single
+// axis-cycled median cut (`axis_hint` = recursion depth % D), Bentley
+// style. Returns an empty shape only when the points cannot be split at
+// all (all identical).
+template <int D, class Access>
+SeparatorSearchOutcome<D> find_point_separator(
+    std::size_t count, Access at, PartitionRule rule, double delta_limit,
+    std::size_t max_attempts, int axis_hint, Rng& rng,
+    const pvm::CostConfig& cost_cfg) {
+  SeparatorSearchOutcome<D> out;
+  auto local_points = [&] {
+    std::vector<geo::Point<D>> pts(count);
+    for (std::size_t i = 0; i < count; ++i) pts[i] = at(i);
+    return pts;
+  };
+
+  if (rule == PartitionRule::HyperplaneMedian) {
+    auto pts = local_points();
+    out.shape = separator::hyperplane_median<D>(
+        std::span<const geo::Point<D>>(pts), axis_hint);
+    // Median selection: O(log m) rounds of scans in the vector model.
+    out.cost += pvm::Cost{2 * static_cast<std::uint64_t>(count),
+                          pvm::ceil_log2(count)};
+    return out;
+  }
+
+  separator::SphereSeparatorSampler<D> sampler(count, at, rng);
+  out.cost += sampler.setup_cost();
+
+  std::optional<geo::SeparatorShape<D>> best;
+  double best_frac = 1.0;
+  if (!sampler.degenerate()) {
+    for (; out.attempts < max_attempts; ++out.attempts) {
+      out.cost += sampler.draw_cost();
+      auto shape = sampler.draw(rng);
+      if (!shape) continue;
+      std::size_t inner = 0;
+      for (std::size_t i = 0; i < count; ++i)
+        if (shape->classify(at(i)) == geo::Side::Inner) ++inner;
+      out.cost += pvm::map_cost(count);
+      out.cost += pvm::reduce_cost(count, cost_cfg);
+      std::size_t outer = count - inner;
+      if (inner == 0 || outer == 0) continue;
+      double frac = static_cast<double>(std::max(inner, outer)) /
+                    static_cast<double>(count);
+      if (frac <= delta_limit) {
+        ++out.attempts;
+        out.shape = shape;
+        return out;
+      }
+      if (frac < best_frac) {
+        best_frac = frac;
+        best = shape;
+      }
+    }
+  }
+  if (best) {
+    out.fallback = true;
+    out.shape = best;
+    return out;
+  }
+  // Final rescue: a median hyperplane splits any non-identical set.
+  auto pts = local_points();
+  auto plane = separator::hyperplane_median<D>(
+      std::span<const geo::Point<D>>(pts), /*axis=*/-1);
+  if (plane) {
+    out.fallback = true;
+    out.cost += pvm::Cost{2 * static_cast<std::uint64_t>(count),
+                          pvm::ceil_log2(count)};
+    out.shape = plane;
+  }
+  return out;
+}
+
+}  // namespace sepdc::core

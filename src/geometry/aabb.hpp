@@ -1,0 +1,83 @@
+// Axis-aligned bounding boxes (used by the kd-tree baseline and input
+// normalization).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::geo {
+
+template <int D>
+struct Aabb {
+  Point<D> lo{};
+  Point<D> hi{};
+
+  static Aabb empty() {
+    Aabb box;
+    for (int i = 0; i < D; ++i) {
+      box.lo[i] = std::numeric_limits<double>::infinity();
+      box.hi[i] = -std::numeric_limits<double>::infinity();
+    }
+    return box;
+  }
+
+  static Aabb of(std::span<const Point<D>> points) {
+    Aabb box = empty();
+    for (const auto& p : points) box.expand(p);
+    return box;
+  }
+
+  void expand(const Point<D>& p) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+
+  bool contains(const Point<D>& p) const {
+    for (int i = 0; i < D; ++i)
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    return true;
+  }
+
+  Point<D> center() const { return (lo + hi) * 0.5; }
+
+  // Longest side length; 0 for a degenerate (single point) box.
+  double extent() const {
+    double e = 0.0;
+    for (int i = 0; i < D; ++i) e = std::max(e, hi[i] - lo[i]);
+    return e;
+  }
+
+  int widest_axis() const {
+    int axis = 0;
+    double best = hi[0] - lo[0];
+    for (int i = 1; i < D; ++i) {
+      if (hi[i] - lo[i] > best) {
+        best = hi[i] - lo[i];
+        axis = i;
+      }
+    }
+    return axis;
+  }
+
+  // Squared distance from p to the box (0 when inside) — kd-tree pruning.
+  double distance2(const Point<D>& p) const {
+    double s = 0.0;
+    for (int i = 0; i < D; ++i) {
+      double d = 0.0;
+      if (p[i] < lo[i])
+        d = lo[i] - p[i];
+      else if (p[i] > hi[i])
+        d = p[i] - hi[i];
+      s += d * d;
+    }
+    return s;
+  }
+};
+
+}  // namespace sepdc::geo

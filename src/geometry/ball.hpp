@@ -1,0 +1,63 @@
+// Balls and (d-1)-spheres, plus the classification predicates of §2.1.
+//
+// A `Sphere<D>` is the boundary surface used as a separator; a `Ball<D>` is
+// a solid neighborhood ball. A sphere partitions a neighborhood system into
+// interior / exterior / intersecting balls (B_I, B_E, B_O in the paper).
+#pragma once
+
+#include <cmath>
+
+#include "geometry/point.hpp"
+
+namespace sepdc::geo {
+
+template <int D>
+struct Ball {
+  Point<D> center{};
+  double radius = 0.0;
+
+  bool contains(const Point<D>& p) const {
+    // Interior containment (strict), matching the paper's "interior of B_i
+    // contains at most k points" convention.
+    return distance2(center, p) < radius * radius;
+  }
+
+  friend bool operator==(const Ball&, const Ball&) = default;
+};
+
+template <int D>
+struct Sphere {
+  Point<D> center{};
+  double radius = 0.0;
+
+  friend bool operator==(const Sphere&, const Sphere&) = default;
+};
+
+// Which side of a separator an object lies on. Points exactly on the
+// surface classify as Inner (the paper sends "p on S" to the left child).
+enum class Side : unsigned char { Inner, Outer };
+
+// Region of a ball relative to a separator surface.
+enum class Region : unsigned char { Inner, Outer, Cut };
+
+template <int D>
+Side classify_point(const Sphere<D>& s, const Point<D>& p) {
+  return distance2(s.center, p) <= s.radius * s.radius ? Side::Inner
+                                                       : Side::Outer;
+}
+
+// Classifies a ball against a sphere: entirely inside, entirely outside, or
+// intersecting the surface. Tangency counts as Cut, and a small relative
+// margin widens the Cut band (conservative: a cut ball is the one the
+// algorithms must correct, so erring toward Cut preserves correctness even
+// when the square roots round unfavorably).
+template <int D>
+Region classify_ball(const Sphere<D>& s, const Ball<D>& b) {
+  double dist = distance(s.center, b.center);
+  double margin = 1e-12 * (dist + b.radius + s.radius);
+  if (dist + b.radius < s.radius - margin) return Region::Inner;
+  if (dist - b.radius > s.radius + margin) return Region::Outer;
+  return Region::Cut;
+}
+
+}  // namespace sepdc::geo

@@ -1,0 +1,27 @@
+#include "geometry/constants.hpp"
+
+#include "support/assert.hpp"
+
+namespace sepdc::geo {
+
+int kissing_number(int dimension) {
+  SEPDC_CHECK_MSG(dimension >= 1 && dimension <= 8,
+                  "kissing numbers tabulated for 1 <= d <= 8");
+  // d = 1..4 are exact; 5..7 are the best known lower bounds; 8 is exact
+  // (E8 lattice).
+  static constexpr int kTable[] = {0, 2, 6, 12, 24, 40, 72, 126, 240};
+  return kTable[dimension];
+}
+
+double splitting_ratio(int dimension) {
+  SEPDC_CHECK(dimension >= 1);
+  return static_cast<double>(dimension + 1) /
+         static_cast<double>(dimension + 2);
+}
+
+double separator_exponent(int dimension) {
+  SEPDC_CHECK(dimension >= 1);
+  return static_cast<double>(dimension - 1) / static_cast<double>(dimension);
+}
+
+}  // namespace sepdc::geo

@@ -1,0 +1,20 @@
+// Dimension-dependent constants from the paper.
+#pragma once
+
+namespace sepdc::geo {
+
+// Kissing number τ_d: the maximum number of non-overlapping unit balls in
+// R^d that can touch a central unit ball (Lemma 2.1 bounds the ply of a
+// k-neighborhood system by τ_d · k). Known exact values for d ≤ 4 and
+// d ∈ {8, 24}; best known lower bounds elsewhere (sufficient for use as an
+// empirical sanity bound).
+int kissing_number(int dimension);
+
+// The paper's default splitting ratio bound δ = (d+1)/(d+2) (Theorem 2.1),
+// before the +ε slack.
+double splitting_ratio(int dimension);
+
+// The separator-size exponent (d-1)/d from Theorem 2.1 (k fixed).
+double separator_exponent(int dimension);
+
+}  // namespace sepdc::geo

@@ -1,0 +1,91 @@
+// Fixed-dimension points/vectors in R^D.
+//
+// D is a compile-time parameter: the paper's constants (splitting ratio,
+// separator exponent, kissing number) all depend on the dimension, and the
+// inner loops are distance computations that benefit from unrolled
+// fixed-size arithmetic.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace sepdc::geo {
+
+template <int D>
+struct Point {
+  static_assert(D >= 1);
+  std::array<double, D> coords{};
+
+  double& operator[](int i) { return coords[static_cast<std::size_t>(i)]; }
+  double operator[](int i) const {
+    return coords[static_cast<std::size_t>(i)];
+  }
+
+  friend Point operator+(Point a, const Point& b) {
+    for (int i = 0; i < D; ++i) a[i] += b[i];
+    return a;
+  }
+  friend Point operator-(Point a, const Point& b) {
+    for (int i = 0; i < D; ++i) a[i] -= b[i];
+    return a;
+  }
+  friend Point operator*(Point a, double s) {
+    for (int i = 0; i < D; ++i) a[i] *= s;
+    return a;
+  }
+  friend Point operator*(double s, Point a) { return a * s; }
+  friend Point operator/(Point a, double s) { return a * (1.0 / s); }
+  Point& operator+=(const Point& b) { return *this = *this + b; }
+  Point& operator-=(const Point& b) { return *this = *this - b; }
+  Point& operator*=(double s) { return *this = *this * s; }
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+    os << "(";
+    for (int i = 0; i < D; ++i) os << (i ? ", " : "") << p[i];
+    return os << ")";
+  }
+};
+
+template <int D>
+double dot(const Point<D>& a, const Point<D>& b) {
+  double s = 0.0;
+  for (int i = 0; i < D; ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <int D>
+double norm2(const Point<D>& a) {
+  return dot(a, a);
+}
+
+template <int D>
+double norm(const Point<D>& a) {
+  return std::sqrt(norm2(a));
+}
+
+template <int D>
+double distance2(const Point<D>& a, const Point<D>& b) {
+  double s = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+template <int D>
+double distance(const Point<D>& a, const Point<D>& b) {
+  return std::sqrt(distance2(a, b));
+}
+
+// Unit vector in the direction of a; precondition: a != 0.
+template <int D>
+Point<D> normalized(const Point<D>& a) {
+  return a / norm(a);
+}
+
+}  // namespace sepdc::geo

@@ -1,0 +1,134 @@
+// Stereographic lifting machinery for the Miller–Teng–Thurston–Vavasis
+// sphere-separator algorithm.
+//
+// Points in R^D are lifted onto the unit sphere S^D ⊂ R^(D+1) by the
+// inverse stereographic projection from the north pole e_{D+1}. Separator
+// candidates are "caps": intersections of S^D with affine hyperplanes
+// { u : a·u = b }. A great circle is the cap with b = 0. Caps are closed
+// under the conformal maps the algorithm applies (rotations and the
+// dilation that re-centers the centerpoint), and a cap pulls back through
+// the stereographic projection to a sphere or hyperplane in R^D.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+#include "linalg/matrix.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::geo {
+
+// Inverse stereographic projection: R^D -> S^D \ {north pole}.
+template <int D>
+Point<D + 1> stereo_lift(const Point<D>& x) {
+  double t = norm2(x);
+  double s = 2.0 / (1.0 + t);
+  Point<D + 1> u;
+  for (int i = 0; i < D; ++i) u[i] = s * x[i];
+  u[D] = 1.0 - s;  // == (t - 1) / (t + 1)
+  return u;
+}
+
+// Stereographic projection: S^D \ {north pole} -> R^D.
+template <int D>
+Point<D> stereo_project(const Point<D + 1>& u) {
+  double denom = 1.0 - u[D];
+  SEPDC_CHECK_MSG(std::abs(denom) > 1e-300,
+                  "cannot project the north pole back to R^d");
+  Point<D> x;
+  for (int i = 0; i < D; ++i) x[i] = u[i] / denom;
+  return x;
+}
+
+// A cap on S^D: the set { u in S^D : a·u = b }. |b| < |a| for a
+// non-degenerate cap that actually intersects the sphere.
+template <int D>
+struct Cap {
+  Point<D + 1> a{};
+  double b = 0.0;
+
+  double evaluate(const Point<D + 1>& u) const { return dot(a, u) - b; }
+};
+
+// Preimage of a cap under a rotation/reflection Q (u' = Q u):
+// { u : (Qᵀ a)·u = b }.
+template <int D>
+Cap<D> cap_preimage_rotation(const Cap<D>& cap, const linalg::Matrix& q) {
+  SEPDC_ASSERT(q.rows() == D + 1 && q.cols() == D + 1);
+  Cap<D> out;
+  out.b = cap.b;
+  // (Qᵀ a)_i = sum_j Q(j, i) a_j.
+  for (int i = 0; i <= D; ++i) {
+    double s = 0.0;
+    for (int j = 0; j <= D; ++j) s += q(static_cast<std::size_t>(j),
+                                        static_cast<std::size_t>(i)) *
+                                      cap.a[j];
+    out.a[i] = s;
+  }
+  return out;
+}
+
+// The conformal dilation δ_λ : S^D -> S^D defined by
+// δ_λ(u) = lift(λ · project(u)); λ in (0, ∞).
+template <int D>
+Point<D + 1> dilate(const Point<D + 1>& u, double lambda) {
+  return stereo_lift<D>(stereo_project<D>(u) * lambda);
+}
+
+// Preimage of the cap { v : a·v = b } under δ_λ, again a cap (derivation in
+// DESIGN.md/tests): with ã the first D components,
+//   a'_i    = λ a_i                                   (i < D)
+//   a'_D    = (λ² (a_D − b) + (a_D + b)) / 2
+//   b'      = ((a_D + b) − λ² (a_D − b)) / 2.
+template <int D>
+Cap<D> cap_preimage_dilation(const Cap<D>& cap, double lambda) {
+  SEPDC_CHECK(lambda > 0.0);
+  Cap<D> out;
+  const double l2 = lambda * lambda;
+  for (int i = 0; i < D; ++i) out.a[i] = lambda * cap.a[i];
+  out.a[D] = (l2 * (cap.a[D] - cap.b) + (cap.a[D] + cap.b)) / 2.0;
+  out.b = ((cap.a[D] + cap.b) - l2 * (cap.a[D] - cap.b)) / 2.0;
+  return out;
+}
+
+// Pulls a cap back through the stereographic projection to a separator
+// shape in R^D. Writing ã for the first D components of a and w = a_D − b:
+//   lift(x) on the cap  ⟺  x·ã + (|x|²/2) w − (a_D + b)/2 = 0.
+// w != 0 gives the sphere |x + ã/w|² = (a_D + b)/w + |ã|²/w²; w == 0 gives
+// the hyperplane x·ã = (a_D + b)/2. Returns nullopt when the cap misses the
+// lifted sphere entirely (non-positive squared radius) — callers treat that
+// candidate as failed and redraw.
+//
+// Orientation: the Inner side is where the affine form a·lift(x) − b is
+// negative. For w > 0 that is the geometric inside of the pulled-back
+// sphere; for w < 0 it is the outside (flip flag).
+template <int D>
+std::optional<SeparatorShape<D>> cap_pullback(const Cap<D>& cap,
+                                              double degenerate_tol = 1e-9) {
+  Point<D> a_head;
+  for (int i = 0; i < D; ++i) a_head[i] = cap.a[i];
+  const double w = cap.a[D] - cap.b;
+  const double sum = cap.a[D] + cap.b;
+  // Scale-invariant degeneracy test: compare w against the cap magnitude.
+  double scale = std::sqrt(norm2(a_head) + cap.a[D] * cap.a[D] +
+                           cap.b * cap.b);
+  if (scale <= 0.0) return std::nullopt;
+  if (std::abs(w) <= degenerate_tol * scale) {
+    if (norm2(a_head) <= degenerate_tol * degenerate_tol * scale * scale)
+      return std::nullopt;  // no surface at all
+    Halfspace<D> h;
+    h.normal = a_head;
+    h.offset = sum / 2.0;
+    return SeparatorShape<D>::make_halfspace(h, /*flip_sides=*/false);
+  }
+  Sphere<D> s;
+  s.center = a_head * (-1.0 / w);
+  double r2 = sum / w + norm2(a_head) / (w * w);
+  if (r2 <= 0.0) return std::nullopt;
+  s.radius = std::sqrt(r2);
+  return SeparatorShape<D>::make_sphere(s, /*flip_sides=*/w < 0.0);
+}
+
+}  // namespace sepdc::geo

@@ -1,0 +1,65 @@
+// Brute-force k-nearest neighbors: the correctness oracle for every other
+// algorithm in the library, and the base case of the divide-and-conquer
+// ("if m <= log n, deterministically compute ... by testing all pairs").
+#pragma once
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "knn/result.hpp"
+#include "knn/topk.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+// All-pairs k-NN over `points` (self excluded). Rows are padded when
+// points.size() <= k.
+template <int D>
+KnnResult brute_force(std::span<const geo::Point<D>> points, std::size_t k) {
+  const std::size_t n = points.size();
+  KnnResult result = KnnResult::empty(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    TopK best(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best.offer(geo::distance2(points[i], points[j]),
+                 static_cast<std::uint32_t>(j));
+    }
+    auto sorted = best.take_sorted();
+    auto nbr = result.row_neighbors(i);
+    auto d2 = result.row_dist2(i);
+    for (std::size_t s = 0; s < sorted.size(); ++s) {
+      nbr[s] = sorted[s].index;
+      d2[s] = sorted[s].dist2;
+    }
+  }
+  return result;
+}
+
+// Thread-parallel brute force (rows are independent) — oracle at larger n.
+template <int D>
+KnnResult brute_force_parallel(par::ThreadPool& pool,
+                               std::span<const geo::Point<D>> points,
+                               std::size_t k) {
+  const std::size_t n = points.size();
+  KnnResult result = KnnResult::empty(n, k);
+  par::parallel_for(pool, 0, n, [&](std::size_t i) {
+    TopK best(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best.offer(geo::distance2(points[i], points[j]),
+                 static_cast<std::uint32_t>(j));
+    }
+    auto sorted = best.take_sorted();
+    auto nbr = result.row_neighbors(i);
+    auto d2 = result.row_dist2(i);
+    for (std::size_t s = 0; s < sorted.size(); ++s) {
+      nbr[s] = sorted[s].index;
+      d2[s] = sorted[s].dist2;
+    }
+  });
+  return result;
+}
+
+}  // namespace sepdc::knn

@@ -1,0 +1,106 @@
+// The k-nearest-neighbor graph of Definition 1.1: an undirected graph with
+// an edge (p_i, p_j) whenever either point is a k-nearest neighbor of the
+// other. Assembled from a KnnResult by symmetrizing and deduplicating the
+// directed neighbor lists; stored in CSR form.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "knn/result.hpp"
+#include "parallel/radix_sort.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+class KnnGraph {
+ public:
+  // Builds the symmetric closure of the directed k-NN relation.
+  static KnnGraph from_result(par::ThreadPool& pool, const KnnResult& r) {
+    std::vector<std::uint64_t> edges;
+    edges.reserve(2 * r.n * r.k);
+    for (std::size_t i = 0; i < r.n; ++i) {
+      auto row = r.row_neighbors(i);
+      for (std::uint32_t j : row) {
+        if (j == KnnResult::kInvalid) break;
+        // Insert both directions; dedup below handles mutual neighbors.
+        edges.push_back(key(static_cast<std::uint32_t>(i), j));
+        edges.push_back(key(j, static_cast<std::uint32_t>(i)));
+      }
+    }
+    // Integer keys: the radix sort (the §1 CRCW-PRAM toolkit) beats the
+    // comparison sort here and keeps the build a pure vector pipeline.
+    par::radix_sort(pool, edges, 64);
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    KnnGraph g;
+    g.offsets_.assign(r.n + 1, 0);
+    g.targets_.reserve(edges.size());
+    for (std::uint64_t e : edges) {
+      auto src = static_cast<std::uint32_t>(e >> 32);
+      auto dst = static_cast<std::uint32_t>(e & 0xffffffffu);
+      SEPDC_ASSERT(src < r.n && dst < r.n);
+      ++g.offsets_[src + 1];
+      g.targets_.push_back(dst);
+    }
+    for (std::size_t i = 0; i < r.n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+    return g;
+  }
+
+  std::size_t vertex_count() const { return offsets_.size() - 1; }
+  std::size_t edge_count() const { return targets_.size() / 2; }
+
+  std::span<const std::uint32_t> neighbors(std::size_t v) const {
+    SEPDC_ASSERT(v + 1 < offsets_.size());
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  bool has_edge(std::uint32_t a, std::uint32_t b) const {
+    auto nbrs = neighbors(a);
+    return std::binary_search(nbrs.begin(), nbrs.end(), b);
+  }
+
+  std::size_t max_degree() const {
+    std::size_t best = 0;
+    for (std::size_t v = 0; v + 1 < offsets_.size(); ++v)
+      best = std::max(best, offsets_[v + 1] - offsets_[v]);
+    return best;
+  }
+
+  // Number of connected components (BFS) — used by examples.
+  std::size_t component_count() const {
+    std::vector<char> seen(vertex_count(), 0);
+    std::vector<std::uint32_t> stack;
+    std::size_t components = 0;
+    for (std::uint32_t start = 0; start < vertex_count(); ++start) {
+      if (seen[start]) continue;
+      ++components;
+      seen[start] = 1;
+      stack.push_back(start);
+      while (!stack.empty()) {
+        std::uint32_t v = stack.back();
+        stack.pop_back();
+        for (std::uint32_t w : neighbors(v)) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    return components;
+  }
+
+ private:
+  static std::uint64_t key(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> targets_;
+};
+
+}  // namespace sepdc::knn

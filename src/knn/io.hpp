@@ -1,0 +1,116 @@
+// Serialization of k-NN results and graphs.
+//
+// A binary format for KnnResult (save once, reload for downstream
+// analysis without recomputing) and a plain-text edge-list export of the
+// k-NN graph for external tools. The binary format is versioned and
+// validated on load; loads never trust sizes blindly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "knn/graph.hpp"
+#include "knn/result.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+namespace detail {
+
+inline constexpr char kMagic[8] = {'s', 'e', 'p', 'd', 'c', 'k', 'n', '1'};
+
+template <class T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+bool read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace detail
+
+// Writes a KnnResult in the versioned binary format. Returns false on
+// stream failure.
+inline bool save_result(std::ostream& os, const KnnResult& r) {
+  os.write(detail::kMagic, sizeof(detail::kMagic));
+  detail::write_pod(os, static_cast<std::uint64_t>(r.n));
+  detail::write_pod(os, static_cast<std::uint64_t>(r.k));
+  os.write(reinterpret_cast<const char*>(r.neighbors.data()),
+           static_cast<std::streamsize>(r.neighbors.size() *
+                                        sizeof(std::uint32_t)));
+  os.write(reinterpret_cast<const char*>(r.dist2.data()),
+           static_cast<std::streamsize>(r.dist2.size() * sizeof(double)));
+  return static_cast<bool>(os);
+}
+
+// Loads a KnnResult; returns false (leaving `out` unspecified) when the
+// stream is truncated, the magic mismatches, or sizes are inconsistent.
+inline bool load_result(std::istream& is, KnnResult& out) {
+  char magic[sizeof(detail::kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, detail::kMagic, sizeof(magic)) != 0)
+    return false;
+  std::uint64_t n = 0, k = 0;
+  if (!detail::read_pod(is, n) || !detail::read_pod(is, k)) return false;
+  // Reject absurd headers before allocating (truncation protection).
+  if (k == 0 || n > (1ull << 40) || k > (1ull << 20)) return false;
+  // Never allocate on the header's say-so alone: for seekable streams,
+  // the remaining payload must be exactly n*k rows (a corrupted size
+  // field would otherwise provoke a huge allocation before the read
+  // fails).
+  auto pos = is.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    auto end = is.tellg();
+    is.seekg(pos);
+    std::uint64_t need =
+        n * k * (sizeof(std::uint32_t) + sizeof(double));
+    if (end < pos ||
+        static_cast<std::uint64_t>(end - pos) != need)
+      return false;
+  }
+  out = KnnResult::empty(static_cast<std::size_t>(n),
+                         static_cast<std::size_t>(k));
+  is.read(reinterpret_cast<char*>(out.neighbors.data()),
+          static_cast<std::streamsize>(out.neighbors.size() *
+                                       sizeof(std::uint32_t)));
+  is.read(reinterpret_cast<char*>(out.dist2.data()),
+          static_cast<std::streamsize>(out.dist2.size() * sizeof(double)));
+  if (!is) return false;
+  // Validate: neighbor ids in range or padding, rows sorted.
+  for (std::size_t i = 0; i < out.n; ++i) {
+    auto nbr = out.row_neighbors(i);
+    auto d2 = out.row_dist2(i);
+    bool padded = false;
+    for (std::size_t s = 0; s < out.k; ++s) {
+      if (nbr[s] == KnnResult::kInvalid) {
+        padded = true;
+        continue;
+      }
+      if (padded) return false;                   // padding not at tail
+      if (nbr[s] >= out.n || nbr[s] == i) return false;
+      if (s > 0 && nbr[s - 1] != KnnResult::kInvalid &&
+          d2[s - 1] > d2[s])
+        return false;
+    }
+  }
+  return true;
+}
+
+// Plain-text undirected edge list "u v" (u < v), one edge per line —
+// loadable by every graph tool.
+inline void export_edge_list(std::ostream& os, const KnnGraph& graph) {
+  for (std::uint32_t v = 0; v < graph.vertex_count(); ++v) {
+    for (std::uint32_t w : graph.neighbors(v)) {
+      if (v < w) os << v << ' ' << w << '\n';
+    }
+  }
+}
+
+}  // namespace sepdc::knn

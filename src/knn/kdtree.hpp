@@ -1,0 +1,168 @@
+// kd-tree with k-nearest-neighbor and range queries.
+//
+// This is the sequential baseline standing in for Vaidya's O(kn log n)
+// algorithm (the paper's work benchmark): building the tree and answering
+// one k-NN query per point gives the k-neighborhood system in O(kn log n)
+// expected time for fixed d. It also serves as a fast oracle for tests at
+// sizes where brute force is too slow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/point.hpp"
+#include "knn/result.hpp"
+#include "knn/topk.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+template <int D>
+class KdTree {
+ public:
+  // Builds over a copy of the point span. `leaf_size` caps leaf occupancy.
+  explicit KdTree(std::span<const geo::Point<D>> points,
+                  std::size_t leaf_size = 16)
+      : points_(points.begin(), points.end()),
+        ids_(points.size()),
+        leaf_size_(std::max<std::size_t>(leaf_size, 1)) {
+    std::iota(ids_.begin(), ids_.end(), 0u);
+    if (!points_.empty()) {
+      nodes_.reserve(2 * points_.size() / leaf_size_ + 2);
+      root_ = build(0, points_.size());
+    }
+  }
+
+  std::size_t size() const { return points_.size(); }
+
+  // k nearest neighbors of an arbitrary query point. When `exclude` is a
+  // valid point id, that point is skipped (used for self-exclusion).
+  TopK query(const geo::Point<D>& q, std::size_t k,
+             std::uint32_t exclude = KnnResult::kInvalid) const {
+    TopK best(k);
+    if (root_ != kNone) search(root_, q, exclude, best);
+    return best;
+  }
+
+  // Invokes fn(id, dist2) for every point strictly inside the given ball.
+  template <class Fn>
+  void for_each_in_ball(const geo::Point<D>& center, double radius,
+                        Fn fn) const {
+    if (root_ == kNone || radius <= 0.0) return;
+    range_search(root_, center, radius * radius, fn);
+  }
+
+  // k-NN of every indexed point (self excluded), thread-parallel.
+  KnnResult all_knn(par::ThreadPool& pool, std::size_t k) const {
+    KnnResult result = KnnResult::empty(points_.size(), k);
+    par::parallel_for(pool, 0, points_.size(), [&](std::size_t i) {
+      TopK best = query(points_[i], k, static_cast<std::uint32_t>(i));
+      auto sorted = best.take_sorted();
+      auto nbr = result.row_neighbors(i);
+      auto d2 = result.row_dist2(i);
+      for (std::size_t s = 0; s < sorted.size(); ++s) {
+        nbr[s] = sorted[s].index;
+        d2[s] = sorted[s].dist2;
+      }
+    });
+    return result;
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Node {
+    geo::Aabb<D> box;
+    std::uint32_t left = kNone;
+    std::uint32_t right = kNone;
+    std::uint32_t begin = 0;  // leaf payload range in ids_
+    std::uint32_t end = 0;
+    bool is_leaf() const { return left == kNone; }
+  };
+
+  std::uint32_t build(std::size_t begin, std::size_t end) {
+    Node node;
+    node.box = geo::Aabb<D>::empty();
+    for (std::size_t i = begin; i < end; ++i)
+      node.box.expand(points_[ids_[i]]);
+    std::uint32_t idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(node);
+    if (end - begin <= leaf_size_ || node.box.extent() == 0.0) {
+      nodes_[idx].begin = static_cast<std::uint32_t>(begin);
+      nodes_[idx].end = static_cast<std::uint32_t>(end);
+      return idx;
+    }
+    int axis = node.box.widest_axis();
+    std::size_t mid = begin + (end - begin) / 2;
+    std::nth_element(ids_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     ids_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     ids_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return points_[a][axis] < points_[b][axis];
+                     });
+    std::uint32_t l = build(begin, mid);
+    std::uint32_t r = build(mid, end);
+    nodes_[idx].left = l;
+    nodes_[idx].right = r;
+    return idx;
+  }
+
+  void search(std::uint32_t node_idx, const geo::Point<D>& q,
+              std::uint32_t exclude, TopK& best) const {
+    const Node& node = nodes_[node_idx];
+    // Strict pruning: a node at exactly the current worst distance may
+    // still hold an equal-distance neighbor with a smaller index, and the
+    // deterministic tie-break must see it to match brute force exactly.
+    if (node.box.distance2(q) > best.worst_dist2()) return;
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        std::uint32_t id = ids_[i];
+        if (id == exclude) continue;
+        best.offer(geo::distance2(points_[id], q), id);
+      }
+      return;
+    }
+    // Visit the nearer child first for better pruning.
+    double dl = nodes_[node.left].box.distance2(q);
+    double dr = nodes_[node.right].box.distance2(q);
+    if (dl <= dr) {
+      search(node.left, q, exclude, best);
+      search(node.right, q, exclude, best);
+    } else {
+      search(node.right, q, exclude, best);
+      search(node.left, q, exclude, best);
+    }
+  }
+
+  template <class Fn>
+  void range_search(std::uint32_t node_idx, const geo::Point<D>& center,
+                    double radius2, Fn& fn) const {
+    const Node& node = nodes_[node_idx];
+    if (node.box.distance2(center) >= radius2) return;
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        std::uint32_t id = ids_[i];
+        double d2 = geo::distance2(points_[id], center);
+        if (d2 < radius2) fn(id, d2);
+      }
+      return;
+    }
+    range_search(node.left, center, radius2, fn);
+    range_search(node.right, center, radius2, fn);
+  }
+
+  std::vector<geo::Point<D>> points_;
+  std::vector<std::uint32_t> ids_;
+  std::size_t leaf_size_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNone;
+};
+
+}  // namespace sepdc::knn

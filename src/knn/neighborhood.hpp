@@ -1,0 +1,81 @@
+// k-neighborhood systems (§2, §5.1) and ply measurement (Lemma 2.1).
+//
+// The k-neighborhood ball of p_i is the largest ball centered at p_i whose
+// interior contains at most k-1 input points: its radius is the distance
+// from p_i to its k-th nearest neighbor. The Density Lemma bounds the ply
+// (maximum over-coverage) of such a system by τ_d · k.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/ball.hpp"
+#include "geometry/point.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/result.hpp"
+
+namespace sepdc::knn {
+
+// Builds the k-neighborhood system from a finished k-NN result.
+template <int D>
+std::vector<geo::Ball<D>> neighborhood_system(
+    std::span<const geo::Point<D>> points, const KnnResult& result) {
+  SEPDC_CHECK(points.size() == result.n);
+  std::vector<geo::Ball<D>> balls(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    balls[i] = geo::Ball<D>{points[i], result.radius(i)};
+  }
+  return balls;
+}
+
+// ply_B(p): the number of balls whose interior (strictly) contains p.
+template <int D>
+std::size_t ply_at(std::span<const geo::Ball<D>> balls,
+                   const geo::Point<D>& p) {
+  std::size_t count = 0;
+  for (const auto& b : balls)
+    if (b.contains(p)) ++count;
+  return count;
+}
+
+// Maximum ply over a set of probe locations (brute force; used by tests
+// and the Lemma 2.1 experiment at moderate sizes).
+template <int D>
+std::size_t max_ply(std::span<const geo::Ball<D>> balls,
+                    std::span<const geo::Point<D>> probes) {
+  std::size_t best = 0;
+  for (const auto& p : probes) best = std::max(best, ply_at(balls, p));
+  return best;
+}
+
+// Maximum ply probed at ball centers, accelerated by a kd-tree over the
+// centers: the ply at probe p counts balls with |c_i - p| < r_i, found by
+// scanning only balls whose center is within the maximum radius. For
+// k-neighborhood systems radii are locally comparable, keeping this fast.
+template <int D>
+std::size_t max_ply_at_centers(std::span<const geo::Ball<D>> balls,
+                               par::ThreadPool& pool) {
+  if (balls.empty()) return 0;
+  std::vector<geo::Point<D>> centers(balls.size());
+  double max_radius = 0.0;
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    centers[i] = balls[i].center;
+    max_radius = std::max(max_radius, balls[i].radius);
+  }
+  KdTree<D> tree(centers);
+  std::vector<std::size_t> ply(balls.size(), 0);
+  par::parallel_for(pool, 0, balls.size(), [&](std::size_t i) {
+    std::size_t count = 0;
+    tree.for_each_in_ball(centers[i], max_radius,
+                          [&](std::uint32_t j, double d2) {
+                            const auto& b = balls[j];
+                            if (d2 < b.radius * b.radius) ++count;
+                          });
+    ply[i] = count;
+  });
+  std::size_t best = 0;
+  for (std::size_t p : ply) best = std::max(best, p);
+  return best;
+}
+
+}  // namespace sepdc::knn

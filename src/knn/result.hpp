@@ -1,0 +1,73 @@
+// Result container for k-nearest-neighbor computations.
+//
+// Rows are padded with kInvalid / +inf so subproblems with fewer than k
+// other points (possible deep in a divide-and-conquer recursion) carry
+// partially filled lists; a padded row has an infinite k-neighborhood
+// radius, which makes its ball cross every separator and therefore always
+// reach the correction step — exactly the semantics §6 needs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+struct KnnResult {
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::size_t n = 0;
+  std::size_t k = 0;
+  // Row i occupies [i*k, (i+1)*k), sorted by increasing distance, padded.
+  std::vector<std::uint32_t> neighbors;
+  std::vector<double> dist2;
+
+  static KnnResult empty(std::size_t n, std::size_t k) {
+    KnnResult r;
+    r.n = n;
+    r.k = k;
+    r.neighbors.assign(n * k, kInvalid);
+    r.dist2.assign(n * k, std::numeric_limits<double>::infinity());
+    return r;
+  }
+
+  std::span<const std::uint32_t> row_neighbors(std::size_t i) const {
+    SEPDC_ASSERT(i < n);
+    return {neighbors.data() + i * k, k};
+  }
+  std::span<const double> row_dist2(std::size_t i) const {
+    SEPDC_ASSERT(i < n);
+    return {dist2.data() + i * k, k};
+  }
+  std::span<std::uint32_t> row_neighbors(std::size_t i) {
+    SEPDC_ASSERT(i < n);
+    return {neighbors.data() + i * k, k};
+  }
+  std::span<double> row_dist2(std::size_t i) {
+    SEPDC_ASSERT(i < n);
+    return {dist2.data() + i * k, k};
+  }
+
+  // Number of valid neighbors in row i.
+  std::size_t count(std::size_t i) const {
+    auto row = row_neighbors(i);
+    std::size_t c = 0;
+    while (c < k && row[c] != kInvalid) ++c;
+    return c;
+  }
+
+  // k-neighborhood ball radius of point i: the distance to its k-th
+  // nearest neighbor, +inf while the row is not yet full.
+  double radius(std::size_t i) const {
+    double worst = dist2[i * k + (k - 1)];
+    return std::sqrt(worst);
+  }
+  double radius2(std::size_t i) const { return dist2[i * k + (k - 1)]; }
+};
+
+}  // namespace sepdc::knn

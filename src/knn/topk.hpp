@@ -1,0 +1,69 @@
+// Bounded top-k selector over (distance², index) pairs.
+//
+// A small binary max-heap keeping the k smallest distances seen; ties are
+// broken by index so results are deterministic regardless of offer order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+class TopK {
+ public:
+  struct Entry {
+    double dist2;
+    std::uint32_t index;
+
+    // Heap/order comparison: greater distance is "worse"; ties broken by
+    // larger index being worse, making selection deterministic.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+      return a.index < b.index;
+    }
+  };
+
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  // Squared distance of the current k-th best (+inf while not full):
+  // candidates at or beyond this bound cannot improve the result.
+  double worst_dist2() const {
+    return full() ? heap_.front().dist2
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  // Offers a candidate; keeps it iff it beats the current k-th best.
+  void offer(double dist2, std::uint32_t index) {
+    if (k_ == 0) return;
+    Entry e{dist2, index};
+    if (!full()) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end());
+      return;
+    }
+    if (!(e < heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = e;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
+  // Destructively extracts entries sorted by increasing distance.
+  std::vector<Entry> take_sorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace sepdc::knn

@@ -1,0 +1,59 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace sepdc::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  SEPDC_CHECK_MSG(a.cols() == b.rows(), "matrix product size mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& x) const {
+  SEPDC_CHECK_MSG(x.size() == cols_, "matrix-vector size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) y[r] += (*this)(r, c) * x[c];
+  return y;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  SEPDC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SEPDC_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace sepdc::linalg

@@ -1,0 +1,55 @@
+// Small dense row-major matrices.
+//
+// Only tiny systems appear in this library (Radon points need a
+// (d+2)x(d+3) system; conformal maps need (d+1)x(d+1) reflections), so the
+// implementation favors clarity over blocking/vectorization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sepdc::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    SEPDC_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    SEPDC_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+
+  // Matrix product (sizes must agree).
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  // Matrix-vector product.
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  // Frobenius distance, used in tests.
+  double frobenius_distance(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm(const std::vector<double>& a);
+
+}  // namespace sepdc::linalg

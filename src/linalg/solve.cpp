@@ -1,0 +1,101 @@
+#include "linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sepdc::linalg {
+
+std::optional<std::vector<double>> solve(Matrix a, std::vector<double> b) {
+  SEPDC_CHECK_MSG(a.rows() == a.cols() && a.rows() == b.size(),
+                  "solve expects a square system");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (std::abs(a(pivot, col)) < 1e-14) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> null_space_vector(Matrix a, double tol) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  // Gaussian elimination to row echelon form, tracking pivot columns.
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    std::size_t pivot = row;
+    for (std::size_t r = row + 1; r < rows; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (std::abs(a(pivot, col)) <= tol) continue;  // free column
+    if (pivot != row)
+      for (std::size_t c = 0; c < cols; ++c) std::swap(a(row, c), a(pivot, c));
+    double inv = 1.0 / a(row, col);
+    for (std::size_t c = 0; c < cols; ++c) a(row, c) *= inv;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row) continue;
+      double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c) a(r, c) -= factor * a(row, c);
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+  if (pivot_col_of_row.size() == cols) return std::nullopt;  // full rank
+
+  // Pick the first free column and back-substitute a null vector.
+  std::vector<bool> is_pivot(cols, false);
+  for (std::size_t c : pivot_col_of_row) is_pivot[c] = true;
+  std::size_t free_col = 0;
+  while (free_col < cols && is_pivot[free_col]) ++free_col;
+  SEPDC_ASSERT(free_col < cols);
+
+  std::vector<double> v(cols, 0.0);
+  v[free_col] = 1.0;
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+    v[pivot_col_of_row[r]] = -a(r, free_col);
+  }
+  double len = norm(v);
+  SEPDC_ASSERT(len > 0.0);
+  for (double& x : v) x /= len;
+  return v;
+}
+
+Matrix rotation_between(const std::vector<double>& from_unit,
+                        const std::vector<double>& to_unit) {
+  SEPDC_CHECK(from_unit.size() == to_unit.size());
+  const std::size_t n = from_unit.size();
+  std::vector<double> v(n);
+  double vv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = from_unit[i] - to_unit[i];
+    vv += v[i] * v[i];
+  }
+  Matrix h = Matrix::identity(n);
+  if (vv < 1e-30) return h;  // identical directions
+  // Householder reflection across the bisecting hyperplane of from/to:
+  // H = I - 2 v v^T / (v.v), which maps from_unit exactly onto to_unit.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) h(i, j) -= 2.0 * v[i] * v[j] / vv;
+  return h;
+}
+
+}  // namespace sepdc::linalg

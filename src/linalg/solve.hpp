@@ -1,0 +1,27 @@
+// Direct solvers for the tiny systems used by the separator machinery.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sepdc::linalg {
+
+// Solves A x = b by LU with partial pivoting. Returns nullopt when A is
+// (numerically) singular.
+std::optional<std::vector<double>> solve(Matrix a, std::vector<double> b);
+
+// One nontrivial null-space vector of A (rows <= cols expected, as in the
+// Radon-point system). Returns nullopt if A has full column rank.
+// The returned vector has unit Euclidean norm.
+std::optional<std::vector<double>> null_space_vector(Matrix a,
+                                                     double tol = 1e-12);
+
+// Householder reflection H (orthogonal, symmetric) with H * from_unit =
+// to_unit, for unit vectors. When the vectors are (anti)parallel the
+// identity (or a well-defined reflection) is returned.
+Matrix rotation_between(const std::vector<double>& from_unit,
+                        const std::vector<double>& to_unit);
+
+}  // namespace sepdc::linalg

@@ -1,0 +1,95 @@
+// Blocked parallel loops, fork-join invoke, and reductions.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace sepdc::par {
+
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+// Runs fn(begin, end) over disjoint blocks of [begin, end) in parallel.
+// Blocks are at least `grain` long (except possibly the last), so per-block
+// overhead stays bounded on small inputs.
+template <class BlockFn>
+void parallel_for_blocked(ThreadPool& pool, std::size_t begin,
+                          std::size_t end, BlockFn fn,
+                          std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  std::size_t blocks = std::min<std::size_t>(
+      (n + grain - 1) / grain, pool.concurrency() * 4);
+  if (blocks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  TaskGroup group(pool);
+  for (std::size_t b = 1; b < blocks; ++b) {
+    std::size_t lo = begin + b * chunk;
+    if (lo >= end) break;
+    std::size_t hi = std::min(end, lo + chunk);
+    group.run([fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(end, begin + chunk));  // caller takes the first block
+  group.wait();
+}
+
+// Runs fn(i) for every i in [begin, end) in parallel.
+template <class IndexFn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  IndexFn fn, std::size_t grain = kDefaultGrain) {
+  parallel_for_blocked(
+      pool, begin, end,
+      [fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+// Executes a and b concurrently; returns after both complete.
+template <class FnA, class FnB>
+void parallel_invoke(ThreadPool& pool, FnA a, FnB b) {
+  TaskGroup group(pool);
+  group.run([a = std::move(a)]() mutable { a(); });
+  b();
+  group.wait();
+}
+
+// Parallel reduction: combines fn(i) over [begin, end) with `combine`,
+// starting from `identity`. `combine` must be associative.
+template <class T, class IndexFn, class Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T identity, IndexFn fn, Combine combine,
+                  std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  std::size_t blocks = std::min<std::size_t>(
+      (n + grain - 1) / std::max<std::size_t>(grain, 1),
+      pool.concurrency() * 4);
+  blocks = std::max<std::size_t>(blocks, 1);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<T> partial(blocks, identity);
+  parallel_for_blocked(
+      pool, 0, blocks,
+      [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t b = blo; b < bhi; ++b) {
+          std::size_t lo = begin + b * chunk;
+          std::size_t hi = std::min(end, lo + chunk);
+          T acc = identity;
+          for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+          partial[b] = acc;
+        }
+      },
+      1);
+  T total = identity;
+  for (const T& p : partial) total = combine(total, p);
+  return total;
+}
+
+}  // namespace sepdc::par

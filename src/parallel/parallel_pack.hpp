@@ -1,0 +1,67 @@
+// Parallel pack / partition built from count + scan + scatter — the vector
+// idiom the paper's machine model assumes (a SCAN plus elementwise steps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sepdc::par {
+
+// Returns the elements of `in` whose predicate holds, in input order.
+template <class T, class Pred>
+std::vector<T> parallel_pack(ThreadPool& pool, const std::vector<T>& in,
+                             Pred pred, std::size_t grain = kDefaultGrain) {
+  const std::size_t n = in.size();
+  std::vector<std::size_t> flags(n);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) { flags[i] = pred(in[i]) ? 1u : 0u; }, grain);
+  std::size_t total = 0;
+  std::vector<std::size_t> pos = exclusive_scan(
+      pool, flags, std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; }, &total, grain);
+  std::vector<T> out(total);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) {
+        if (flags[i]) out[pos[i]] = in[i];
+      },
+      grain);
+  return out;
+}
+
+// Stable two-way partition: elements with pred() first (in order), then the
+// rest (in order). Returns the split index.
+template <class T, class Pred>
+std::size_t parallel_partition(ThreadPool& pool, std::vector<T>& data,
+                               Pred pred, std::size_t grain = kDefaultGrain) {
+  const std::size_t n = data.size();
+  std::vector<std::size_t> flags(n);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) { flags[i] = pred(data[i]) ? 1u : 0u; }, grain);
+  std::size_t trues = 0;
+  std::vector<std::size_t> true_pos = exclusive_scan(
+      pool, flags, std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; }, &trues, grain);
+  std::vector<T> out(n);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) {
+        // False elements land after all true ones, preserving order:
+        // their rank among falses is i - true_pos[i] (trues seen so far).
+        std::size_t dst =
+            flags[i] ? true_pos[i] : trues + (i - true_pos[i]);
+        out[dst] = std::move(data[i]);
+      },
+      grain);
+  data = std::move(out);
+  return trues;
+}
+
+}  // namespace sepdc::par

@@ -1,0 +1,85 @@
+// Blocked parallel prefix sums (the SCAN primitive of the paper's machine
+// model, executed on real threads).
+//
+// Two passes: per-block sums computed in parallel, a short sequential scan
+// over the block sums, then a parallel pass writing each block's prefixes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sepdc::par {
+
+// Exclusive scan of `in` with associative `combine` and identity; returns a
+// vector r with r[0] = identity and r[i] = in[0] ⊕ … ⊕ in[i-1], plus the
+// grand total through `total_out` (useful for pack/scatter).
+template <class T, class Combine>
+std::vector<T> exclusive_scan(ThreadPool& pool, const std::vector<T>& in,
+                              T identity, Combine combine,
+                              T* total_out = nullptr,
+                              std::size_t grain = kDefaultGrain) {
+  const std::size_t n = in.size();
+  std::vector<T> out(n, identity);
+  if (n == 0) {
+    if (total_out) *total_out = identity;
+    return out;
+  }
+  std::size_t blocks = std::min<std::size_t>(
+      (n + grain - 1) / std::max<std::size_t>(grain, 1),
+      pool.concurrency() * 4);
+  blocks = std::max<std::size_t>(blocks, 1);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::vector<T> block_sum(blocks, identity);
+  parallel_for(
+      pool, 0, blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * chunk;
+        std::size_t hi = std::min(n, lo + chunk);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, in[i]);
+        block_sum[b] = acc;
+      },
+      1);
+
+  std::vector<T> block_offset(blocks, identity);
+  T running = identity;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    block_offset[b] = running;
+    running = combine(running, block_sum[b]);
+  }
+  if (total_out) *total_out = running;
+
+  parallel_for(
+      pool, 0, blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * chunk;
+        std::size_t hi = std::min(n, lo + chunk);
+        T acc = block_offset[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = acc;
+          acc = combine(acc, in[i]);
+        }
+      },
+      1);
+  return out;
+}
+
+// Inclusive scan: r[i] = in[0] ⊕ … ⊕ in[i].
+template <class T, class Combine>
+std::vector<T> inclusive_scan(ThreadPool& pool, const std::vector<T>& in,
+                              T identity, Combine combine,
+                              std::size_t grain = kDefaultGrain) {
+  std::vector<T> out = exclusive_scan(pool, in, identity, combine,
+                                      static_cast<T*>(nullptr), grain);
+  parallel_for(
+      pool, 0, in.size(),
+      [&](std::size_t i) { out[i] = combine(out[i], in[i]); }, grain);
+  return out;
+}
+
+}  // namespace sepdc::par

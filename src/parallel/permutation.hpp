@@ -1,0 +1,101 @@
+// Random permutations and parallel selection — the remaining CRCW-PRAM
+// toolkit members from §1 (alongside integer sorting in radix_sort.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/radix_sort.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::par {
+
+// Near-uniform random permutation of [0, n) by the sort-random-keys
+// method: each index draws a 32-bit key, the (key, index) words are
+// radix-sorted, and the index column is the permutation. Key collisions
+// (birthday-rare for n ≪ 2^32) fall back to index order, a negligible
+// bias. This is the data-parallel construction (two vector passes + an
+// integer sort), in contrast to the inherently sequential Fisher–Yates
+// in Rng::shuffle.
+inline std::vector<std::uint32_t> random_permutation(ThreadPool& pool,
+                                                     std::size_t n,
+                                                     Rng& rng) {
+  // Per-block independent streams keep key generation parallel and
+  // deterministic for a given master seed.
+  std::vector<std::uint64_t> keyed(n);
+  std::size_t blocks = std::max<std::size_t>(pool.concurrency() * 2, 1);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<Rng> streams;
+  streams.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) streams.push_back(rng.split());
+  parallel_for(
+      pool, 0, blocks,
+      [&](std::size_t b) {
+        Rng local = streams[b];
+        std::size_t lo = b * chunk;
+        std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          // Key in the high 32+ bits, index in the low 32: sorting by the
+          // whole word sorts by key with index as a harmless tiebreak.
+          keyed[i] = (local.next() << 32) |
+                     static_cast<std::uint64_t>(i & 0xffffffffu);
+        }
+      },
+      1);
+  radix_sort(pool, keyed, 64);
+  std::vector<std::uint32_t> perm(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    perm[i] = static_cast<std::uint32_t>(keyed[i] & 0xffffffffu);
+  });
+  return perm;
+}
+
+// Parallel randomized selection: the value of rank `rank` (0-based) in
+// `data`. Expected O(n) work over a constant expected number of
+// filter-count rounds (each round is the map + scan + pack vector idiom).
+template <class T>
+T parallel_select(ThreadPool& pool, std::vector<T> data, std::size_t rank,
+                  Rng& rng) {
+  SEPDC_CHECK_MSG(rank < data.size(), "selection rank out of range");
+  while (data.size() > 64) {
+    const T pivot = data[rng.below(data.size())];
+    auto below = parallel_reduce(
+        pool, 0, data.size(), std::size_t{0},
+        [&](std::size_t i) {
+          return static_cast<std::size_t>(data[i] < pivot ? 1 : 0);
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+    auto equal = parallel_reduce(
+        pool, 0, data.size(), std::size_t{0},
+        [&](std::size_t i) {
+          return static_cast<std::size_t>(data[i] == pivot ? 1 : 0);
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+    if (rank < below) {
+      std::vector<T> keep;
+      keep.reserve(below);
+      for (const T& x : data)
+        if (x < pivot) keep.push_back(x);
+      data = std::move(keep);
+    } else if (rank < below + equal) {
+      return pivot;
+    } else {
+      std::vector<T> keep;
+      keep.reserve(data.size() - below - equal);
+      for (const T& x : data)
+        if (pivot < x) keep.push_back(x);
+      rank -= below + equal;
+      data = std::move(keep);
+    }
+  }
+  std::nth_element(data.begin(),
+                   data.begin() + static_cast<std::ptrdiff_t>(rank),
+                   data.end());
+  return data[rank];
+}
+
+}  // namespace sepdc::par

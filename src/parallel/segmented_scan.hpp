@@ -1,0 +1,118 @@
+// Segmented scans — the scan-vector model's tool for operating on many
+// subproblems at once.
+//
+// Blelloch's parallel vector model (the machine the paper states its
+// bounds in) treats *segmented* scans as unit-time primitives alongside
+// plain scans: a vector is partitioned into segments by a flag vector
+// (1 = segment start) and the scan restarts at every segment boundary.
+// This is how "process all nodes of one recursion level simultaneously"
+// is expressed at the vector level. Implemented here via the classic
+// reduction to an ordinary scan over (flag, value) pairs with the
+// associative segment-respecting combiner.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::par {
+
+namespace detail {
+
+// The segment-respecting combiner: appending element b to a running
+// prefix a resets the accumulation when b starts a new segment. For
+// left-to-right scans this operator is associative (the standard
+// segmented-scan construction).
+template <class T, class Combine>
+struct SegmentedOp {
+  Combine combine;
+
+  std::pair<std::uint8_t, T> operator()(
+      const std::pair<std::uint8_t, T>& a,
+      const std::pair<std::uint8_t, T>& b) const {
+    return {static_cast<std::uint8_t>(a.first | b.first),
+            b.first ? b.second : combine(a.second, b.second)};
+  }
+};
+
+}  // namespace detail
+
+// Inclusive segmented scan: out[i] combines values from the start of
+// i's segment through i. flags[i] == 1 marks a segment start; flags[0]
+// is treated as a start regardless.
+template <class T, class Combine>
+std::vector<T> segmented_inclusive_scan(ThreadPool& pool,
+                                        const std::vector<T>& values,
+                                        const std::vector<std::uint8_t>& flags,
+                                        T identity, Combine combine,
+                                        std::size_t grain = kDefaultGrain) {
+  SEPDC_CHECK_MSG(values.size() == flags.size(),
+                  "values/flags size mismatch");
+  const std::size_t n = values.size();
+  std::vector<std::pair<std::uint8_t, T>> paired(n);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) {
+        paired[i] = {static_cast<std::uint8_t>(i == 0 ? 1 : flags[i]),
+                     values[i]};
+      },
+      grain);
+  auto scanned = inclusive_scan(
+      pool, paired, std::pair<std::uint8_t, T>{0, identity},
+      detail::SegmentedOp<T, Combine>{combine}, grain);
+  std::vector<T> out(n);
+  parallel_for(
+      pool, 0, n, [&](std::size_t i) { out[i] = scanned[i].second; },
+      grain);
+  return out;
+}
+
+// Exclusive segmented scan: out[i] combines the values strictly before i
+// within i's segment (identity at each segment start).
+template <class T, class Combine>
+std::vector<T> segmented_exclusive_scan(
+    ThreadPool& pool, const std::vector<T>& values,
+    const std::vector<std::uint8_t>& flags, T identity, Combine combine,
+    std::size_t grain = kDefaultGrain) {
+  auto inclusive = segmented_inclusive_scan(pool, values, flags, identity,
+                                            combine, grain);
+  const std::size_t n = values.size();
+  std::vector<T> out(n, identity);
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t i) {
+        bool start = i == 0 || flags[i];
+        out[i] = start ? identity : inclusive[i - 1];
+      },
+      grain);
+  return out;
+}
+
+// Per-segment totals, in segment order. Returns one value per segment
+// (segments are maximal runs delimited by flags; flags[0] implicit).
+template <class T, class Combine>
+std::vector<T> segmented_reduce(ThreadPool& pool,
+                                const std::vector<T>& values,
+                                const std::vector<std::uint8_t>& flags,
+                                T identity, Combine combine,
+                                std::size_t grain = kDefaultGrain) {
+  const std::size_t n = values.size();
+  if (n == 0) return {};
+  auto inclusive = segmented_inclusive_scan(pool, values, flags, identity,
+                                            combine, grain);
+  // A segment's total is the inclusive value at its last element: the
+  // position before the next start (or the end of the vector).
+  std::vector<T> totals;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool last = (i + 1 == n) || flags[i + 1];
+    if (last) totals.push_back(inclusive[i]);
+  }
+  return totals;
+}
+
+}  // namespace sepdc::par

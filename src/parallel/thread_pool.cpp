@@ -1,0 +1,125 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace sepdc::par {
+
+TaskGroup::~TaskGroup() {
+  // A group must not be destroyed with tasks in flight.
+  SEPDC_CHECK_MSG(pending_.load() == 0,
+                  "TaskGroup destroyed with pending tasks; call wait()");
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  pool_.enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::wait() {
+  pool_.wait_for(*this);
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(error_mutex_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskGroup::record_error(std::exception_ptr e) {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = e;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_ = n - 1;  // the calling thread participates via helping waits
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+  SEPDC_ASSERT(queue_.empty());
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SEPDC_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->record_error(std::current_exception());
+  }
+  task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn();
+    } catch (...) {
+      task.group->record_error(std::current_exception());
+    }
+    task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+    task_done_.notify_all();
+  }
+}
+
+void ThreadPool::wait_for(TaskGroup& group) {
+  // Help drain the queue; when no work is runnable but the group is still
+  // pending, block until some task (anywhere) finishes, then re-check.
+  while (group.pending_.load(std::memory_order_acquire) != 0) {
+    if (try_run_one()) continue;
+    std::unique_lock lock(mutex_);
+    if (group.pending_.load(std::memory_order_acquire) == 0) return;
+    if (!queue_.empty()) continue;
+    task_done_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace sepdc::par

@@ -1,0 +1,92 @@
+// A from-scratch fork-join thread pool.
+//
+// The divide-and-conquer algorithms in this library spawn both recursive
+// branches and join; a naive pool deadlocks when every worker blocks inside
+// a join. This pool is recursion-safe: `TaskGroup::wait` *helps* — the
+// waiting thread keeps executing queued tasks (from any group) until its
+// group drains — so arbitrarily nested fork-join cannot starve.
+//
+// Exceptions thrown by tasks are captured and rethrown from wait() (first
+// one wins), so invariant violations in parallel sections surface in tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sepdc::par {
+
+class ThreadPool;
+
+// Tracks a set of spawned tasks; wait() blocks (helping) until all complete.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup();
+
+  // Spawns fn to run asynchronously under this group.
+  void run(std::function<void()> fn);
+
+  // Blocks until every spawned task has finished, executing queued work
+  // while waiting. Rethrows the first task exception, if any.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  ThreadPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  void record_error(std::exception_ptr e);
+};
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker threads plus the caller; the natural fan-out for parallel_for.
+  unsigned concurrency() const { return workers_ + 1; }
+
+  // Process-wide pool (constructed on first use). The environment variable
+  // SEPDC_THREADS overrides the size.
+  static ThreadPool& global();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void enqueue(Task task);
+  // Pops one task if available; returns false when the queue is empty.
+  bool try_run_one();
+  void worker_loop();
+  // Helping wait used by TaskGroup::wait.
+  void wait_for(TaskGroup& group);
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable task_done_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace sepdc::par

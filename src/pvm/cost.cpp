@@ -1,0 +1,32 @@
+#include "pvm/cost.hpp"
+
+namespace sepdc::pvm {
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  std::uint64_t value = 1;
+  while (value < n) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+Cost scan_cost(std::size_t n, const CostConfig& cfg) {
+  std::uint64_t depth =
+      cfg.scan == ScanModel::Unit ? 1 : (n > 1 ? ceil_log2(n) : 1);
+  return Cost{static_cast<std::uint64_t>(n), depth};
+}
+
+Cost pack_cost(std::size_t n, const CostConfig& cfg) {
+  return seq(seq(map_cost(n), scan_cost(n, cfg)), map_cost(n));
+}
+
+double brent_time(const Cost& cost, std::size_t processors) {
+  if (processors == 0) processors = 1;
+  return static_cast<double>(cost.work) /
+             static_cast<double>(processors) +
+         static_cast<double>(cost.depth);
+}
+
+}  // namespace sepdc::pvm

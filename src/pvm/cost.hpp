@@ -1,0 +1,82 @@
+// Work/depth cost algebra for the parallel vector model.
+//
+// The paper's results are statements about *model time* on a parallel
+// vector machine with a unit-time SCAN primitive (Blelloch). No physical
+// host provides that, so the reproduction measures model cost directly:
+// every vector primitive is charged (work, depth), sequential composition
+// adds both, parallel composition adds work and takes the max depth. The
+// measured `depth` of a run is exactly the quantity Theorems 3.1/6.1 and
+// Lemma 5.1 bound.
+//
+// SCAN charging is configurable: `ScanModel::Unit` reproduces the paper's
+// assumption (scan = one step); `ScanModel::Log` charges ceil(log2 n) as an
+// EREW-style accounting, used by the model-sensitivity ablation (E11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sepdc::pvm {
+
+struct Cost {
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+
+  Cost& operator+=(const Cost& other) {  // sequential composition
+    work += other.work;
+    depth += other.depth;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+  friend bool operator==(const Cost&, const Cost&) = default;
+};
+
+// Sequential composition: both strands execute one after the other.
+constexpr Cost seq(Cost a, Cost b) {
+  return Cost{a.work + b.work, a.depth + b.depth};
+}
+
+// Parallel composition: strands execute concurrently on disjoint
+// processors; work adds, depth is the slower strand.
+constexpr Cost par(Cost a, Cost b) {
+  return Cost{a.work + b.work, a.depth > b.depth ? a.depth : b.depth};
+}
+
+enum class ScanModel : std::uint8_t {
+  Unit,  // SCAN costs one step (the paper's machine model)
+  Log,   // SCAN costs ceil(log2 n) steps (EREW-style accounting)
+};
+
+struct CostConfig {
+  ScanModel scan = ScanModel::Unit;
+};
+
+std::uint64_t ceil_log2(std::uint64_t n);
+
+// One elementwise vector step over n elements.
+inline Cost map_cost(std::size_t n) {
+  return Cost{static_cast<std::uint64_t>(n), 1};
+}
+
+// One SCAN (prefix) over n elements under the configured model.
+Cost scan_cost(std::size_t n, const CostConfig& cfg);
+
+// Reductions cost the same as scans in both models.
+inline Cost reduce_cost(std::size_t n, const CostConfig& cfg) {
+  return scan_cost(n, cfg);
+}
+
+// O(1) scalar step.
+inline Cost unit_cost(std::uint64_t w = 1) { return Cost{w, 1}; }
+
+// A pack (count + scan + scatter) over n elements: two elementwise steps
+// plus one SCAN.
+Cost pack_cost(std::size_t n, const CostConfig& cfg);
+
+// Brent's theorem: a computation with the given (work, depth) can be
+// scheduled on p processors in at most work/p + depth steps. This is the
+// bridge from the model costs the paper reasons in to a finite machine —
+// the predicted time for the experiments' hypothetical-speedup curves.
+double brent_time(const Cost& cost, std::size_t processors);
+
+}  // namespace sepdc::pvm

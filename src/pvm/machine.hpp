@@ -1,0 +1,35 @@
+// The execution context threaded through every parallel algorithm:
+// a thread pool (real execution) plus a cost configuration (model
+// accounting). Algorithms charge model cost explicitly against a local
+// ledger and combine child costs with pvm::seq / pvm::par.
+#pragma once
+
+#include "parallel/thread_pool.hpp"
+#include "pvm/cost.hpp"
+
+namespace sepdc::pvm {
+
+struct Machine {
+  par::ThreadPool& pool;
+  CostConfig cost;
+
+  static Machine global(CostConfig cfg = {}) {
+    return Machine{par::ThreadPool::global(), cfg};
+  }
+};
+
+// Accumulator for one sequential strand of an algorithm.
+class Ledger {
+ public:
+  void charge(const Cost& c) { total_ += c; }
+  // Folds in the cost of two child strands that ran in parallel.
+  void charge_parallel(const Cost& a, const Cost& b) {
+    total_ += par(a, b);
+  }
+  const Cost& total() const { return total_; }
+
+ private:
+  Cost total_;
+};
+
+}  // namespace sepdc::pvm

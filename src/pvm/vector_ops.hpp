@@ -1,0 +1,73 @@
+// Instrumented vector primitives: each operation executes on the thread
+// pool *and* returns its model cost, so new algorithms can be written
+// against the machine model directly instead of charging by hand.
+//
+// The divide-and-conquer engine predates this layer and charges manually
+// (its costs interleave with recursion); these wrappers are the
+// recommended building blocks for new code and are covered by their own
+// tests to keep the manual charges honest.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_pack.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "pvm/machine.hpp"
+
+namespace sepdc::pvm {
+
+template <class T>
+struct Metered {
+  T value;
+  Cost cost;
+};
+
+// Elementwise map: out[i] = fn(i). One vector step.
+template <class T, class Fn>
+Metered<std::vector<T>> vmap(Machine& machine, std::size_t n, Fn fn) {
+  std::vector<T> out(n);
+  par::parallel_for(machine.pool, 0, n,
+                    [&](std::size_t i) { out[i] = fn(i); });
+  return {std::move(out), map_cost(n)};
+}
+
+// Reduction with an associative combiner. One SCAN-equivalent step.
+template <class T, class Fn, class Combine>
+Metered<T> vreduce(Machine& machine, std::size_t n, T identity, Fn fn,
+                   Combine combine) {
+  T result = par::parallel_reduce(machine.pool, 0, n, identity, fn, combine);
+  return {std::move(result), reduce_cost(n, machine.cost)};
+}
+
+// Exclusive prefix combine (the SCAN primitive itself).
+template <class T, class Combine>
+Metered<std::vector<T>> vscan(Machine& machine, const std::vector<T>& in,
+                              T identity, Combine combine) {
+  auto out = par::exclusive_scan(machine.pool, in, identity, combine,
+                                 static_cast<T*>(nullptr));
+  return {std::move(out), scan_cost(in.size(), machine.cost)};
+}
+
+// Pack: the elements whose predicate holds, in order (map + SCAN + map).
+template <class T, class Pred>
+Metered<std::vector<T>> vpack(Machine& machine, const std::vector<T>& in,
+                              Pred pred) {
+  auto out = par::parallel_pack(machine.pool, in, pred);
+  return {std::move(out), pack_cost(in.size(), machine.cost)};
+}
+
+// Gather: out[i] = data[indices[i]]. One vector step.
+template <class T>
+Metered<std::vector<T>> vgather(Machine& machine,
+                                const std::vector<T>& data,
+                                const std::vector<std::uint32_t>& indices) {
+  std::vector<T> out(indices.size());
+  par::parallel_for(machine.pool, 0, indices.size(),
+                    [&](std::size_t i) { out[i] = data[indices[i]]; });
+  return {std::move(out), map_cost(indices.size())};
+}
+
+}  // namespace sepdc::pvm

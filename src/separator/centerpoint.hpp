@@ -1,0 +1,76 @@
+// Approximate centerpoints by iterated Radon points
+// (Clarkson–Eppstein–Miller–Sturtivant–Teng).
+//
+// A centerpoint of a point set is a point every halfspace through which
+// contains at least a 1/(N+1) fraction of the set. The iterated-Radon
+// scheme repeatedly replaces N+2 random points of a working pool by their
+// Radon point; survivors converge (in probability) toward a point of high
+// Tukey depth. Constant pool size gives the constant-time preprocessing
+// step of the Unit Time Sphere Separator Algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "separator/radon.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::separator {
+
+// Approximate centerpoint of `points` (pool is consumed by value). Returns
+// the centroid of the final survivors; with a degenerate pool this
+// degrades gracefully toward the centroid.
+template <int N>
+geo::Point<N> iterated_radon_centerpoint(std::vector<geo::Point<N>> pool,
+                                         Rng& rng) {
+  SEPDC_CHECK_MSG(!pool.empty(), "centerpoint of empty set");
+  constexpr std::size_t kGroup = N + 2;
+  std::vector<geo::Point<N>> group(kGroup);
+  std::size_t consecutive_failures = 0;
+  while (pool.size() >= kGroup && consecutive_failures < 8) {
+    // Draw kGroup distinct pool slots, move them to the back, pop them.
+    for (std::size_t g = 0; g < kGroup; ++g) {
+      std::size_t j = rng.below(pool.size() - g);
+      std::swap(pool[j], pool[pool.size() - 1 - g]);
+      group[g] = pool[pool.size() - 1 - g];
+    }
+    auto r = radon_point<N>(std::span<const geo::Point<N>>(group));
+    if (!r) {
+      ++consecutive_failures;  // degenerate draw; reshuffle and retry
+      continue;
+    }
+    consecutive_failures = 0;
+    pool.resize(pool.size() - kGroup);
+    pool.push_back(*r);
+  }
+  geo::Point<N> centroid{};
+  for (const auto& p : pool) centroid += p;
+  return centroid / static_cast<double>(pool.size());
+}
+
+// Tukey-depth style quality measure used in tests: the minimum, over
+// `directions` random directions, of the fraction of points on the smaller
+// side of the hyperplane through `center` normal to the direction. A true
+// centerpoint guarantees 1/(N+1).
+template <int N>
+double centerpoint_quality(std::span<const geo::Point<N>> points,
+                           const geo::Point<N>& center,
+                           std::size_t directions, Rng& rng) {
+  SEPDC_CHECK(!points.empty());
+  double worst = 1.0;
+  for (std::size_t trial = 0; trial < directions; ++trial) {
+    geo::Point<N> dir;
+    for (int i = 0; i < N; ++i) dir[i] = rng.normal();
+    double threshold = dot(dir, center);
+    std::size_t below = 0;
+    for (const auto& p : points)
+      if (dot(dir, p) < threshold) ++below;
+    double frac = static_cast<double>(std::min(below, points.size() - below)) /
+                  static_cast<double>(points.size());
+    worst = std::min(worst, frac);
+  }
+  return worst;
+}
+
+}  // namespace sepdc::separator

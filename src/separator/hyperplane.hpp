@@ -1,0 +1,62 @@
+// The hyperplane median-cut separator (Bentley's partitioning, §1/§5).
+//
+// Picks the widest axis and splits at the median coordinate — the baseline
+// partition whose weakness (Ω(n) k-NN balls may cross it) motivates sphere
+// separators.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+
+namespace sepdc::separator {
+
+// Median hyperplane orthogonal to the given axis (axis < 0 selects the
+// widest axis). Guarantees both sides non-empty whenever the points are
+// not all identical; returns nullopt otherwise. Points with coordinate <=
+// offset classify Inner. Bentley's multidimensional divide and conquer
+// translates a *fixed* hyperplane to the median, cycling the axis per
+// recursion level — callers emulate that by passing depth % D.
+template <int D>
+std::optional<geo::SeparatorShape<D>> hyperplane_median(
+    std::span<const geo::Point<D>> points, int axis = -1) {
+  if (points.size() < 2) return std::nullopt;
+  auto box = geo::Aabb<D>::of(points);
+  if (box.extent() <= 0.0) return std::nullopt;
+  if (axis < 0 || axis >= D || box.hi[axis] - box.lo[axis] <= 0.0)
+    axis = box.widest_axis();
+
+  std::vector<double> coords(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) coords[i] = points[i][axis];
+  std::size_t mid = coords.size() / 2;
+  std::nth_element(coords.begin(),
+                   coords.begin() + static_cast<std::ptrdiff_t>(mid),
+                   coords.end());
+  double median = coords[mid];
+
+  // Classification sends x[axis] <= offset to Inner; when the median equals
+  // the axis maximum (heavy ties), back off to the largest value strictly
+  // below it so the Outer side is non-empty.
+  double max_coord = *std::max_element(coords.begin(), coords.end());
+  double offset = median;
+  if (offset >= max_coord) {
+    double below = -std::numeric_limits<double>::infinity();
+    for (double c : coords)
+      if (c < max_coord) below = std::max(below, c);
+    if (!std::isfinite(below)) return std::nullopt;  // all ties on this axis
+    offset = below;
+  }
+
+  geo::Halfspace<D> h;
+  h.normal = geo::Point<D>{};
+  h.normal[axis] = 1.0;
+  h.offset = offset;
+  return geo::SeparatorShape<D>::make_halfspace(h);
+}
+
+}  // namespace sepdc::separator

@@ -1,0 +1,173 @@
+// The Unit Time Sphere Separator Algorithm of
+// Miller–Teng–Thurston–Vavasis, as used by the paper (§2.1).
+//
+// Preprocessing (once per point set): normalize coordinates, lift a
+// constant-size random sample onto S^D by inverse stereographic
+// projection, compute an approximate centerpoint of the lifted sample, and
+// derive the conformal normalization (a rotation taking the centerpoint to
+// the pole axis followed by the dilation λ = sqrt((1-r)/(1+r)) that moves
+// it to the sphere center).
+//
+// Each draw: a uniformly random great circle of the conformally mapped
+// sphere, pulled back through the conformal map and the stereographic
+// projection to a sphere (occasionally a hyperplane) in R^D. Theorem 2.1
+// says such a draw δ-splits with good probability and has intersection
+// number O(n^((d-1)/d)) in expectation; the caller re-draws until its
+// acceptance predicate holds.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+#include "geometry/stereographic.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "pvm/cost.hpp"
+#include "separator/centerpoint.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::separator {
+
+struct MttvConfig {
+  std::size_t sample_size = 384;  // lifted sample for the centerpoint
+  double degenerate_tol = 1e-9;   // hyperplane-vs-sphere pullback threshold
+};
+
+// Maps a separator found in normalized coordinates
+// (x_norm = (x - shift) * scale) back to the original frame.
+template <int D>
+geo::SeparatorShape<D> denormalize(const geo::SeparatorShape<D>& shape,
+                                   const geo::Point<D>& shift,
+                                   double scale) {
+  SEPDC_CHECK(scale > 0.0);
+  if (shape.is_sphere()) {
+    geo::Sphere<D> s = shape.sphere();
+    s.center = s.center / scale + shift;
+    s.radius /= scale;
+    return geo::SeparatorShape<D>::make_sphere(s, shape.flipped());
+  }
+  geo::Halfspace<D> h = shape.halfspace();
+  h.offset = h.offset / scale + dot(h.normal, shift);
+  return geo::SeparatorShape<D>::make_halfspace(h, shape.flipped());
+}
+
+template <int D>
+class SphereSeparatorSampler {
+ public:
+  SphereSeparatorSampler(std::span<const geo::Point<D>> points, Rng& rng,
+                         MttvConfig cfg = {})
+      : SphereSeparatorSampler(
+            points.size(), [&](std::size_t i) { return points[i]; }, rng,
+            cfg) {}
+
+  // Accessor form: `at(i)` yields the i-th point of a virtual array of
+  // `count` points (used over permutation slices without copying).
+  template <class Access>
+  SphereSeparatorSampler(std::size_t count, Access at, Rng& rng,
+                         MttvConfig cfg = {})
+      : cfg_(cfg), population_(count) {
+    SEPDC_CHECK_MSG(count > 0, "separator sampler over empty set");
+    // Normalize into a unit-scale frame for numerical stability of the
+    // stereographic lift.
+    auto box = geo::Aabb<D>::empty();
+    for (std::size_t i = 0; i < count; ++i) box.expand(at(i));
+    shift_ = box.center();
+    double extent = box.extent();
+    if (extent <= 0.0) {
+      degenerate_ = true;  // all points identical: no sphere can split
+      return;
+    }
+    scale_ = 2.0 / extent;
+
+    std::size_t s = std::min(count, cfg_.sample_size);
+    std::vector<geo::Point<D + 1>> lifted;
+    lifted.reserve(s);
+    if (s == count) {
+      for (std::size_t i = 0; i < count; ++i) lifted.push_back(lift(at(i)));
+    } else {
+      for (std::size_t i = 0; i < s; ++i)
+        lifted.push_back(lift(at(rng.below(count))));
+    }
+
+    geo::Point<D + 1> cp =
+        iterated_radon_centerpoint<D + 1>(std::move(lifted), rng);
+    double r = geo::norm(cp);
+    centerpoint_radius_ = r;
+    r = std::min(r, 1.0 - 1e-9);
+    if (r < 1e-12) {
+      rotation_ = linalg::Matrix::identity(D + 1);
+      lambda_ = 1.0;
+    } else {
+      std::vector<double> from(cp.coords.begin(), cp.coords.end());
+      for (double& v : from) v /= geo::norm(cp);
+      std::vector<double> to(D + 1, 0.0);
+      to[D] = 1.0;  // pole axis (the dilation's fixed axis)
+      rotation_ = linalg::rotation_between(from, to);
+      lambda_ = std::sqrt((1.0 - r) / (1.0 + r));
+    }
+  }
+
+  // True when the input cannot be split by any sphere (all points equal);
+  // draw() always returns nullopt in that case.
+  bool degenerate() const { return degenerate_; }
+
+  // Distance of the lifted-sample centerpoint from the sphere center
+  // before conformal normalization — a diagnostic for experiments.
+  double centerpoint_radius() const { return centerpoint_radius_; }
+
+  // One random great-circle candidate, already mapped back to the original
+  // coordinate frame. nullopt when the pullback degenerates (redraw).
+  std::optional<geo::SeparatorShape<D>> draw(Rng& rng) const {
+    if (degenerate_) return std::nullopt;
+    // Uniform random great circle: a Gaussian direction in R^(D+1).
+    geo::Point<D + 1> normal;
+    double len = 0.0;
+    do {
+      for (int i = 0; i <= D; ++i) normal[i] = rng.normal();
+      len = geo::norm(normal);
+    } while (len < 1e-12);
+    geo::Cap<D> cap;
+    cap.a = normal / len;
+    cap.b = 0.0;
+
+    // The forward map of a lifted point u is δ_λ(Q u); pull the cap back
+    // through the dilation, then through the rotation.
+    cap = geo::cap_preimage_dilation(cap, lambda_);
+    cap = geo::cap_preimage_rotation(cap, rotation_);
+
+    auto shape = geo::cap_pullback(cap, cfg_.degenerate_tol);
+    if (!shape) return std::nullopt;
+    return denormalize(*shape, shift_, scale_);
+  }
+
+  // Model cost of preprocessing: one elementwise pass to normalize/lift
+  // plus constant work on the sample.
+  pvm::Cost setup_cost() const {
+    return pvm::seq(pvm::map_cost(population_),
+                    pvm::unit_cost(cfg_.sample_size));
+  }
+
+  // Model cost of one candidate draw: constant.
+  static pvm::Cost draw_cost() { return pvm::unit_cost(); }
+
+ private:
+  geo::Point<D + 1> lift(const geo::Point<D>& p) const {
+    return geo::stereo_lift<D>((p - shift_) * scale_);
+  }
+
+  MttvConfig cfg_;
+  std::size_t population_;
+  geo::Point<D> shift_{};
+  double scale_ = 1.0;
+  linalg::Matrix rotation_ = linalg::Matrix::identity(D + 1);
+  double lambda_ = 1.0;
+  double centerpoint_radius_ = 0.0;
+  bool degenerate_ = false;
+};
+
+}  // namespace sepdc::separator

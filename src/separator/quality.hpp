@@ -1,0 +1,91 @@
+// Separator quality measurement: splitting ratio over points and
+// intersection number ι_B(S) over neighborhood systems (§2.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/ball.hpp"
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace sepdc::separator {
+
+struct SplitCounts {
+  std::size_t inner = 0;
+  std::size_t outer = 0;
+
+  std::size_t total() const { return inner + outer; }
+  // max-side fraction; 0.5 is a perfect split, 1.0 no split at all.
+  double max_fraction() const {
+    std::size_t t = total();
+    if (t == 0) return 1.0;
+    return static_cast<double>(std::max(inner, outer)) /
+           static_cast<double>(t);
+  }
+};
+
+template <int D>
+SplitCounts split_counts(std::span<const geo::Point<D>> points,
+                         const geo::SeparatorShape<D>& shape) {
+  SplitCounts c;
+  for (const auto& p : points) {
+    if (shape.classify(p) == geo::Side::Inner)
+      ++c.inner;
+    else
+      ++c.outer;
+  }
+  return c;
+}
+
+// Intersection number: how many balls the separator surface cuts.
+template <int D>
+std::size_t intersection_number(std::span<const geo::Ball<D>> balls,
+                                const geo::SeparatorShape<D>& shape) {
+  std::size_t count = 0;
+  for (const auto& b : balls)
+    if (shape.classify(b) == geo::Region::Cut) ++count;
+  return count;
+}
+
+// Indices of the cut balls, preserving order.
+template <int D>
+std::vector<std::uint32_t> crossing_indices(
+    std::span<const geo::Ball<D>> balls,
+    const geo::SeparatorShape<D>& shape) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < balls.size(); ++i)
+    if (shape.classify(balls[i]) == geo::Region::Cut)
+      out.push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+// Thread-parallel split count for experiment sweeps over large n.
+template <int D>
+SplitCounts split_counts_parallel(par::ThreadPool& pool,
+                                  std::span<const geo::Point<D>> points,
+                                  const geo::SeparatorShape<D>& shape) {
+  struct Acc {
+    std::size_t inner = 0;
+    std::size_t outer = 0;
+  };
+  Acc acc = par::parallel_reduce(
+      pool, 0, points.size(), Acc{},
+      [&](std::size_t i) {
+        Acc a;
+        if (shape.classify(points[i]) == geo::Side::Inner)
+          a.inner = 1;
+        else
+          a.outer = 1;
+        return a;
+      },
+      [](Acc a, Acc b) {
+        return Acc{a.inner + b.inner, a.outer + b.outer};
+      });
+  return SplitCounts{acc.inner, acc.outer};
+}
+
+}  // namespace sepdc::separator

@@ -1,0 +1,53 @@
+// Radon points.
+//
+// Radon's theorem: any N+2 points in R^N can be partitioned into two sets
+// whose convex hulls intersect; a point in the intersection is a Radon
+// point. It is found from a nontrivial solution of
+//     Σ λ_i p_i = 0,   Σ λ_i = 0
+// (an (N+1)×(N+2) homogeneous system, so a null vector always exists):
+// splitting λ by sign gives the two hull weights. Radon points are the
+// building block of the iterated-Radon approximate centerpoint used by the
+// sphere-separator algorithm (lifted space has N = d+1, hence the paper's
+// "d+3 points").
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::separator {
+
+template <int N>
+std::optional<geo::Point<N>> radon_point(
+    std::span<const geo::Point<N>> points) {
+  SEPDC_CHECK_MSG(points.size() == N + 2,
+                  "radon_point needs exactly N+2 points");
+  linalg::Matrix a(N + 1, N + 2);
+  for (int row = 0; row < N; ++row)
+    for (int col = 0; col < N + 2; ++col)
+      a(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) =
+          points[static_cast<std::size_t>(col)][row];
+  for (int col = 0; col < N + 2; ++col)
+    a(N, static_cast<std::size_t>(col)) = 1.0;
+
+  auto lambda = linalg::null_space_vector(a);
+  if (!lambda) return std::nullopt;  // numerically full rank (should not
+                                     // happen: the system is underdetermined)
+  double positive_sum = 0.0;
+  for (double l : *lambda)
+    if (l > 0.0) positive_sum += l;
+  if (positive_sum < 1e-300) return std::nullopt;  // degenerate weights
+
+  geo::Point<N> r{};
+  for (std::size_t i = 0; i < lambda->size(); ++i) {
+    double l = (*lambda)[i];
+    if (l > 0.0) r += points[i] * (l / positive_sum);
+  }
+  return r;
+}
+
+}  // namespace sepdc::separator

@@ -1,0 +1,88 @@
+// The ball-duplication weight process of §6.4 (Lemma 6.5).
+//
+// Marching cut balls down a partition tree duplicates a ball whenever it
+// crosses a node's separator. The paper models the active-ball counts with
+// a weighted process on a complete binary tree of height K: a node of
+// weight w either (with probability w^(−β)) duplicates — both children get
+// w — or splits adversarially into w0 and w − w0 + w^α. Lemma 6.5 bounds
+// the total leaf weight X(W,K) by O(g(W) log W) with
+// g(W) = W + 2^((1−α)K)(1+ε)K W^α, w.h.p.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::sim {
+
+struct DuplicationParams {
+  // Lemma 6.5's regime: (2d−1)/2d < α < 1 and β = α − (d−1)/d, so that
+  // α + β > 1. For d = 2 this puts α in (0.75, 1) and β in (0.25, 0.5) —
+  // the duplication probability w^(−β) is then genuinely small for large
+  // weights, which is what keeps the process subcritical.
+  double alpha = 0.80;  // duplication growth exponent
+  double beta = 0.30;   // duplication probability exponent
+  double w_bar = 8.0;   // leaf cutoff weight
+  // Adversary strategy for the non-duplicating split: fraction of weight
+  // sent left (0.5 = balanced; values near 0/1 are maximally skewed).
+  double adversary_fraction = 0.5;
+};
+
+struct DuplicationOutcome {
+  double total_leaf_weight = 0.0;  // X(W, K)
+  double peak_level_weight = 0.0;  // max over levels of summed weight
+  std::uint64_t duplications = 0;
+};
+
+namespace detail {
+
+inline void run_duplication(double w, std::uint64_t k,
+                            const DuplicationParams& p, Rng& rng,
+                            DuplicationOutcome& out,
+                            std::vector<double>& level_weight,
+                            std::uint64_t depth) {
+  if (depth >= level_weight.size()) level_weight.resize(depth + 1, 0.0);
+  level_weight[depth] += w;
+  if (k == 0 || w <= p.w_bar) {
+    out.total_leaf_weight += w;
+    return;
+  }
+  double dup_prob = std::pow(w, -p.beta);
+  if (rng.uniform() < dup_prob) {
+    ++out.duplications;
+    run_duplication(w, k - 1, p, rng, out, level_weight, depth + 1);
+    run_duplication(w, k - 1, p, rng, out, level_weight, depth + 1);
+    return;
+  }
+  double w0 = p.adversary_fraction * w;
+  double w1 = w - w0 + std::pow(w, p.alpha);
+  run_duplication(w0, k - 1, p, rng, out, level_weight, depth + 1);
+  run_duplication(w1, k - 1, p, rng, out, level_weight, depth + 1);
+}
+
+}  // namespace detail
+
+// One sample of the §6.4 process with root weight W on a tree of height K.
+inline DuplicationOutcome sample_duplication_process(
+    double root_weight, std::uint64_t height, const DuplicationParams& p,
+    Rng& rng) {
+  SEPDC_CHECK(root_weight > 0.0);
+  DuplicationOutcome out;
+  std::vector<double> level_weight;
+  detail::run_duplication(root_weight, height, p, rng, out, level_weight, 0);
+  for (double lw : level_weight)
+    out.peak_level_weight = std::max(out.peak_level_weight, lw);
+  return out;
+}
+
+// Lemma 6.5's growth function g(W) = W + 2^((1−α)K)(1+ε)K W^α.
+inline double lemma65_g(double w, double k, double alpha, double eps) {
+  return w + std::pow(2.0, (1.0 - alpha) * k) * (1.0 + eps) * k *
+                 std::pow(w, alpha);
+}
+
+}  // namespace sepdc::sim

@@ -1,0 +1,66 @@
+// The probabilistic (a,b)-trees of §4.
+//
+// A probabilistic (a,b)-tree of size n (a power of two) is a complete
+// binary tree whose node with m descendant leaves weighs a(m) with
+// probability 1 - 1/m and b(m) with probability 1/m. The Punting Lemma
+// (Lemma 4.1, and Corollary 4.1 for a ≡ C) bounds the largest weighted
+// root-leaf depth RD(n): with a ≡ 0 and b(m) = log m,
+//     Pr(RD(n) > 2c·log n) <= n · A · e^(−c·log n).
+// This module samples RD(n) exactly, so the experiment can compare the
+// empirical tail against the bound.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "pvm/cost.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::sim {
+
+struct AbTreeParams {
+  // Weight taken with probability 1 - 1/m ("lucky": fast algorithm A).
+  std::uint64_t lucky_weight = 0;
+  // Unlucky weight is b(m) = ceil(log2 m) ("punt": slow algorithm B),
+  // scaled by this factor.
+  std::uint64_t unlucky_scale = 1;
+};
+
+namespace detail {
+
+// Recursively samples max-over-leaves weighted depth of the subtree with
+// `m` leaves (m a power of two). Depth of recursion is log2 m.
+inline std::uint64_t sample_subtree(std::uint64_t m,
+                                    const AbTreeParams& params, Rng& rng) {
+  if (m <= 1) return 0;  // leaves carry no weight
+  // Node weight: b(m) with probability 1/m.
+  bool unlucky = rng.below(m) == 0;
+  std::uint64_t w = unlucky ? params.unlucky_scale * pvm::ceil_log2(m)
+                            : params.lucky_weight;
+  std::uint64_t left = sample_subtree(m / 2, params, rng);
+  std::uint64_t right = sample_subtree(m / 2, params, rng);
+  return w + (left > right ? left : right);
+}
+
+}  // namespace detail
+
+// One sample of RD(n) for a probabilistic (a,b)-tree with n leaves.
+inline std::uint64_t sample_max_weighted_depth(std::uint64_t n_leaves,
+                                               const AbTreeParams& params,
+                                               Rng& rng) {
+  SEPDC_CHECK_MSG((n_leaves & (n_leaves - 1)) == 0 && n_leaves >= 1,
+                  "tree size must be a power of two");
+  return detail::sample_subtree(n_leaves, params, rng);
+}
+
+// The analytic tail bound of Lemma 4.1: Pr(RD(n) > 2c log n) <=
+// n·A·e^(−c·log n) with ρ = sqrt(e)/2 and A = e^(ρ/(1−ρ)).
+inline double punting_lemma_bound(std::uint64_t n_leaves, double c) {
+  double rho = std::sqrt(std::exp(1.0)) / 2.0;
+  double a_const = std::exp(rho / (1.0 - rho));
+  double log_n = std::log2(static_cast<double>(n_leaves));
+  return static_cast<double>(n_leaves) * a_const * std::exp(-c * log_n);
+}
+
+}  // namespace sepdc::sim

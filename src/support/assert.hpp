@@ -1,0 +1,37 @@
+// Lightweight assertion macros used throughout the library.
+//
+// SEPDC_ASSERT is compiled out in NDEBUG builds and guards internal
+// invariants; SEPDC_CHECK is always on and guards user-facing preconditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sepdc::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", kind, expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sepdc::detail
+
+#define SEPDC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::sepdc::detail::assert_fail("SEPDC_CHECK", #expr, __FILE__,        \
+                                   __LINE__, msg);                        \
+  } while (0)
+
+#define SEPDC_CHECK(expr) SEPDC_CHECK_MSG(expr, "")
+
+#ifdef NDEBUG
+#define SEPDC_ASSERT(expr) ((void)0)
+#define SEPDC_ASSERT_MSG(expr, msg) ((void)0)
+#else
+#define SEPDC_ASSERT(expr) SEPDC_CHECK(expr)
+#define SEPDC_ASSERT_MSG(expr, msg) SEPDC_CHECK_MSG(expr, msg)
+#endif

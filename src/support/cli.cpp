@@ -1,0 +1,95 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace sepdc {
+
+Cli& Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+  specs_[name] = Spec{default_value, help};
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    SEPDC_CHECK_MSG(arg.rfind("--", 0) == 0, "flags must start with --");
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      bool is_known = specs_.count(name) > 0;
+      bool next_is_value =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      if (is_known && next_is_value) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    if (!specs_.count(name)) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto spec = specs_.find(name);
+  SEPDC_CHECK_MSG(spec != specs_.end(), "flag was never declared");
+  return spec->second.default_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::string v = get(name);
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    auto comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    out.push_back(std::stoll(v.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void Cli::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, spec] : specs_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 spec.help.c_str(), spec.default_value.c_str());
+  }
+}
+
+}  // namespace sepdc

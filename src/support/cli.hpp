@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Flags look like `--name=value` or `--name value`; bare `--name` sets a
+// boolean. Unknown flags are an error so experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sepdc {
+
+class Cli {
+ public:
+  // Declares a flag with a default and a help string; returns *this for
+  // chaining. Declare all flags before parse().
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  // Parses argv; on `--help` prints usage and returns false.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  // Comma-separated integer list, e.g. --sizes=1024,4096,16384.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sepdc

@@ -1,0 +1,55 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace sepdc {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on (0,1] uniforms; u1 must be nonzero for the log.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  SEPDC_CHECK_MSG(k <= n, "cannot sample more indices than the population");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 8 <= n) {
+    // Floyd's algorithm: k iterations, O(k) space.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    for (std::size_t j = n - k; j < n; ++j) {
+      std::size_t t = below(j + 1);
+      if (!seen.insert(t).second) {
+        seen.insert(j);
+        out.push_back(j);
+      } else {
+        out.push_back(t);
+      }
+    }
+  } else {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + below(n - i);
+      std::swap(all[i], all[j]);
+    }
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sepdc

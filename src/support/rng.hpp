@@ -1,0 +1,126 @@
+// Splittable pseudo-random number generation.
+//
+// The algorithms in this library are randomized and recursive: every branch
+// of a divide-and-conquer tree needs an independent stream that is (a)
+// deterministic given the root seed, so experiments are reproducible, and
+// (b) cheap to derive, so forking a parallel task does not serialize on a
+// shared generator. `Rng` is a xoshiro256++ generator whose `split()`
+// derives a decorrelated child stream via splitmix64 re-seeding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sepdc {
+
+// splitmix64 step; used for seeding and stream splitting.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedcafe1992ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  // xoshiro256++ next().
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // Derives an independent child stream. The child is seeded from fresh
+  // output of this generator, so repeated splits yield distinct streams.
+  Rng split() {
+    std::uint64_t sm = next() ^ 0xd1b54a32d192ed03ULL;
+    return Rng(splitmix64(sm));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Unbiased uniform integer in [0, bound) via Lemire rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    SEPDC_ASSERT(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    SEPDC_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool coin(double p = 0.5) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double normal();
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  // Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct indices sampled uniformly from [0, n) (Floyd's algorithm for
+  // small k, shuffle-prefix otherwise).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sepdc

@@ -1,0 +1,152 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace sepdc::stats {
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  SEPDC_ASSERT(!sorted.empty());
+  SEPDC_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  double ss = 0.0;
+  for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(sample.size() - 1))
+                 : 0.0;
+  s.min = sample.front();
+  s.max = sample.back();
+  s.p50 = sorted_percentile(sample, 0.50);
+  s.p90 = sorted_percentile(sample, 0.90);
+  s.p95 = sorted_percentile(sample, 0.95);
+  s.p99 = sorted_percentile(sample, 0.99);
+  return s;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  SEPDC_CHECK_MSG(!sample.empty(), "percentile of empty sample");
+  std::sort(sample.begin(), sample.end());
+  return sorted_percentile(sample, q);
+}
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  SEPDC_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "linear_fit needs >= 2 paired samples");
+  auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit power_fit(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  SEPDC_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "power_fit needs >= 2 paired samples");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SEPDC_CHECK_MSG(x[i] > 0.0 && y[i] > 0.0,
+                    "power_fit requires strictly positive samples");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  LinearFit lf = linear_fit(lx, ly);
+  PowerFit pf;
+  pf.exponent = lf.slope;
+  pf.constant = std::exp(lf.intercept);
+  pf.r2 = lf.r2;
+  return pf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  SEPDC_CHECK_MSG(hi > lo && bins > 0, "invalid histogram range");
+}
+
+void Histogram::add(double value) {
+  double t = (value - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  raw_.push_back(value);
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::tail_fraction(double value) const {
+  if (total_ == 0) return 0.0;
+  std::size_t at_or_above = 0;
+  for (double v : raw_)
+    if (v >= value) ++at_or_above;
+  return static_cast<double>(at_or_above) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < bins(); ++i) {
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    os << "[";
+    os.precision(4);
+    os << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sepdc::stats

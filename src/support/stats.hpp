@@ -1,0 +1,79 @@
+// Descriptive statistics, histograms, and scaling-law fits.
+//
+// The experiment harness validates asymptotic claims (e.g. "intersection
+// number grows like n^((d-1)/d)") by fitting log-log regressions over a
+// parameter sweep; these helpers keep that logic in one tested place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sepdc::stats {
+
+// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+Summary summarize(std::vector<double> sample);
+
+// Percentile of a sample (q in [0,1], linear interpolation between order
+// statistics). The sample is copied and sorted.
+double percentile(std::vector<double> sample, double q);
+
+// Ordinary least squares y = a + b*x. Returns {intercept, slope, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+// Fits y ≈ C * x^e by regressing log y on log x; returns the exponent e,
+// the constant C, and r² of the log-log fit. Non-positive samples are
+// rejected with a check.
+struct PowerFit {
+  double exponent = 0.0;
+  double constant = 0.0;
+  double r2 = 0.0;
+};
+PowerFit power_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+// Simple fixed-width histogram over [lo, hi] with `bins` buckets; values
+// outside the range are clamped into the end buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  // Fraction of mass at or above `value`.
+  double tail_fraction(double value) const;
+
+  // Multi-line ASCII rendering (for experiment logs).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> raw_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sepdc::stats

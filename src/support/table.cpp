@@ -1,0 +1,87 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace sepdc {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  double mag = std::abs(value);
+  if (value != 0.0 && (mag >= 1e7 || mag < 1e-4)) {
+    os << std::scientific << std::setprecision(precision) << value;
+  } else {
+    os << std::fixed << std::setprecision(precision) << value;
+  }
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SEPDC_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  SEPDC_CHECK_MSG(!rows_.empty(), "cell() before new_row()");
+  SEPDC_CHECK_MSG(rows_.back().size() < headers_.size(),
+                  "more cells than headers");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << v << " |";
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << (c < row.size() ? row[c] : std::string{});
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace sepdc

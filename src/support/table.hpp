@@ -1,0 +1,43 @@
+// ASCII table and CSV emission for the experiment harness.
+//
+// Every bench binary prints its results as an aligned table (for humans and
+// EXPERIMENTS.md) and can optionally dump the same rows as CSV.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sepdc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row-building interface: begin a row, push cells, repeat. Cells beyond
+  // the header count are rejected; missing cells render empty.
+  Table& new_row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(unsigned value) { return cell(static_cast<std::size_t>(value)); }
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision, trimming to something readable.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace sepdc

@@ -1,0 +1,16 @@
+#include "workload/generators.hpp"
+
+namespace sepdc::workload {
+
+Kind parse_kind(const std::string& name) {
+  for (Kind k :
+       {Kind::UniformCube, Kind::UniformBall, Kind::GaussianClusters,
+        Kind::GridJitter, Kind::SphereShell, Kind::AdversarialSlab,
+        Kind::NearCollinear, Kind::Duplicates}) {
+    if (name == kind_name(k)) return k;
+  }
+  SEPDC_CHECK_MSG(false, "unknown workload name");
+  return Kind::UniformCube;
+}
+
+}  // namespace sepdc::workload

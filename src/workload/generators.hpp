@@ -1,0 +1,199 @@
+// Synthetic point-set generators for tests, examples, and experiments.
+//
+// The paper has no datasets (it is a theory paper); these generators cover
+// the regimes its analysis cares about: uniform density (the "nice" case),
+// heavy clustering (stress for splitting ratios), lower-dimensional
+// structure and duplicates (degeneracy handling), and an adversarial slab
+// that forces Ω(n) k-NN balls to cross any balanced axis hyperplane — the
+// configuration motivating sphere separators in §1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::workload {
+
+using geo::Point;
+
+// Uniform in the unit cube [0,1]^D.
+template <int D>
+std::vector<Point<D>> uniform_cube(std::size_t n, Rng& rng) {
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts)
+    for (int i = 0; i < D; ++i) p[i] = rng.uniform();
+  return pts;
+}
+
+// Uniform in the unit ball (rejection sampling from the cube).
+template <int D>
+std::vector<Point<D>> uniform_ball(std::size_t n, Rng& rng) {
+  std::vector<Point<D>> pts;
+  pts.reserve(n);
+  while (pts.size() < n) {
+    Point<D> p;
+    for (int i = 0; i < D; ++i) p[i] = rng.uniform(-1.0, 1.0);
+    if (norm2(p) <= 1.0) pts.push_back(p);
+  }
+  return pts;
+}
+
+// Mixture of `clusters` isotropic Gaussians with centers uniform in the
+// unit cube and the given standard deviation.
+template <int D>
+std::vector<Point<D>> gaussian_clusters(std::size_t n, std::size_t clusters,
+                                        double stddev, Rng& rng) {
+  SEPDC_CHECK(clusters >= 1);
+  std::vector<Point<D>> centers = uniform_cube<D>(clusters, rng);
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    const Point<D>& c = centers[rng.below(clusters)];
+    for (int i = 0; i < D; ++i) p[i] = c[i] + rng.normal(0.0, stddev);
+  }
+  return pts;
+}
+
+// Regular grid filling the unit cube (first n cells), with per-coordinate
+// jitter of amplitude `jitter` times the cell size.
+template <int D>
+std::vector<Point<D>> grid_jitter(std::size_t n, double jitter, Rng& rng) {
+  std::size_t side = 1;
+  while (true) {
+    std::size_t cells = 1;
+    for (int i = 0; i < D; ++i) cells *= side;
+    if (cells >= n) break;
+    ++side;
+  }
+  double cell = 1.0 / static_cast<double>(side);
+  std::vector<Point<D>> pts(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    std::size_t rest = idx;
+    for (int i = 0; i < D; ++i) {
+      std::size_t coord = rest % side;
+      rest /= side;
+      pts[idx][i] = (static_cast<double>(coord) + 0.5 +
+                     jitter * rng.uniform(-0.5, 0.5)) *
+                    cell;
+    }
+  }
+  return pts;
+}
+
+// Points near the surface of a (D-1)-sphere of radius 1 (relative shell
+// thickness `thickness`). Exercises data with intrinsic dimension D-1.
+template <int D>
+std::vector<Point<D>> sphere_shell(std::size_t n, double thickness,
+                                   Rng& rng) {
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    Point<D> dir;
+    double len = 0.0;
+    do {
+      for (int i = 0; i < D; ++i) dir[i] = rng.normal();
+      len = norm(dir);
+    } while (len < 1e-12);
+    double r = 1.0 + thickness * rng.uniform(-0.5, 0.5);
+    p = dir * (r / len);
+  }
+  return pts;
+}
+
+// Points packed in a thin slab around the hyperplane x_0 = 0 (thickness
+// `slab` ≪ typical inter-point spacing in the remaining coordinates). Any
+// balanced axis-aligned hyperplane cut must pass through the slab and is
+// crossed by Θ(n) k-neighborhood balls — the §1 motivation for spheres.
+template <int D>
+std::vector<Point<D>> adversarial_slab(std::size_t n, double slab,
+                                       Rng& rng) {
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    p[0] = rng.normal(0.0, slab);
+    for (int i = 1; i < D; ++i) p[i] = rng.uniform();
+  }
+  return pts;
+}
+
+// Points concentrated near a line (intrinsic dimension ~1) with noise.
+template <int D>
+std::vector<Point<D>> near_collinear(std::size_t n, double noise, Rng& rng) {
+  Point<D> dir;
+  for (int i = 0; i < D; ++i) dir[i] = 1.0 / std::sqrt(double(D));
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    double t = rng.uniform();
+    for (int i = 0; i < D; ++i) p[i] = t * dir[i] + rng.normal(0.0, noise);
+  }
+  return pts;
+}
+
+// Replaces a fraction of the points with duplicates of earlier points —
+// stresses zero-radius neighborhood balls and separator retry/fallback.
+template <int D>
+std::vector<Point<D>> with_duplicates(std::vector<Point<D>> pts,
+                                      double duplicate_fraction, Rng& rng) {
+  SEPDC_CHECK(duplicate_fraction >= 0.0 && duplicate_fraction <= 1.0);
+  if (pts.size() < 2) return pts;
+  auto dupes =
+      static_cast<std::size_t>(duplicate_fraction *
+                               static_cast<double>(pts.size()));
+  for (std::size_t i = 0; i < dupes; ++i) {
+    std::size_t dst = rng.below(pts.size());
+    std::size_t src = rng.below(pts.size());
+    pts[dst] = pts[src];
+  }
+  return pts;
+}
+
+// Named workload dispatch, used by experiment binaries.
+enum class Kind {
+  UniformCube,
+  UniformBall,
+  GaussianClusters,
+  GridJitter,
+  SphereShell,
+  AdversarialSlab,
+  NearCollinear,
+  Duplicates,
+};
+
+inline const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::UniformCube: return "uniform";
+    case Kind::UniformBall: return "ball";
+    case Kind::GaussianClusters: return "clusters";
+    case Kind::GridJitter: return "grid";
+    case Kind::SphereShell: return "shell";
+    case Kind::AdversarialSlab: return "slab";
+    case Kind::NearCollinear: return "collinear";
+    case Kind::Duplicates: return "duplicates";
+  }
+  return "?";
+}
+
+// Parses the names above; checks on failure.
+Kind parse_kind(const std::string& name);
+
+template <int D>
+std::vector<Point<D>> generate(Kind kind, std::size_t n, Rng& rng) {
+  switch (kind) {
+    case Kind::UniformCube: return uniform_cube<D>(n, rng);
+    case Kind::UniformBall: return uniform_ball<D>(n, rng);
+    case Kind::GaussianClusters:
+      return gaussian_clusters<D>(n, 12, 0.02, rng);
+    case Kind::GridJitter: return grid_jitter<D>(n, 0.3, rng);
+    case Kind::SphereShell: return sphere_shell<D>(n, 0.01, rng);
+    case Kind::AdversarialSlab:
+      return adversarial_slab<D>(n, 1e-4, rng);
+    case Kind::NearCollinear: return near_collinear<D>(n, 1e-3, rng);
+    case Kind::Duplicates:
+      return with_duplicates<D>(uniform_cube<D>(n, rng), 0.3, rng);
+  }
+  SEPDC_CHECK_MSG(false, "unknown workload kind");
+  return {};
+}
+
+}  // namespace sepdc::workload

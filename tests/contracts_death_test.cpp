@@ -1,0 +1,107 @@
+// Contract tests: the library's checked preconditions must fail loudly
+// (SEPDC_CHECK aborts with a message), not corrupt state silently.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "geometry/constants.hpp"
+#include "knn/topk.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc {
+namespace {
+
+using ::testing::KilledBySignal;
+
+TEST(Contracts, ConfigValidateRejectsZeroK) {
+  core::Config cfg;
+  cfg.k = 0;
+  EXPECT_DEATH(cfg.validate(), "k must be at least 1");
+}
+
+TEST(Contracts, ConfigValidateRejectsBadMarchBudget) {
+  core::Config cfg;
+  cfg.march_budget_factor = 0.0;
+  EXPECT_DEATH(cfg.validate(), "march budget");
+}
+
+TEST(Contracts, ConfigValidateRejectsBadAttempts) {
+  core::Config cfg;
+  cfg.max_separator_attempts = 0;
+  EXPECT_DEATH(cfg.validate(), "separator attempt");
+}
+
+TEST(Contracts, EngineRejectsEmptyInput) {
+  std::vector<geo::Point<2>> none;
+  core::Config cfg;
+  EXPECT_DEATH(core::NearestNeighborEngine<2>::run(
+                   std::span<const geo::Point<2>>(none), cfg,
+                   par::ThreadPool::global()),
+               "empty input");
+}
+
+TEST(Contracts, PercentileOfEmptySample) {
+  EXPECT_DEATH(stats::percentile({}, 0.5), "empty sample");
+}
+
+TEST(Contracts, PowerFitRejectsNonPositive) {
+  EXPECT_DEATH(stats::power_fit({1.0, 2.0}, {0.0, 1.0}),
+               "strictly positive");
+}
+
+TEST(Contracts, LinearFitNeedsTwoPoints) {
+  EXPECT_DEATH(stats::linear_fit({1.0}, {1.0}), ">= 2");
+}
+
+TEST(Contracts, TableRejectsExtraCells) {
+  Table t({"only"});
+  t.new_row().cell("ok");
+  EXPECT_DEATH(t.cell("too many"), "more cells than headers");
+}
+
+TEST(Contracts, TableRejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_DEATH(t.cell("x"), "before new_row");
+}
+
+TEST(Contracts, KissingNumberRange) {
+  EXPECT_DEATH(geo::kissing_number(0), "tabulated");
+  EXPECT_DEATH(geo::kissing_number(9), "tabulated");
+}
+
+TEST(Contracts, RngSampleMoreThanPopulation) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.sample_indices(3, 4), "more indices");
+}
+
+TEST(Contracts, SeparatorSphereNeedsPositiveRadius) {
+  geo::Sphere<2> s{{{0.0, 0.0}}, 0.0};
+  EXPECT_DEATH(geo::SeparatorShape<2>::make_sphere(s), "positive radius");
+}
+
+TEST(Contracts, HalfspaceNeedsNormal) {
+  geo::Halfspace<2> h;  // zero normal
+  EXPECT_DEATH(geo::SeparatorShape<2>::make_halfspace(h), "needs a normal");
+}
+
+TEST(Contracts, TaskGroupMustBeWaitedOn) {
+  EXPECT_DEATH(
+      {
+        par::ThreadPool pool(2);
+        auto* group = new par::TaskGroup(pool);
+        group->run([] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        });
+        delete group;  // pending task: contract violation
+      },
+      "pending tasks");
+}
+
+}  // namespace
+}  // namespace sepdc

@@ -1,0 +1,79 @@
+// Exhaustive small-instance grid: every combination of partition rule,
+// correction policy, SCAN model, and fast-correction charging must
+// produce bit-identical k-NN output (the knobs may only change *cost*),
+// and that output must equal brute force.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "knn/brute_force.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+struct GridAxes {
+  PartitionRule partition;
+  CorrectionPolicy correction;
+  pvm::ScanModel scan;
+  FastCorrectionCharging charging;
+};
+
+class EngineGrid : public ::testing::TestWithParam<
+                       std::tuple<int, int, int, int>> {};
+
+TEST_P(EngineGrid, AllKnobCombinationsExactAndCostSane) {
+  auto [pi, ci, si, fi] = GetParam();
+  GridAxes axes{
+      static_cast<PartitionRule>(pi), static_cast<CorrectionPolicy>(ci),
+      static_cast<pvm::ScanModel>(si),
+      static_cast<FastCorrectionCharging>(fi)};
+
+  Rng rng(9000 + static_cast<std::uint64_t>(pi * 27 + ci * 9 + si * 3 + fi));
+  auto& pool = par::ThreadPool::global();
+  for (auto kind :
+       {workload::Kind::UniformCube, workload::Kind::GaussianClusters}) {
+    auto pts = workload::generate<2>(kind, 700, rng);
+    std::span<const geo::Point<2>> span(pts);
+    Config cfg;
+    cfg.k = 2;
+    cfg.seed = 4242;
+    cfg.partition = axes.partition;
+    cfg.correction = axes.correction;
+    cfg.cost.scan = axes.scan;
+    cfg.fast_charging = axes.charging;
+    auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<2>(pool, span, 2);
+    ASSERT_EQ(out.knn.dist2, oracle.dist2) << workload::kind_name(kind);
+    ASSERT_EQ(out.knn.neighbors, oracle.neighbors);
+    ASSERT_GT(out.cost.depth, 0u);
+    ASSERT_GE(out.cost.work, 700u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, EngineGrid,
+    ::testing::Combine(::testing::Values(0, 1),    // partition rules
+                       ::testing::Values(0, 1, 2),  // correction policies
+                       ::testing::Values(0, 1),     // scan models
+                       ::testing::Values(0, 1)));   // charging modes
+
+TEST(EngineGridExtra, ScanModelOnlyChangesCostNotResult) {
+  Rng rng(9999);
+  auto pts = workload::uniform_cube<2>(2500, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config unit;
+  unit.k = 3;
+  unit.seed = 5;
+  Config log_scan = unit;
+  log_scan.cost.scan = pvm::ScanModel::Log;
+
+  auto a = NearestNeighborEngine<2>::run(span, unit, pool);
+  auto b = NearestNeighborEngine<2>::run(span, log_scan, pool);
+  EXPECT_EQ(a.knn.neighbors, b.knn.neighbors);
+  EXPECT_EQ(a.cost.work, b.cost.work);  // work is model-independent
+  EXPECT_GT(b.cost.depth, a.cost.depth);  // log scans are deeper
+}
+
+}  // namespace
+}  // namespace sepdc::core

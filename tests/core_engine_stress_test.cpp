@@ -1,0 +1,331 @@
+// Property-based and failure-injection tests for the divide-and-conquer
+// engine: structural invariants over random instances, and correctness
+// under deliberately hostile configurations that force every fallback
+// path (separator rescue, march aborts, forced punts, tiny leaves).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/engine.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/kdtree.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+// Structural invariants every k-NN result must satisfy, independent of
+// any oracle: rows sorted by distance, no self references, no duplicate
+// neighbors, distances consistent with the geometry, padding only at the
+// tail, and the partition tree covering exactly [0, n).
+template <int D>
+void check_invariants(std::span<const geo::Point<D>> points,
+                      const knn::KnnResult& r,
+                      const PartitionNode<D>* tree) {
+  for (std::size_t i = 0; i < r.n; ++i) {
+    auto nbr = r.row_neighbors(i);
+    auto d2 = r.row_dist2(i);
+    bool seen_invalid = false;
+    std::set<std::uint32_t> uniq;
+    for (std::size_t s = 0; s < r.k; ++s) {
+      if (nbr[s] == knn::KnnResult::kInvalid) {
+        seen_invalid = true;
+        ASSERT_TRUE(std::isinf(d2[s]));
+        continue;
+      }
+      ASSERT_FALSE(seen_invalid) << "padding not at tail, row " << i;
+      ASSERT_NE(nbr[s], i) << "self loop in row " << i;
+      ASSERT_TRUE(uniq.insert(nbr[s]).second)
+          << "duplicate neighbor in row " << i;
+      ASSERT_DOUBLE_EQ(d2[s], geo::distance2(points[i], points[nbr[s]]))
+          << "stored distance mismatch, row " << i;
+      if (s > 0 && nbr[s - 1] != knn::KnnResult::kInvalid) {
+        ASSERT_LE(d2[s - 1], d2[s]) << "row " << i << " not sorted";
+      }
+    }
+  }
+  ASSERT_NE(tree, nullptr);
+  ASSERT_EQ(tree->begin, 0u);
+  ASSERT_EQ(tree->end, r.n);
+  // Children partition the parent range exactly.
+  std::function<void(const PartitionNode<D>*)> walk =
+      [&](const PartitionNode<D>* node) {
+        if (node->is_leaf()) return;
+        ASSERT_EQ(node->inner->begin, node->begin);
+        ASSERT_EQ(node->inner->end, node->outer->begin);
+        ASSERT_EQ(node->outer->end, node->end);
+        ASSERT_GT(node->inner->size(), 0u);
+        ASSERT_GT(node->outer->size(), 0u);
+        walk(node->inner.get());
+        walk(node->outer.get());
+      };
+  walk(tree);
+}
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, InvariantsAndOracleAcrossRandomInstances) {
+  std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  auto& pool = par::ThreadPool::global();
+
+  // Random instance shape.
+  std::size_t n = 200 + rng.below(3000);
+  std::size_t k = 1 + rng.below(6);
+  auto kind = static_cast<workload::Kind>(rng.below(8));
+  auto pts = workload::generate<2>(kind, n, rng);
+  std::span<const geo::Point<2>> span(pts);
+
+  Config cfg;
+  cfg.k = k;
+  cfg.seed = rng.next();
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  check_invariants<2>(span, out.knn, out.tree.get());
+
+  auto oracle = knn::brute_force_parallel<2>(pool, span, k);
+  ASSERT_EQ(out.knn.dist2, oracle.dist2)
+      << "seed " << seed << " kind " << workload::kind_name(kind);
+  ASSERT_EQ(out.knn.neighbors, oracle.neighbors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+struct HostileCase {
+  const char* name;
+  Config cfg;
+};
+
+class EngineFailureInjection
+    : public ::testing::TestWithParam<HostileCase> {};
+
+TEST_P(EngineFailureInjection, HostileConfigsStillExact) {
+  const auto& param = GetParam();
+  Rng rng(99);
+  auto& pool = par::ThreadPool::global();
+  for (auto kind : {workload::Kind::UniformCube, workload::Kind::Duplicates,
+                    workload::Kind::GaussianClusters}) {
+    auto pts = workload::generate<2>(kind, 1500, rng);
+    std::span<const geo::Point<2>> span(pts);
+    Config cfg = param.cfg;
+    cfg.seed = rng.next();
+    auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<2>(pool, span, cfg.k);
+    ASSERT_EQ(out.knn.dist2, oracle.dist2)
+        << param.name << " on " << workload::kind_name(kind);
+    ASSERT_EQ(out.knn.neighbors, oracle.neighbors) << param.name;
+  }
+}
+
+Config make_cfg(std::size_t k) {
+  Config cfg;
+  cfg.k = k;
+  return cfg;
+}
+
+Config one_attempt() {
+  // A single separator draw per node: fallback (best-draw / hyperplane
+  // rescue) paths fire constantly.
+  Config cfg = make_cfg(2);
+  cfg.max_separator_attempts = 1;
+  return cfg;
+}
+
+Config tiny_march_budget() {
+  // The march frontier budget is ~1 pair: every fast correction aborts
+  // and punts through the query structure.
+  Config cfg = make_cfg(2);
+  cfg.march_budget_factor = 1e-6;
+  return cfg;
+}
+
+Config aggressive_punt() {
+  // Punt threshold ~0: every node with any cut ball punts.
+  Config cfg = make_cfg(3);
+  cfg.punt_iota_scale = 1e-9;
+  return cfg;
+}
+
+Config tiny_query_leaves() {
+  Config cfg = make_cfg(2);
+  cfg.correction = CorrectionPolicy::AlwaysPunt;
+  cfg.query_leaf_size = 2;
+  return cfg;
+}
+
+Config small_base_case() {
+  Config cfg = make_cfg(1);
+  cfg.base_case_floor = 1;
+  cfg.base_case_k_factor = 2;  // base = max(2*2, log2 n): deep recursion
+  return cfg;
+}
+
+Config log_scan_levelsync() {
+  Config cfg = make_cfg(2);
+  cfg.cost.scan = pvm::ScanModel::Log;
+  cfg.fast_charging = FastCorrectionCharging::LevelSync;
+  return cfg;
+}
+
+Config tight_delta() {
+  // Nearly perfect splits demanded: many retries, frequent fallbacks.
+  Config cfg = make_cfg(2);
+  cfg.delta_slack = -0.20;  // delta = 0.55 in 2-D
+  cfg.max_separator_attempts = 8;
+  return cfg;
+}
+
+Config degenerate_query_trees() {
+  // Punt corrections whose query structures barely split: fat forced
+  // leaves everywhere, exercising the leaf-scan path end to end.
+  Config cfg = make_cfg(2);
+  cfg.correction = CorrectionPolicy::AlwaysPunt;
+  cfg.query_iota_fraction = 0.01;
+  cfg.query_iota_scale = 0.01;
+  return cfg;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hostile, EngineFailureInjection,
+    ::testing::Values(HostileCase{"one_attempt", one_attempt()},
+                      HostileCase{"tiny_march_budget", tiny_march_budget()},
+                      HostileCase{"aggressive_punt", aggressive_punt()},
+                      HostileCase{"tiny_query_leaves", tiny_query_leaves()},
+                      HostileCase{"small_base_case", small_base_case()},
+                      HostileCase{"log_scan_levelsync",
+                                  log_scan_levelsync()},
+                      HostileCase{"tight_delta", tight_delta()},
+                      HostileCase{"degenerate_query_trees",
+                                  degenerate_query_trees()}));
+
+TEST(EngineStress, TinyMarchBudgetActuallyAborts) {
+  Rng rng(123);
+  auto pts = workload::uniform_cube<2>(8000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  Config cfg = tiny_march_budget();
+  cfg.seed = 7;
+  auto out = NearestNeighborEngine<2>::run(span, cfg,
+                                           par::ThreadPool::global());
+  EXPECT_GT(out.diag.march_aborts, 0u);
+  EXPECT_GT(out.diag.punts, 0u);
+}
+
+TEST(EngineStress, OneAttemptTriggersFallbacks) {
+  Rng rng(124);
+  auto pts = workload::gaussian_clusters<2>(8000, 8, 0.01, rng);
+  std::span<const geo::Point<2>> span(pts);
+  Config cfg = one_attempt();
+  cfg.seed = 7;
+  auto out = NearestNeighborEngine<2>::run(span, cfg,
+                                           par::ThreadPool::global());
+  // With one draw per node, some nodes must fall back.
+  EXPECT_GT(out.diag.separator_fallbacks, 0u);
+}
+
+TEST(EngineStress, FiveDimensionalInstance) {
+  Rng rng(125);
+  auto& pool = par::ThreadPool::global();
+  auto pts = workload::uniform_cube<5>(600, rng);
+  std::span<const geo::Point<5>> span(pts);
+  Config cfg;
+  cfg.k = 2;
+  auto out = NearestNeighborEngine<5>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<5>(pool, span, 2);
+  EXPECT_EQ(out.knn.dist2, oracle.dist2);
+  EXPECT_EQ(out.knn.neighbors, oracle.neighbors);
+}
+
+TEST(EngineStress, MixedDuplicatesAndOutliers) {
+  // Half the mass at one location, plus scattered points: exercises the
+  // degenerate-separator handling inside a non-degenerate run.
+  Rng rng(126);
+  std::vector<geo::Point<2>> pts(2000, geo::Point<2>{{0.5, 0.5}});
+  for (int i = 0; i < 2000; ++i)
+    pts.push_back({{rng.uniform(), rng.uniform()}});
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 3;
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<2>(pool, span, 3);
+  EXPECT_EQ(out.knn.dist2, oracle.dist2);
+  EXPECT_EQ(out.knn.neighbors, oracle.neighbors);
+}
+
+TEST(EngineStress, CollinearExactlyOnAxis) {
+  // Perfectly collinear points (zero extent in one axis).
+  std::vector<geo::Point<2>> pts;
+  for (int i = 0; i < 1000; ++i)
+    pts.push_back({{static_cast<double>(i), 0.0}});
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 2;
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<2>(pool, span, 2);
+  EXPECT_EQ(out.knn.neighbors, oracle.neighbors);
+}
+
+TEST(EngineStress, WorkStaysNearLinearRegressionCanary) {
+  // Perf-regression guard at the model level: uniform data must never
+  // cost more than C·n·log n work or C'·log n depth. A change that
+  // breaks the punt threshold, the marching, or the base case shows up
+  // here long before wall-clock benchmarks notice.
+  Rng rng(4242);
+  auto pts = workload::uniform_cube<2>(32768, rng);
+  std::span<const geo::Point<2>> span(pts);
+  Config cfg;
+  cfg.k = 1;
+  cfg.seed = 11;
+  auto out = NearestNeighborEngine<2>::run(span, cfg,
+                                           par::ThreadPool::global());
+  double n = 32768.0, log_n = 15.0;
+  EXPECT_LT(static_cast<double>(out.cost.work), 40.0 * n * log_n);
+  EXPECT_LT(static_cast<double>(out.cost.depth), 60.0 * log_n);
+  EXPECT_EQ(out.diag.punts, 0u);  // benign data must not punt
+}
+
+TEST(EngineStress, DeterministicAcrossPoolSizes) {
+  // The result, the model cost, and every diagnostic must be independent
+  // of the physical thread count: randomness comes from split streams
+  // keyed to the recursion structure, and cost accounting composes over
+  // the logical fork-join tree, not the scheduler.
+  Rng rng(128);
+  auto pts = workload::gaussian_clusters<2>(12000, 6, 0.02, rng);
+  std::span<const geo::Point<2>> span(pts);
+  Config cfg;
+  cfg.k = 3;
+  cfg.seed = 777;
+
+  par::ThreadPool solo(1);
+  par::ThreadPool quad(4);
+  auto a = NearestNeighborEngine<2>::run(span, cfg, solo);
+  auto b = NearestNeighborEngine<2>::run(span, cfg, quad);
+  EXPECT_EQ(a.knn.neighbors, b.knn.neighbors);
+  EXPECT_EQ(a.knn.dist2, b.knn.dist2);
+  EXPECT_EQ(a.cost.work, b.cost.work);
+  EXPECT_EQ(a.cost.depth, b.cost.depth);
+  EXPECT_EQ(a.diag.punts, b.diag.punts);
+  EXPECT_EQ(a.diag.separator_attempts, b.diag.separator_attempts);
+  EXPECT_EQ(a.diag.nodes, b.diag.nodes);
+}
+
+TEST(EngineStress, HugeCoordinateScale) {
+  // Coordinates around 1e12 with spacing ~1: normalization must keep the
+  // stereographic machinery stable.
+  Rng rng(127);
+  std::vector<geo::Point<2>> pts(2000);
+  for (auto& p : pts)
+    p = {{1e12 + rng.uniform(0, 2000), -1e12 + rng.uniform(0, 2000)}};
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 2;
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<2>(pool, span, 2);
+  EXPECT_EQ(out.knn.dist2, oracle.dist2);
+}
+
+}  // namespace
+}  // namespace sepdc::core

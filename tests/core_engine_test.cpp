@@ -1,0 +1,316 @@
+// The divide-and-conquer engine (§5 + §6) against the brute-force oracle:
+// exact row-for-row agreement (distances AND indices, thanks to the
+// deterministic tie-break) across workloads, dimensions, k, and policies.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/api.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/kdtree.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+template <int D>
+void expect_rows_equal(const knn::KnnResult& got,
+                       const knn::KnnResult& expect) {
+  ASSERT_EQ(got.n, expect.n);
+  ASSERT_EQ(got.k, expect.k);
+  for (std::size_t i = 0; i < got.n; ++i) {
+    ASSERT_EQ(std::vector<double>(got.row_dist2(i).begin(),
+                                  got.row_dist2(i).end()),
+              std::vector<double>(expect.row_dist2(i).begin(),
+                                  expect.row_dist2(i).end()))
+        << "distances differ at point " << i;
+    ASSERT_EQ(std::vector<std::uint32_t>(got.row_neighbors(i).begin(),
+                                         got.row_neighbors(i).end()),
+              std::vector<std::uint32_t>(expect.row_neighbors(i).begin(),
+                                         expect.row_neighbors(i).end()))
+        << "indices differ at point " << i;
+  }
+}
+
+struct EngineCase {
+  workload::Kind kind;
+  std::size_t n;
+  std::size_t k;
+  PartitionRule partition;
+  CorrectionPolicy correction;
+};
+
+class EngineOracle2D : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineOracle2D, MatchesBruteForceExactly) {
+  auto [kind, n, k, partition, correction] = GetParam();
+  Rng rng(7000 + static_cast<std::uint64_t>(kind) * 100 + n + k);
+  auto pts = workload::generate<2>(kind, n, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+
+  Config cfg;
+  cfg.k = k;
+  cfg.partition = partition;
+  cfg.correction = correction;
+  cfg.seed = rng.next();
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<2>(pool, span, k);
+  expect_rows_equal<2>(out.knn, oracle);
+
+  // Structural sanity.
+  EXPECT_GE(out.diag.nodes, 1u);
+  EXPECT_GE(out.diag.leaves, 1u);
+  EXPECT_GT(out.cost.work, 0u);
+  EXPECT_GT(out.cost.depth, 0u);
+  ASSERT_NE(out.tree, nullptr);
+  EXPECT_EQ(out.tree->size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SphereHybrid, EngineOracle2D,
+    ::testing::Values(
+        EngineCase{workload::Kind::UniformCube, 50, 1,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::UniformCube, 1200, 1,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::UniformCube, 1200, 4,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::GaussianClusters, 1500, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::GridJitter, 1000, 3,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::AdversarialSlab, 1000, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::NearCollinear, 900, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::Duplicates, 1000, 3,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid},
+        EngineCase{workload::Kind::SphereShell, 900, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::Hybrid}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OtherPolicies, EngineOracle2D,
+    ::testing::Values(
+        // §5: hyperplane + always-punt.
+        EngineCase{workload::Kind::UniformCube, 1200, 2,
+                   PartitionRule::HyperplaneMedian,
+                   CorrectionPolicy::AlwaysPunt},
+        EngineCase{workload::Kind::GaussianClusters, 1000, 1,
+                   PartitionRule::HyperplaneMedian,
+                   CorrectionPolicy::AlwaysPunt},
+        EngineCase{workload::Kind::Duplicates, 800, 2,
+                   PartitionRule::HyperplaneMedian,
+                   CorrectionPolicy::AlwaysPunt},
+        // Ablations.
+        EngineCase{workload::Kind::UniformCube, 1000, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::AlwaysPunt},
+        EngineCase{workload::Kind::UniformCube, 1000, 2,
+                   PartitionRule::MttvSphere, CorrectionPolicy::FastOnly},
+        EngineCase{workload::Kind::GaussianClusters, 900, 3,
+                   PartitionRule::HyperplaneMedian,
+                   CorrectionPolicy::Hybrid}));
+
+TEST(Engine, ThreeAndFourDimensions) {
+  Rng rng(81);
+  auto& pool = par::ThreadPool::global();
+  {
+    auto pts = workload::uniform_cube<3>(1200, rng);
+    std::span<const geo::Point<3>> span(pts);
+    Config cfg;
+    cfg.k = 2;
+    auto out = NearestNeighborEngine<3>::run(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<3>(pool, span, 2);
+    expect_rows_equal<3>(out.knn, oracle);
+  }
+  {
+    auto pts = workload::uniform_cube<4>(900, rng);
+    std::span<const geo::Point<4>> span(pts);
+    Config cfg;
+    cfg.k = 1;
+    auto out = NearestNeighborEngine<4>::run(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<4>(pool, span, 1);
+    expect_rows_equal<4>(out.knn, oracle);
+  }
+}
+
+TEST(Engine, SimpleDncHigherDimensions) {
+  Rng rng(80);
+  auto& pool = par::ThreadPool::global();
+  {
+    auto pts = workload::uniform_cube<3>(1000, rng);
+    std::span<const geo::Point<3>> span(pts);
+    Config cfg;
+    cfg.k = 2;
+    auto out = simple_parallel_dnc<3>(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<3>(pool, span, 2);
+    expect_rows_equal<3>(out.knn, oracle);
+    EXPECT_GT(out.diag.punts, 0u);  // §5 always corrects via the structure
+  }
+  {
+    auto pts = workload::gaussian_clusters<4>(800, 4, 0.03, rng);
+    std::span<const geo::Point<4>> span(pts);
+    Config cfg;
+    cfg.k = 1;
+    auto out = simple_parallel_dnc<4>(span, cfg, pool);
+    auto oracle = knn::brute_force_parallel<4>(pool, span, 1);
+    expect_rows_equal<4>(out.knn, oracle);
+  }
+}
+
+TEST(Engine, LargerInstanceAgainstKdTree) {
+  Rng rng(82);
+  auto pts = workload::gaussian_clusters<2>(20000, 16, 0.01, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 3;
+  auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto oracle = knn::KdTree<2>(span).all_knn(pool, 3);
+  expect_rows_equal<2>(out.knn, oracle);
+}
+
+TEST(Engine, DeterministicForFixedSeed) {
+  Rng rng(83);
+  auto pts = workload::uniform_cube<2>(2000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 2;
+  cfg.seed = 424242;
+  auto a = NearestNeighborEngine<2>::run(span, cfg, pool);
+  auto b = NearestNeighborEngine<2>::run(span, cfg, pool);
+  EXPECT_EQ(a.knn.neighbors, b.knn.neighbors);
+  EXPECT_EQ(a.cost.work, b.cost.work);
+  EXPECT_EQ(a.cost.depth, b.cost.depth);
+  EXPECT_EQ(a.diag.punts, b.diag.punts);
+}
+
+TEST(Engine, TinyInputsAndEdgeCases) {
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 3;
+  // n = 1: padded row.
+  {
+    std::vector<geo::Point<2>> pts{{{0.5, 0.5}}};
+    auto out = NearestNeighborEngine<2>::run(
+        std::span<const geo::Point<2>>(pts), cfg, pool);
+    EXPECT_EQ(out.knn.count(0), 0u);
+  }
+  // n = 2 with k = 3: one valid neighbor each.
+  {
+    std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
+    auto out = NearestNeighborEngine<2>::run(
+        std::span<const geo::Point<2>>(pts), cfg, pool);
+    EXPECT_EQ(out.knn.count(0), 1u);
+    EXPECT_EQ(out.knn.row_neighbors(0)[0], 1u);
+    EXPECT_DOUBLE_EQ(out.knn.row_dist2(1)[0], 1.0);
+  }
+}
+
+TEST(Engine, AllIdenticalPointsLargeInput) {
+  // Forces the degenerate-separator path at the root on a size where a
+  // quadratic fallback would be noticeable, exercising the O(mk) shortcut.
+  std::vector<geo::Point<2>> pts(50000, geo::Point<2>{{2.0, 3.0}});
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 2;
+  auto out = NearestNeighborEngine<2>::run(
+      std::span<const geo::Point<2>>(pts), cfg, pool);
+  EXPECT_GE(out.diag.brute_force_fallbacks, 1u);
+  for (std::size_t i = 0; i < pts.size(); i += 997) {
+    EXPECT_EQ(out.knn.count(i), 2u);
+    EXPECT_DOUBLE_EQ(out.knn.radius(i), 0.0);
+    for (auto nbr : out.knn.row_neighbors(i)) EXPECT_NE(nbr, i);
+  }
+}
+
+TEST(Engine, DiagnosticsReflectPolicies) {
+  Rng rng(85);
+  auto pts = workload::uniform_cube<2>(4000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+
+  Config punty;
+  punty.k = 1;
+  punty.correction = CorrectionPolicy::AlwaysPunt;
+  auto out_punt = NearestNeighborEngine<2>::run(span, punty, pool);
+  EXPECT_GT(out_punt.diag.punts, 0u);
+  EXPECT_EQ(out_punt.diag.fast_corrections, 0u);
+
+  Config hybrid;
+  hybrid.k = 1;
+  auto out_hybrid = NearestNeighborEngine<2>::run(span, hybrid, pool);
+  EXPECT_GT(out_hybrid.diag.fast_corrections, 0u);
+  // Hybrid on benign data punts rarely if at all.
+  EXPECT_LE(out_hybrid.diag.punts, out_punt.diag.punts);
+}
+
+TEST(Engine, CostDepthGrowsSlowly) {
+  Rng rng(86);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 1;
+  std::vector<double> depths;
+  for (std::size_t n : {2048u, 16384u}) {
+    auto pts = workload::uniform_cube<2>(n, rng);
+    auto out = NearestNeighborEngine<2>::run(
+        std::span<const geo::Point<2>>(pts), cfg, pool);
+    depths.push_back(static_cast<double>(out.cost.depth));
+  }
+  // Depth must not scale linearly with n: 8x points, far less than 8x
+  // depth (Theorem 6.1 says O(log n)).
+  EXPECT_LT(depths[1], depths[0] * 4.0);
+}
+
+TEST(Engine, WorkIsNearLinear) {
+  Rng rng(87);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  cfg.k = 1;
+  std::vector<double> works;
+  for (std::size_t n : {4096u, 32768u}) {
+    auto pts = workload::uniform_cube<2>(n, rng);
+    auto out = NearestNeighborEngine<2>::run(
+        std::span<const geo::Point<2>>(pts), cfg, pool);
+    works.push_back(static_cast<double>(out.cost.work));
+  }
+  // 8x points should cost within ~16x work (n log n plus constants), far
+  // from the 64x a quadratic algorithm would show.
+  EXPECT_LT(works[1], works[0] * 24.0);
+}
+
+TEST(Api, BuildKnnGraphEndToEnd) {
+  Rng rng(88);
+  auto pts = workload::gaussian_clusters<2>(1500, 6, 0.02, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  auto out = build_knn_graph<2>(span, 3, cfg, pool);
+  EXPECT_EQ(out.graph.vertex_count(), 1500u);
+  // Definition 1.1 closure against the oracle result.
+  auto oracle = knn::brute_force_parallel<2>(pool, span, 3);
+  for (std::size_t i = 0; i < 1500; ++i) {
+    for (std::uint32_t j : oracle.row_neighbors(i)) {
+      if (j == knn::KnnResult::kInvalid) break;
+      EXPECT_TRUE(out.graph.has_edge(static_cast<std::uint32_t>(i), j));
+    }
+  }
+}
+
+TEST(Api, NeighborhoodSystemRadiiMatchOracle) {
+  Rng rng(89);
+  auto pts = workload::uniform_cube<3>(800, rng);
+  std::span<const geo::Point<3>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  Config cfg;
+  auto balls = build_neighborhood_system<3>(span, 2, cfg, pool);
+  auto oracle = knn::brute_force_parallel<3>(pool, span, 2);
+  for (std::size_t i = 0; i < balls.size(); ++i)
+    EXPECT_DOUBLE_EQ(balls[i].radius, oracle.radius(i));
+}
+
+}  // namespace
+}  // namespace sepdc::core

@@ -1,0 +1,114 @@
+// Lemma 6.1, directly: when a sphere S partitions P into P_I / P_E, the
+// only local k-neighborhood balls that can differ from the global ones
+// are those crossing S — formally, every crossing local ball's index also
+// has a crossing global ball (a local ball strictly inside/outside S
+// already equals its global counterpart). This is the soundness of
+// correcting nothing but the cut balls.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geometry/constants.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/neighborhood.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc {
+namespace {
+
+struct Lemma61Case {
+  workload::Kind kind;
+  std::size_t k;
+};
+
+class Lemma61 : public ::testing::TestWithParam<Lemma61Case> {};
+
+TEST_P(Lemma61, CrossingLocalsImplyCrossingGlobalsAndEqualityElsewhere) {
+  auto [kind, k] = GetParam();
+  Rng rng(600 + static_cast<std::uint64_t>(kind) * 10 + k);
+  auto& pool = par::ThreadPool::global();
+  const std::size_t n = 1200;
+  auto points = workload::generate<2>(kind, n, rng);
+  std::span<const geo::Point<2>> span(points);
+
+  // An accepted sphere separator of the point set.
+  separator::SphereSeparatorSampler<2> sampler(span, rng);
+  std::optional<geo::SeparatorShape<2>> shape;
+  const double delta = geo::splitting_ratio(2) + 0.05;
+  for (int t = 0; t < 200 && !shape; ++t) {
+    auto candidate = sampler.draw(rng);
+    if (!candidate) continue;
+    auto counts = separator::split_counts<2>(span, *candidate);
+    if (counts.inner && counts.outer && counts.max_fraction() <= delta)
+      shape = candidate;
+  }
+  ASSERT_TRUE(shape.has_value());
+
+  // Split the points; remember each side's global indices.
+  std::vector<geo::Point<2>> interior, exterior;
+  std::vector<std::size_t> interior_ids, exterior_ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shape->classify(points[i]) == geo::Side::Inner) {
+      interior.push_back(points[i]);
+      interior_ids.push_back(i);
+    } else {
+      exterior.push_back(points[i]);
+      exterior_ids.push_back(i);
+    }
+  }
+
+  // Global and per-side k-neighborhood systems.
+  auto global = knn::brute_force_parallel<2>(pool, span, k);
+  auto local_i = knn::brute_force_parallel<2>(
+      pool, std::span<const geo::Point<2>>(interior), k);
+  auto local_e = knn::brute_force_parallel<2>(
+      pool, std::span<const geo::Point<2>>(exterior), k);
+
+  auto check_side = [&](const std::vector<geo::Point<2>>& side_points,
+                        const std::vector<std::size_t>& ids,
+                        const knn::KnnResult& local) {
+    for (std::size_t s = 0; s < side_points.size(); ++s) {
+      std::size_t gid = ids[s];
+      geo::Ball<2> local_ball{side_points[s],
+                              std::sqrt(local.radius2(s))};
+      geo::Ball<2> global_ball{points[gid],
+                               std::sqrt(global.radius2(gid))};
+      // Local neighborhoods only shrink when the other side is added.
+      EXPECT_GE(local_ball.radius, global_ball.radius - 1e-12);
+
+      bool local_crosses =
+          shape->classify(local_ball) == geo::Region::Cut;
+      if (!local_crosses) {
+        // Lemma 6.1's payoff: a non-crossing local ball IS the global
+        // ball — its row needs no correction.
+        EXPECT_DOUBLE_EQ(local_ball.radius, global_ball.radius)
+            << "uncut local ball differed from global, point " << gid;
+      } else {
+        // Crossing locals must correspond to crossing globals OR be
+        // already equal (the proof's dichotomy).
+        bool global_crosses =
+            shape->classify(global_ball) == geo::Region::Cut;
+        EXPECT_TRUE(global_crosses ||
+                    local_ball.radius == global_ball.radius)
+            << "crossing local ball with non-crossing, different global, "
+               "point "
+            << gid;
+      }
+    }
+  };
+  check_side(interior, interior_ids, local_i);
+  check_side(exterior, exterior_ids, local_e);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Lemma61,
+    ::testing::Values(Lemma61Case{workload::Kind::UniformCube, 1},
+                      Lemma61Case{workload::Kind::UniformCube, 3},
+                      Lemma61Case{workload::Kind::GaussianClusters, 2},
+                      Lemma61Case{workload::Kind::GridJitter, 1},
+                      Lemma61Case{workload::Kind::SphereShell, 2}));
+
+}  // namespace
+}  // namespace sepdc

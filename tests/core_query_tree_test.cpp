@@ -1,0 +1,228 @@
+// §3: the neighborhood query structure — correctness against linear scan,
+// and the Q/S/T bounds' structural ingredients (height, leaf count,
+// duplication).
+#include "core/query_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "knn/brute_force.hpp"
+#include "knn/neighborhood.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+template <int D>
+std::vector<geo::Ball<D>> make_system(std::size_t n, std::size_t k,
+                                      workload::Kind kind, Rng& rng) {
+  auto pts = workload::generate<D>(kind, n, rng);
+  std::span<const geo::Point<D>> span(pts);
+  auto r = knn::brute_force_parallel<D>(par::ThreadPool::global(), span, k);
+  return knn::neighborhood_system<D>(span, r);
+}
+
+template <int D>
+std::vector<std::uint32_t> linear_query(
+    const std::vector<geo::Ball<D>>& balls, const geo::Point<D>& p,
+    Containment mode) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    double d2 = geo::distance2(balls[i].center, p);
+    double r2 = balls[i].radius * balls[i].radius;
+    bool hit = mode == Containment::Interior ? d2 < r2 : d2 <= r2;
+    if (hit) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+struct QueryCase {
+  workload::Kind kind;
+  std::size_t n;
+  std::size_t k;
+};
+
+class QueryTreeCorrectness : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(QueryTreeCorrectness, MatchesLinearScan2D) {
+  auto [kind, n, k] = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(kind) * 10 + k);
+  auto balls = make_system<2>(n, k, kind, rng);
+  typename NeighborhoodQueryTree<2>::Params params;
+  params.leaf_size = 16;
+  NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                par::ThreadPool::global());
+
+  // Query at every ball center plus random probes.
+  for (std::size_t q = 0; q < n + 200; ++q) {
+    geo::Point<2> p;
+    if (q < n) {
+      p = balls[q].center;
+    } else {
+      p = geo::Point<2>{{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)}};
+    }
+    std::vector<std::uint32_t> got;
+    tree.query(p, got, Containment::Interior);
+    std::sort(got.begin(), got.end());
+    auto expect = linear_query<2>(balls, p, Containment::Interior);
+    ASSERT_EQ(got, expect) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, QueryTreeCorrectness,
+    ::testing::Values(QueryCase{workload::Kind::UniformCube, 600, 1},
+                      QueryCase{workload::Kind::UniformCube, 600, 4},
+                      QueryCase{workload::Kind::GaussianClusters, 500, 2},
+                      QueryCase{workload::Kind::AdversarialSlab, 400, 2},
+                      QueryCase{workload::Kind::Duplicates, 400, 3},
+                      QueryCase{workload::Kind::NearCollinear, 400, 1}));
+
+TEST(QueryTree, ClosedVsInteriorContainment) {
+  // Balls with a probe exactly on the boundary.
+  std::vector<geo::Ball<2>> balls{{{{0.0, 0.0}}, 1.0}, {{{3.0, 0.0}}, 1.0}};
+  typename NeighborhoodQueryTree<2>::Params params;
+  params.leaf_size = 1;
+  Rng rng(3);
+  NeighborhoodQueryTree<2> tree(balls, params, rng,
+                                par::ThreadPool::global());
+  geo::Point<2> boundary{{1.0, 0.0}};
+  std::vector<std::uint32_t> interior, closed;
+  tree.query(boundary, interior, Containment::Interior);
+  tree.query(boundary, closed, Containment::Closed);
+  EXPECT_TRUE(interior.empty());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], 0u);
+}
+
+TEST(QueryTree, HeightIsLogarithmic) {
+  Rng rng(5);
+  std::vector<double> ns, heights;
+  for (std::size_t n : {512u, 2048u, 8192u}) {
+    auto balls = make_system<2>(n, 1, workload::Kind::UniformCube, rng);
+    typename NeighborhoodQueryTree<2>::Params params;
+    NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                  par::ThreadPool::global());
+    ns.push_back(static_cast<double>(n));
+    heights.push_back(static_cast<double>(tree.height()));
+    // Height within a constant factor of log2(n / m0).
+    double log_n = std::log2(static_cast<double>(n));
+    EXPECT_LE(tree.height(), 4.0 * log_n) << "n=" << n;
+  }
+  // Height grows sub-linearly: quadrupling n adds only a few levels.
+  EXPECT_LE(heights[2] - heights[0], 14.0);
+}
+
+TEST(QueryTree, LinearSpace) {
+  Rng rng(6);
+  const std::size_t n = 8192;
+  auto balls = make_system<2>(n, 1, workload::Kind::UniformCube, rng);
+  typename NeighborhoodQueryTree<2>::Params params;
+  params.leaf_size = 64;
+  NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                par::ThreadPool::global());
+  // S(n,d) = O(n): stored balls (with duplication) stay within a small
+  // factor of n, and leaves are O(n / m0).
+  EXPECT_LT(tree.stored_balls(), 3 * n);
+  EXPECT_LT(tree.leaf_count(), 4 * n / params.leaf_size + 4);
+}
+
+TEST(QueryTree, QueryVisitsFewNodes) {
+  Rng rng(7);
+  const std::size_t n = 8192;
+  auto balls = make_system<2>(n, 2, workload::Kind::UniformCube, rng);
+  typename NeighborhoodQueryTree<2>::Params params;
+  NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                par::ThreadPool::global());
+  std::vector<std::uint32_t> out;
+  std::size_t worst = 0;
+  for (int q = 0; q < 256; ++q) {
+    out.clear();
+    geo::Point<2> p{{rng.uniform(), rng.uniform()}};
+    worst = std::max(worst, tree.query(p, out));
+  }
+  // Q(n,d) = O(k + log n): path length bounded by the height.
+  EXPECT_LE(worst, tree.height() + 1);
+}
+
+TEST(QueryTree, BatchQueryMatchesSingleQueries) {
+  Rng rng(8);
+  const std::size_t n = 700;
+  auto balls = make_system<2>(n, 3, workload::Kind::GaussianClusters, rng);
+  typename NeighborhoodQueryTree<2>::Params params;
+  params.leaf_size = 16;
+  NeighborhoodQueryTree<2> tree(balls, params, rng.split(),
+                                par::ThreadPool::global());
+
+  std::vector<geo::Point<2>> probes(300);
+  for (auto& p : probes) p = {{rng.uniform(), rng.uniform()}};
+
+  std::vector<std::vector<std::uint32_t>> batch(probes.size());
+  std::mutex guard;  // ranks are disjoint, but keep the test conservative
+  pvm::Cost cost = tree.batch_query(
+      par::ThreadPool::global(), probes.size(),
+      [&](std::size_t rank) { return probes[rank]; },
+      [&](std::size_t rank, std::uint32_t ball, double) {
+        batch[rank].push_back(ball);
+      },
+      Containment::Closed);
+  EXPECT_GT(cost.work, 0u);
+  EXPECT_GT(cost.depth, 0u);
+
+  for (std::size_t rank = 0; rank < probes.size(); ++rank) {
+    std::sort(batch[rank].begin(), batch[rank].end());
+    std::vector<std::uint32_t> single;
+    tree.query(probes[rank], single, Containment::Closed);
+    std::sort(single.begin(), single.end());
+    EXPECT_EQ(batch[rank], single) << "rank " << rank;
+  }
+}
+
+TEST(QueryTree, AllIdenticalCentersForcedLeaf) {
+  std::vector<geo::Ball<2>> balls(300, geo::Ball<2>{{{1.0, 1.0}}, 0.5});
+  typename NeighborhoodQueryTree<2>::Params params;
+  params.leaf_size = 16;
+  Rng rng(9);
+  NeighborhoodQueryTree<2> tree(balls, params, rng,
+                                par::ThreadPool::global());
+  EXPECT_GE(tree.stats().forced_leaves, 1u);
+  std::vector<std::uint32_t> out;
+  tree.query(geo::Point<2>{{1.0, 1.0}}, out, Containment::Interior);
+  EXPECT_EQ(out.size(), 300u);  // all balls contain their common center
+}
+
+TEST(QueryTree, InfiniteRadiusBallsAlwaysReported) {
+  std::vector<geo::Ball<2>> balls{
+      {{{0.0, 0.0}}, std::numeric_limits<double>::infinity()},
+      {{{5.0, 5.0}}, 0.1}};
+  typename NeighborhoodQueryTree<2>::Params params;
+  Rng rng(10);
+  NeighborhoodQueryTree<2> tree(balls, params, rng,
+                                par::ThreadPool::global());
+  std::vector<std::uint32_t> out;
+  tree.query(geo::Point<2>{{100.0, -50.0}}, out, Containment::Interior);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(QueryTree, BuildCostScalesNearLinearly) {
+  Rng rng(11);
+  auto small = make_system<2>(1024, 1, workload::Kind::UniformCube, rng);
+  auto large = make_system<2>(8192, 1, workload::Kind::UniformCube, rng);
+  typename NeighborhoodQueryTree<2>::Params params;
+  NeighborhoodQueryTree<2> ts(small, params, rng.split(),
+                              par::ThreadPool::global());
+  NeighborhoodQueryTree<2> tl(large, params, rng.split(),
+                              par::ThreadPool::global());
+  // Work within n polylog(n); depth (parallel build) grows ~ log n, not n.
+  EXPECT_LT(tl.stats().cost.work,
+            200.0 * 8192 * std::log2(8192.0));
+  EXPECT_LT(tl.stats().cost.depth, 40 * pvm::ceil_log2(8192));
+  EXPECT_GE(tl.stats().cost.depth, ts.stats().cost.depth);
+}
+
+}  // namespace
+}  // namespace sepdc::core

@@ -1,0 +1,189 @@
+// The standalone SeparatorIndex: exact fixed-radius and k-NN queries
+// through the partition-tree reachability march.
+#include "core/separator_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "knn/kdtree.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+template <int D>
+std::vector<std::uint32_t> brute_in_ball(
+    std::span<const geo::Point<D>> pts, const geo::Point<D>& c, double r) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (geo::distance2(pts[i], c) <= r * r)
+      out.push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+struct IndexCase {
+  workload::Kind kind;
+  std::size_t n;
+};
+
+class SeparatorIndexRadius : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(SeparatorIndexRadius, FixedRadiusMatchesBruteForce) {
+  auto [kind, n] = GetParam();
+  Rng rng(500 + static_cast<std::uint64_t>(kind));
+  auto pts = workload::generate<2>(kind, n, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  cfg.seed = rng.next();
+  SeparatorIndex<2> index(span, cfg, par::ThreadPool::global());
+
+  for (int q = 0; q < 100; ++q) {
+    geo::Point<2> c{{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)}};
+    double r = rng.uniform(0.0, 0.3);
+    std::vector<std::uint32_t> got;
+    index.for_each_in_ball(c, r, [&](std::uint32_t id, double d2) {
+      EXPECT_DOUBLE_EQ(d2, geo::distance2(pts[id], c));
+      got.push_back(id);
+    });
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_in_ball<2>(span, c, r)) << "query " << q;
+    EXPECT_EQ(index.count_in_ball(c, r), got.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SeparatorIndexRadius,
+    ::testing::Values(IndexCase{workload::Kind::UniformCube, 2000},
+                      IndexCase{workload::Kind::GaussianClusters, 2000},
+                      IndexCase{workload::Kind::AdversarialSlab, 1500},
+                      IndexCase{workload::Kind::Duplicates, 1500},
+                      IndexCase{workload::Kind::NearCollinear, 1000}));
+
+TEST(SeparatorIndex, KnnMatchesKdTreeExactly) {
+  Rng rng(42);
+  auto pts = workload::uniform_cube<2>(3000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(span, cfg, par::ThreadPool::global());
+  knn::KdTree<2> tree(span);
+
+  for (int q = 0; q < 200; ++q) {
+    geo::Point<2> p{{rng.uniform(), rng.uniform()}};
+    std::size_t k = 1 + rng.below(8);
+    auto got = index.knn(p, k).take_sorted();
+    auto expect = tree.query(p, k).take_sorted();
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s].index, expect[s].index) << "query " << q;
+      EXPECT_DOUBLE_EQ(got[s].dist2, expect[s].dist2);
+    }
+  }
+}
+
+TEST(SeparatorIndex, SelfExclusionKnn) {
+  Rng rng(43);
+  auto pts = workload::uniform_cube<2>(800, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(span, cfg, par::ThreadPool::global());
+  knn::KdTree<2> tree(span);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    auto got = index.knn(pts[i], 3, i).take_sorted();
+    auto expect = tree.query(pts[i], 3, i).take_sorted();
+    ASSERT_EQ(got.size(), 3u);
+    for (std::size_t s = 0; s < 3; ++s)
+      EXPECT_EQ(got[s].index, expect[s].index);
+  }
+}
+
+TEST(SeparatorIndex, KGreaterThanPopulation) {
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}, {{2.0, 0.0}}};
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg,
+                          par::ThreadPool::global());
+  auto got = index.knn(geo::Point<2>{{0.1, 0.0}}, 10).take_sorted();
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].index, 0u);
+}
+
+TEST(SeparatorIndex, QueryFarOutsideTheData) {
+  Rng rng(44);
+  auto pts = workload::uniform_cube<2>(500, rng);
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg,
+                          par::ThreadPool::global());
+  geo::Point<2> far{{1000.0, -1000.0}};
+  auto got = index.knn(far, 2).take_sorted();
+  ASSERT_EQ(got.size(), 2u);
+  // Verify against linear scan.
+  knn::TopK ref(2);
+  for (std::size_t j = 0; j < pts.size(); ++j)
+    ref.offer(geo::distance2(pts[j], far), static_cast<std::uint32_t>(j));
+  auto expect = ref.take_sorted();
+  EXPECT_EQ(got[0].index, expect[0].index);
+  EXPECT_EQ(got[1].index, expect[1].index);
+}
+
+TEST(SeparatorIndex, ZeroRadiusAndNegativeRadius) {
+  std::vector<geo::Point<2>> pts{{{0.5, 0.5}}, {{0.5, 0.5}}, {{1.0, 1.0}}};
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg,
+                          par::ThreadPool::global());
+  // Closed ball of radius 0 at a duplicated site finds both copies.
+  EXPECT_EQ(index.count_in_ball(geo::Point<2>{{0.5, 0.5}}, 0.0), 2u);
+  EXPECT_EQ(index.count_in_ball(geo::Point<2>{{0.5, 0.5}}, -1.0), 0u);
+}
+
+TEST(SeparatorIndex, AllIdenticalPoints) {
+  std::vector<geo::Point<2>> pts(300, geo::Point<2>{{7.0, 7.0}});
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg,
+                          par::ThreadPool::global());
+  EXPECT_EQ(index.count_in_ball(geo::Point<2>{{7.0, 7.0}}, 0.1), 300u);
+  auto got = index.knn(geo::Point<2>{{7.0, 7.0}}, 5).take_sorted();
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(SeparatorIndex, ThreeDimensions) {
+  Rng rng(45);
+  auto pts = workload::uniform_cube<3>(1500, rng);
+  std::span<const geo::Point<3>> span(pts);
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<3> index(span, cfg, par::ThreadPool::global());
+  knn::KdTree<3> tree(span);
+  for (int q = 0; q < 50; ++q) {
+    geo::Point<3> p{{rng.uniform(), rng.uniform(), rng.uniform()}};
+    auto got = index.knn(p, 4).take_sorted();
+    auto expect = tree.query(p, 4).take_sorted();
+    for (std::size_t s = 0; s < 4; ++s)
+      EXPECT_EQ(got[s].index, expect[s].index);
+  }
+}
+
+TEST(SeparatorIndex, HeightIsLogarithmic) {
+  Rng rng(46);
+  auto pts = workload::uniform_cube<2>(32768, rng);
+  SeparatorIndexConfig cfg;
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg,
+                          par::ThreadPool::global());
+  EXPECT_LE(index.height(), 5 * 15u);  // c * log2(n)
+  EXPECT_GE(index.leaf_count(), 32768u / cfg.leaf_size / 4);
+}
+
+TEST(SeparatorIndex, HyperplanePartitionVariant) {
+  Rng rng(47);
+  auto pts = workload::uniform_cube<2>(2000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  cfg.partition = PartitionRule::HyperplaneMedian;
+  SeparatorIndex<2> index(span, cfg, par::ThreadPool::global());
+  for (int q = 0; q < 50; ++q) {
+    geo::Point<2> c{{rng.uniform(), rng.uniform()}};
+    double r = rng.uniform(0.0, 0.2);
+    EXPECT_EQ(index.count_in_ball(c, r), brute_in_ball<2>(span, c, r).size());
+  }
+}
+
+}  // namespace
+}  // namespace sepdc::core

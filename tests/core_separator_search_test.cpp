@@ -1,0 +1,112 @@
+// The shared separator acceptance search: acceptance, fallback ladder,
+// and cost accounting.
+#include "core/separator_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/constants.hpp"
+#include "separator/quality.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+template <int D>
+auto searcher(const std::vector<geo::Point<D>>& pts) {
+  return [&](std::size_t i) { return pts[i]; };
+}
+
+TEST(SeparatorSearch, AcceptsQuicklyOnUniformData) {
+  Rng rng(1);
+  auto pts = workload::uniform_cube<2>(3000, rng);
+  auto out = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere,
+      geo::splitting_ratio(2) + 0.05, 64, 0, rng, pvm::CostConfig{});
+  ASSERT_TRUE(out.shape.has_value());
+  EXPECT_FALSE(out.fallback);
+  EXPECT_LE(out.attempts, 10u);
+  auto counts = separator::split_counts<2>(
+      std::span<const geo::Point<2>>(pts), *out.shape);
+  EXPECT_LE(counts.max_fraction(), geo::splitting_ratio(2) + 0.05);
+  EXPECT_GT(out.cost.work, pts.size());  // setup pass + validations
+}
+
+TEST(SeparatorSearch, ImpossibleDeltaFallsBackButSplits) {
+  Rng rng(2);
+  auto pts = workload::uniform_cube<2>(2000, rng);
+  // delta_limit below 1/2 is unsatisfiable; the search must fall back to
+  // its best draw and still produce a non-trivial split.
+  auto out = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere, 0.4, 8, 0, rng,
+      pvm::CostConfig{});
+  ASSERT_TRUE(out.shape.has_value());
+  EXPECT_TRUE(out.fallback);
+  EXPECT_EQ(out.attempts, 8u);
+  auto counts = separator::split_counts<2>(
+      std::span<const geo::Point<2>>(pts), *out.shape);
+  EXPECT_GT(counts.inner, 0u);
+  EXPECT_GT(counts.outer, 0u);
+}
+
+TEST(SeparatorSearch, AllIdenticalReturnsEmpty) {
+  Rng rng(3);
+  std::vector<geo::Point<2>> pts(500, geo::Point<2>{{1.0, 2.0}});
+  auto out = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere, 0.8, 16, 0,
+      rng, pvm::CostConfig{});
+  EXPECT_FALSE(out.shape.has_value());
+}
+
+TEST(SeparatorSearch, HyperplaneRuleUsesAxisHint) {
+  Rng rng(4);
+  auto pts = workload::uniform_cube<3>(1000, rng);
+  for (int axis = 0; axis < 3; ++axis) {
+    auto out = find_point_separator<3>(
+        pts.size(), searcher(pts), PartitionRule::HyperplaneMedian, 0.8,
+        16, axis, rng, pvm::CostConfig{});
+    ASSERT_TRUE(out.shape.has_value());
+    ASSERT_FALSE(out.shape->is_sphere());
+    const auto& h = out.shape->halfspace();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(h.normal[i], i == axis ? 1.0 : 0.0);
+    }
+    auto counts = separator::split_counts<3>(
+        std::span<const geo::Point<3>>(pts), *out.shape);
+    EXPECT_LE(counts.max_fraction(), 0.55);
+  }
+}
+
+TEST(SeparatorSearch, CollinearDataRescuedByHyperplane) {
+  // Points exactly on a line: sphere draws frequently degenerate, but
+  // the ladder must end with a usable split.
+  std::vector<geo::Point<2>> pts;
+  for (int i = 0; i < 800; ++i)
+    pts.push_back({{static_cast<double>(i), 0.0}});
+  Rng rng(5);
+  auto out = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere, 0.8, 16, 0,
+      rng, pvm::CostConfig{});
+  ASSERT_TRUE(out.shape.has_value());
+  auto counts = separator::split_counts<2>(
+      std::span<const geo::Point<2>>(pts), *out.shape);
+  EXPECT_GT(counts.inner, 0u);
+  EXPECT_GT(counts.outer, 0u);
+}
+
+TEST(SeparatorSearch, CostScalesWithAttempts) {
+  Rng rng(6);
+  auto pts = workload::uniform_cube<2>(4000, rng);
+  auto cheap = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere, 0.95, 64, 0,
+      rng, pvm::CostConfig{});
+  auto pricey = find_point_separator<2>(
+      pts.size(), searcher(pts), PartitionRule::MttvSphere, 0.40, 64, 0,
+      rng, pvm::CostConfig{});
+  // The unsatisfiable target consumes all attempts and therefore much
+  // more validation work.
+  EXPECT_GT(pricey.cost.work, cheap.cost.work);
+  EXPECT_GT(pricey.attempts, cheap.attempts);
+}
+
+}  // namespace
+}  // namespace sepdc::core

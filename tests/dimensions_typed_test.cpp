@@ -1,0 +1,161 @@
+// Dimension-generic coverage: the same battery of correctness checks
+// instantiated for d = 2, 3, 4, 5 via gtest typed tests, so every
+// dimension the library advertises exercises the full pipeline —
+// separator, engine, query structure, index — against the brute-force
+// oracle.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/query_tree.hpp"
+#include "core/separator_index.hpp"
+#include "geometry/constants.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/neighborhood.hpp"
+#include "separator/mttv.hpp"
+#include "separator/quality.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc {
+namespace {
+
+template <int N>
+struct Dim {
+  static constexpr int value = N;
+};
+
+template <class T>
+class EveryDimension : public ::testing::Test {};
+
+using Dimensions =
+    ::testing::Types<Dim<2>, Dim<3>, Dim<4>, Dim<5>, Dim<6>>;
+TYPED_TEST_SUITE(EveryDimension, Dimensions);
+
+TYPED_TEST(EveryDimension, SeparatorSamplerSplits) {
+  constexpr int D = TypeParam::value;
+  Rng rng(2000 + D);
+  auto pts = workload::uniform_cube<D>(1500, rng);
+  std::span<const geo::Point<D>> span(pts);
+  separator::SphereSeparatorSampler<D> sampler(span, rng);
+  ASSERT_FALSE(sampler.degenerate());
+  const double delta = geo::splitting_ratio(D) + 0.05;
+  int accepted = 0;
+  for (int t = 0; t < 60; ++t) {
+    auto shape = sampler.draw(rng);
+    if (!shape) continue;
+    auto counts = separator::split_counts<D>(span, *shape);
+    if (counts.inner && counts.outer && counts.max_fraction() <= delta)
+      ++accepted;
+  }
+  // Theorem 2.1's constant success probability, with a generous margin.
+  EXPECT_GE(accepted, 12) << "in dimension " << D;
+}
+
+TYPED_TEST(EveryDimension, EngineMatchesOracle) {
+  constexpr int D = TypeParam::value;
+  Rng rng(3000 + D);
+  auto& pool = par::ThreadPool::global();
+  auto pts = workload::uniform_cube<D>(900, rng);
+  std::span<const geo::Point<D>> span(pts);
+  core::Config cfg;
+  cfg.k = 3;
+  cfg.seed = rng.next();
+  auto out = core::NearestNeighborEngine<D>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<D>(pool, span, 3);
+  EXPECT_EQ(out.knn.dist2, oracle.dist2);
+  EXPECT_EQ(out.knn.neighbors, oracle.neighbors);
+}
+
+TYPED_TEST(EveryDimension, EngineOnClusteredData) {
+  constexpr int D = TypeParam::value;
+  Rng rng(4000 + D);
+  auto& pool = par::ThreadPool::global();
+  auto pts = workload::gaussian_clusters<D>(800, 5, 0.02, rng);
+  std::span<const geo::Point<D>> span(pts);
+  core::Config cfg;
+  cfg.k = 2;
+  cfg.seed = rng.next();
+  auto out = core::NearestNeighborEngine<D>::run(span, cfg, pool);
+  auto oracle = knn::brute_force_parallel<D>(pool, span, 2);
+  EXPECT_EQ(out.knn.dist2, oracle.dist2);
+}
+
+TYPED_TEST(EveryDimension, QueryTreeMatchesLinearScan) {
+  constexpr int D = TypeParam::value;
+  Rng rng(5000 + D);
+  auto& pool = par::ThreadPool::global();
+  auto pts = workload::uniform_cube<D>(600, rng);
+  std::span<const geo::Point<D>> span(pts);
+  auto knn_result = knn::brute_force_parallel<D>(pool, span, 2);
+  auto balls = knn::neighborhood_system<D>(span, knn_result);
+
+  typename core::NeighborhoodQueryTree<D>::Params params;
+  params.leaf_size = 16;
+  core::NeighborhoodQueryTree<D> tree(balls, params, rng.split(), pool);
+  for (int q = 0; q < 150; ++q) {
+    geo::Point<D> p;
+    for (int i = 0; i < D; ++i) p[i] = rng.uniform(-0.1, 1.1);
+    std::vector<std::uint32_t> got;
+    tree.query(p, got, core::Containment::Interior);
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> expect;
+    for (std::size_t b = 0; b < balls.size(); ++b)
+      if (balls[b].contains(p))
+        expect.push_back(static_cast<std::uint32_t>(b));
+    ASSERT_EQ(got, expect) << "dimension " << D << " query " << q;
+  }
+}
+
+TYPED_TEST(EveryDimension, SeparatorIndexRadiusQueries) {
+  constexpr int D = TypeParam::value;
+  Rng rng(6000 + D);
+  auto pts = workload::uniform_cube<D>(700, rng);
+  std::span<const geo::Point<D>> span(pts);
+  core::SeparatorIndexConfig cfg;
+  cfg.seed = rng.next();
+  core::SeparatorIndex<D> index(span, cfg, par::ThreadPool::global());
+  for (int q = 0; q < 60; ++q) {
+    geo::Point<D> c;
+    for (int i = 0; i < D; ++i) c[i] = rng.uniform();
+    double r = rng.uniform(0.0, 0.4);
+    std::size_t expect = 0;
+    for (const auto& p : pts)
+      if (geo::distance2(p, c) <= r * r) ++expect;
+    EXPECT_EQ(index.count_in_ball(c, r), expect)
+        << "dimension " << D << " query " << q;
+  }
+}
+
+TYPED_TEST(EveryDimension, DensityLemmaHolds) {
+  constexpr int D = TypeParam::value;
+  if constexpr (D <= 4) {  // kissing numbers tabulated exactly for d<=4
+    Rng rng(7000 + D);
+    auto& pool = par::ThreadPool::global();
+    auto pts = workload::uniform_cube<D>(500, rng);
+    std::span<const geo::Point<D>> span(pts);
+    auto r = knn::brute_force_parallel<D>(pool, span, 2);
+    auto balls = knn::neighborhood_system<D>(span, r);
+    std::size_t ply = knn::max_ply<D>(balls, span);
+    EXPECT_LE(ply, static_cast<std::size_t>(geo::kissing_number(D)) * 2);
+  }
+}
+
+TYPED_TEST(EveryDimension, PaperConstantsAreConsistent) {
+  constexpr int D = TypeParam::value;
+  EXPECT_GT(geo::splitting_ratio(D), 0.5);
+  EXPECT_LT(geo::splitting_ratio(D), 1.0);
+  EXPECT_GE(geo::separator_exponent(D), 0.5);
+  EXPECT_LT(geo::separator_exponent(D), 1.0);
+  // Stereographic roundtrip in this dimension.
+  Rng rng(8000 + D);
+  for (int t = 0; t < 50; ++t) {
+    geo::Point<D> x;
+    for (int i = 0; i < D; ++i) x[i] = rng.uniform(-5, 5);
+    auto u = geo::stereo_lift<D>(x);
+    EXPECT_NEAR(geo::norm(u), 1.0, 1e-12);
+    auto back = geo::stereo_project<D>(u);
+    for (int i = 0; i < D; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sepdc

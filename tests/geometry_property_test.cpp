@@ -1,0 +1,149 @@
+// Property tests for the separator-shape classification: consistency
+// between point classification and ball classification under random
+// shapes, flips, and dimensions — the invariants the correction step's
+// correctness argument (Lemma 6.1) rests on.
+#include <gtest/gtest.h>
+
+#include "geometry/separator_shape.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::geo {
+namespace {
+
+template <int D>
+Point<D> random_point(Rng& rng, double scale) {
+  Point<D> p;
+  for (int i = 0; i < D; ++i) p[i] = rng.uniform(-scale, scale);
+  return p;
+}
+
+template <int D>
+SeparatorShape<D> random_shape(Rng& rng) {
+  if (rng.coin(0.7)) {
+    Sphere<D> s;
+    s.center = random_point<D>(rng, 2.0);
+    s.radius = rng.uniform(0.3, 3.0);
+    return SeparatorShape<D>::make_sphere(s, rng.coin());
+  }
+  Halfspace<D> h;
+  double len = 0.0;
+  do {
+    h.normal = random_point<D>(rng, 1.0);
+    len = norm(h.normal);
+  } while (len < 1e-3);
+  // Unit normal keeps the signed distance scale comparable to the
+  // coordinate scale (the growth test relies on bounded distances).
+  h.normal = h.normal / len;
+  h.offset = rng.uniform(-2.0, 2.0);
+  return SeparatorShape<D>::make_halfspace(h, rng.coin());
+}
+
+// Samples points of a ball (center, boundary-ish, random interior).
+template <int D>
+std::vector<Point<D>> ball_samples(const Ball<D>& b, Rng& rng) {
+  std::vector<Point<D>> out{b.center};
+  for (int t = 0; t < 12; ++t) {
+    Point<D> dir;
+    double len = 0.0;
+    do {
+      for (int i = 0; i < D; ++i) dir[i] = rng.normal();
+      len = norm(dir);
+    } while (len < 1e-9);
+    double r = b.radius * rng.uniform(0.0, 0.999);
+    out.push_back(b.center + dir * (r / len));
+  }
+  return out;
+}
+
+template <int D>
+void run_consistency(std::uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto shape = random_shape<D>(rng);
+    Ball<D> ball{random_point<D>(rng, 2.5), rng.uniform(0.01, 1.5)};
+    Region region = shape.classify(ball);
+    // The defining property the algorithms rely on: a ball classified
+    // Inner (Outer) contains no point classifying Outer (Inner).
+    for (const auto& p : ball_samples<D>(ball, rng)) {
+      Side side = shape.classify(p);
+      if (region == Region::Inner) {
+        EXPECT_EQ(side, Side::Inner)
+            << "d=" << D << " trial " << trial << ": Inner ball leaked";
+      } else if (region == Region::Outer) {
+        EXPECT_EQ(side, Side::Outer)
+            << "d=" << D << " trial " << trial << ": Outer ball leaked";
+      }
+    }
+  }
+}
+
+TEST(SeparatorShapeProperty, BallPointConsistency2D) {
+  run_consistency<2>(11);
+}
+TEST(SeparatorShapeProperty, BallPointConsistency3D) {
+  run_consistency<3>(12);
+}
+TEST(SeparatorShapeProperty, BallPointConsistency4D) {
+  run_consistency<4>(13);
+}
+
+TEST(SeparatorShapeProperty, FlipSwapsSidesButNotCuts) {
+  Rng rng(14);
+  for (int trial = 0; trial < 300; ++trial) {
+    Sphere<2> s{random_point<2>(rng, 2.0), rng.uniform(0.3, 2.0)};
+    auto plain = SeparatorShape<2>::make_sphere(s, false);
+    auto flipped = SeparatorShape<2>::make_sphere(s, true);
+    auto p = random_point<2>(rng, 3.0);
+    EXPECT_NE(plain.classify(p), flipped.classify(p));
+    Ball<2> b{random_point<2>(rng, 3.0), rng.uniform(0.01, 1.0)};
+    Region a = plain.classify(b);
+    Region z = flipped.classify(b);
+    if (a == Region::Cut) {
+      EXPECT_EQ(z, Region::Cut);
+    } else {
+      EXPECT_NE(z, Region::Cut);
+      EXPECT_NE(a, z);
+    }
+  }
+}
+
+TEST(SeparatorShapeProperty, ZeroRadiusBallMatchesPointClassification) {
+  // A radius-0 ball classified Inner/Outer must match its center's point
+  // classification; Cut can only occur within the epsilon band.
+  Rng rng(15);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto shape = random_shape<3>(rng);
+    auto c = random_point<3>(rng, 3.0);
+    Region region = shape.classify(Ball<3>{c, 0.0});
+    if (region == Region::Cut) continue;  // on the (widened) surface
+    Side side = shape.classify(c);
+    EXPECT_EQ(region == Region::Inner, side == Side::Inner);
+  }
+}
+
+TEST(SeparatorShapeProperty, GrowingBallMonotonicallyReachesCut) {
+  // Growing a ball about a fixed center: once it is Cut it never returns
+  // to a one-sided classification, and it starts agreeing with the
+  // center's side.
+  Rng rng(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto shape = random_shape<2>(rng);
+    auto c = random_point<2>(rng, 2.0);
+    bool seen_cut = false;
+    for (double r = 0.01; r < 8.0; r *= 1.6) {
+      Region region = shape.classify(Ball<2>{c, r});
+      if (seen_cut) {
+        EXPECT_EQ(region, Region::Cut)
+            << "ball un-cut itself while growing, trial " << trial;
+      }
+      if (region == Region::Cut) seen_cut = true;
+    }
+    // A ball large enough to straddle any bounded surface must be Cut —
+    // true for spheres; halfspaces always cut sufficiently large balls
+    // centered anywhere.
+    EXPECT_TRUE(seen_cut) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sepdc::geo

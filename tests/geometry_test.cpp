@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "geometry/aabb.hpp"
+#include "geometry/ball.hpp"
+#include "geometry/constants.hpp"
+#include "geometry/point.hpp"
+#include "geometry/separator_shape.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::geo {
+namespace {
+
+TEST(Point, Arithmetic) {
+  Point<2> a{{1.0, 2.0}};
+  Point<2> b{{3.0, -1.0}};
+  Point<2> s = a + b;
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  Point<2> d = a - b;
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  Point<2> h = a * 0.5;
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+  EXPECT_DOUBLE_EQ((a / 2.0)[0], 0.5);
+}
+
+TEST(Point, DotNormDistance) {
+  Point<3> a{{1.0, 2.0, 2.0}};
+  Point<3> b{{0.0, 0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 9.0);
+  Point<3> u = normalized(a);
+  EXPECT_NEAR(norm(u), 1.0, 1e-15);
+}
+
+TEST(Ball, StrictInteriorContainment) {
+  Ball<2> b{{{0.0, 0.0}}, 1.0};
+  EXPECT_TRUE(b.contains(Point<2>{{0.5, 0.0}}));
+  EXPECT_FALSE(b.contains(Point<2>{{1.0, 0.0}}));  // boundary excluded
+  EXPECT_FALSE(b.contains(Point<2>{{1.5, 0.0}}));
+}
+
+TEST(Sphere, PointClassification) {
+  Sphere<2> s{{{0.0, 0.0}}, 2.0};
+  EXPECT_EQ(classify_point(s, Point<2>{{1.0, 0.0}}), Side::Inner);
+  EXPECT_EQ(classify_point(s, Point<2>{{2.0, 0.0}}), Side::Inner);  // on S
+  EXPECT_EQ(classify_point(s, Point<2>{{3.0, 0.0}}), Side::Outer);
+}
+
+TEST(Sphere, BallClassification) {
+  Sphere<2> s{{{0.0, 0.0}}, 2.0};
+  EXPECT_EQ(classify_ball(s, Ball<2>{{{0.0, 0.0}}, 1.0}), Region::Inner);
+  EXPECT_EQ(classify_ball(s, Ball<2>{{{5.0, 0.0}}, 1.0}), Region::Outer);
+  EXPECT_EQ(classify_ball(s, Ball<2>{{{2.0, 0.0}}, 0.5}), Region::Cut);
+  // Tangent from inside counts as Cut (conservative).
+  EXPECT_EQ(classify_ball(s, Ball<2>{{{1.0, 0.0}}, 1.0}), Region::Cut);
+}
+
+TEST(SeparatorShape, SphereClassifyAndFlip) {
+  auto shape = SeparatorShape<2>::make_sphere(Sphere<2>{{{0, 0}}, 1.0});
+  EXPECT_EQ(shape.classify(Point<2>{{0.5, 0.0}}), Side::Inner);
+  EXPECT_EQ(shape.classify(Point<2>{{2.0, 0.0}}), Side::Outer);
+
+  auto flipped =
+      SeparatorShape<2>::make_sphere(Sphere<2>{{{0, 0}}, 1.0}, true);
+  EXPECT_EQ(flipped.classify(Point<2>{{0.5, 0.0}}), Side::Outer);
+  EXPECT_EQ(flipped.classify(Point<2>{{2.0, 0.0}}), Side::Inner);
+  // Cut balls stay Cut regardless of flip.
+  EXPECT_EQ(flipped.classify(Ball<2>{{{1.0, 0.0}}, 0.2}), Region::Cut);
+  EXPECT_EQ(flipped.classify(Ball<2>{{{0.0, 0.0}}, 0.2}), Region::Outer);
+}
+
+TEST(SeparatorShape, HalfspaceClassify) {
+  Halfspace<2> h;
+  h.normal = Point<2>{{1.0, 0.0}};
+  h.offset = 0.5;
+  auto shape = SeparatorShape<2>::make_halfspace(h);
+  EXPECT_EQ(shape.classify(Point<2>{{0.0, 7.0}}), Side::Inner);
+  EXPECT_EQ(shape.classify(Point<2>{{0.5, 0.0}}), Side::Inner);  // on plane
+  EXPECT_EQ(shape.classify(Point<2>{{1.0, 0.0}}), Side::Outer);
+
+  EXPECT_EQ(shape.classify(Ball<2>{{{0.0, 0.0}}, 0.1}), Region::Inner);
+  EXPECT_EQ(shape.classify(Ball<2>{{{1.0, 0.0}}, 0.1}), Region::Outer);
+  EXPECT_EQ(shape.classify(Ball<2>{{{0.5, 0.0}}, 0.1}), Region::Cut);
+}
+
+TEST(SeparatorShape, HalfspaceUnnormalizedNormal) {
+  Halfspace<3> h;
+  h.normal = Point<3>{{0.0, 2.0, 0.0}};  // length 2
+  h.offset = 2.0;                        // plane y == 1
+  auto shape = SeparatorShape<3>::make_halfspace(h);
+  EXPECT_EQ(shape.classify(Ball<3>{{{0.0, 0.0, 0.0}}, 0.5}), Region::Inner);
+  EXPECT_EQ(shape.classify(Ball<3>{{{0.0, 1.2, 0.0}}, 0.5}), Region::Cut);
+  EXPECT_EQ(shape.classify(Ball<3>{{{0.0, 3.0, 0.0}}, 0.5}), Region::Outer);
+}
+
+TEST(Aabb, OfPointsAndQueries) {
+  std::vector<Point<2>> pts{{{0.0, 1.0}}, {{2.0, -1.0}}, {{1.0, 3.0}}};
+  auto box = Aabb<2>::of(pts);
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 3.0);
+  EXPECT_TRUE(box.contains(Point<2>{{1.0, 1.0}}));
+  EXPECT_FALSE(box.contains(Point<2>{{-0.1, 1.0}}));
+  EXPECT_DOUBLE_EQ(box.extent(), 4.0);
+  EXPECT_EQ(box.widest_axis(), 1);
+  EXPECT_DOUBLE_EQ(box.center()[0], 1.0);
+}
+
+TEST(Aabb, Distance2) {
+  std::vector<Point<2>> pts{{{0.0, 0.0}}, {{1.0, 1.0}}};
+  auto box = Aabb<2>::of(pts);
+  EXPECT_DOUBLE_EQ(box.distance2(Point<2>{{0.5, 0.5}}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(box.distance2(Point<2>{{2.0, 0.5}}), 1.0);   // right
+  EXPECT_DOUBLE_EQ(box.distance2(Point<2>{{2.0, 2.0}}), 2.0);   // corner
+}
+
+TEST(Aabb, DegenerateSinglePoint) {
+  std::vector<Point<3>> pts{{{1.0, 2.0, 3.0}}};
+  auto box = Aabb<3>::of(pts);
+  EXPECT_DOUBLE_EQ(box.extent(), 0.0);
+  EXPECT_TRUE(box.contains(pts[0]));
+}
+
+TEST(Constants, KissingNumbers) {
+  EXPECT_EQ(kissing_number(1), 2);
+  EXPECT_EQ(kissing_number(2), 6);
+  EXPECT_EQ(kissing_number(3), 12);
+  EXPECT_EQ(kissing_number(4), 24);
+  EXPECT_EQ(kissing_number(8), 240);
+}
+
+TEST(Constants, PaperRatios) {
+  EXPECT_DOUBLE_EQ(splitting_ratio(2), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(splitting_ratio(3), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(separator_exponent(2), 0.5);
+  EXPECT_DOUBLE_EQ(separator_exponent(3), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace sepdc::geo

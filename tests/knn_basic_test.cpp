@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "knn/brute_force.hpp"
+#include "knn/graph.hpp"
+#include "knn/result.hpp"
+#include "knn/topk.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::knn {
+namespace {
+
+TEST(TopK, KeepsSmallestK) {
+  TopK t(3);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    t.offer(static_cast<double>(10 - i), i);  // distances 10..1
+  auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].dist2, 1.0);
+  EXPECT_DOUBLE_EQ(sorted[2].dist2, 3.0);
+}
+
+TEST(TopK, WorstDistInfiniteUntilFull) {
+  TopK t(2);
+  EXPECT_EQ(t.worst_dist2(), std::numeric_limits<double>::infinity());
+  t.offer(5.0, 0);
+  EXPECT_EQ(t.worst_dist2(), std::numeric_limits<double>::infinity());
+  t.offer(3.0, 1);
+  EXPECT_DOUBLE_EQ(t.worst_dist2(), 5.0);
+  t.offer(1.0, 2);
+  EXPECT_DOUBLE_EQ(t.worst_dist2(), 3.0);
+}
+
+TEST(TopK, DeterministicTieBreakByIndex) {
+  TopK a(2), b(2);
+  a.offer(1.0, 5);
+  a.offer(1.0, 3);
+  a.offer(1.0, 7);
+  b.offer(1.0, 7);
+  b.offer(1.0, 5);
+  b.offer(1.0, 3);
+  auto sa = a.take_sorted();
+  auto sb = b.take_sorted();
+  ASSERT_EQ(sa.size(), 2u);
+  EXPECT_EQ(sa[0].index, sb[0].index);
+  EXPECT_EQ(sa[1].index, sb[1].index);
+  EXPECT_EQ(sa[0].index, 3u);
+  EXPECT_EQ(sa[1].index, 5u);
+}
+
+TEST(TopK, ZeroCapacity) {
+  TopK t(0);
+  t.offer(1.0, 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(KnnResult, PaddingSemantics) {
+  auto r = KnnResult::empty(3, 2);
+  EXPECT_EQ(r.count(0), 0u);
+  EXPECT_TRUE(std::isinf(r.radius(0)));
+  r.row_neighbors(0)[0] = 1;
+  r.row_dist2(0)[0] = 4.0;
+  EXPECT_EQ(r.count(0), 1u);
+  EXPECT_TRUE(std::isinf(r.radius(0)));  // not full yet
+  r.row_neighbors(0)[1] = 2;
+  r.row_dist2(0)[1] = 9.0;
+  EXPECT_EQ(r.count(0), 2u);
+  EXPECT_DOUBLE_EQ(r.radius(0), 3.0);
+}
+
+TEST(BruteForce, TinyHandComputedCase) {
+  std::vector<geo::Point<2>> pts{
+      {{0.0, 0.0}}, {{1.0, 0.0}}, {{3.0, 0.0}}, {{7.0, 0.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 2);
+  EXPECT_EQ(r.row_neighbors(0)[0], 1u);  // 0 -> 1 (d=1), then 2 (d=3)
+  EXPECT_EQ(r.row_neighbors(0)[1], 2u);
+  EXPECT_DOUBLE_EQ(r.row_dist2(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.row_dist2(0)[1], 9.0);
+  EXPECT_EQ(r.row_neighbors(3)[0], 2u);  // 7 -> 3 (d=4), then 1 (d=6)
+  EXPECT_EQ(r.row_neighbors(3)[1], 1u);
+}
+
+TEST(BruteForce, FewerPointsThanKPads) {
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 5);
+  EXPECT_EQ(r.count(0), 1u);
+  EXPECT_TRUE(std::isinf(r.radius(0)));
+}
+
+TEST(BruteForce, DuplicatePointsZeroDistance) {
+  std::vector<geo::Point<2>> pts{{{1.0, 1.0}}, {{1.0, 1.0}}, {{1.0, 1.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.count(i), 2u);
+    EXPECT_DOUBLE_EQ(r.radius(i), 0.0);
+  }
+}
+
+TEST(BruteForce, ParallelMatchesSequential) {
+  Rng rng(31);
+  auto pts = workload::uniform_cube<3>(300, rng);
+  auto seq = brute_force<3>(std::span<const geo::Point<3>>(pts), 4);
+  auto& pool = par::ThreadPool::global();
+  auto parl =
+      brute_force_parallel<3>(pool, std::span<const geo::Point<3>>(pts), 4);
+  EXPECT_EQ(seq.neighbors, parl.neighbors);
+  EXPECT_EQ(seq.dist2, parl.dist2);
+}
+
+TEST(KnnGraph, Definition11Symmetry) {
+  Rng rng(32);
+  auto pts = workload::uniform_cube<2>(200, rng);
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 3);
+  auto& pool = par::ThreadPool::global();
+  auto g = KnnGraph::from_result(pool, r);
+  EXPECT_EQ(g.vertex_count(), 200u);
+  // Every directed k-NN relation appears as an undirected edge.
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::uint32_t j : r.row_neighbors(i)) {
+      if (j == KnnResult::kInvalid) break;
+      EXPECT_TRUE(g.has_edge(static_cast<std::uint32_t>(i), j));
+      EXPECT_TRUE(g.has_edge(j, static_cast<std::uint32_t>(i)));
+    }
+  }
+}
+
+TEST(KnnGraph, EdgeCountBounds) {
+  Rng rng(33);
+  const std::size_t n = 500, k = 2;
+  auto pts = workload::uniform_cube<2>(n, rng);
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), k);
+  auto& pool = par::ThreadPool::global();
+  auto g = KnnGraph::from_result(pool, r);
+  // Between n*k/2 (all mutual) and n*k (no mutual) undirected edges.
+  EXPECT_GE(g.edge_count(), n * k / 2);
+  EXPECT_LE(g.edge_count(), n * k);
+  EXPECT_GE(g.max_degree(), k);
+}
+
+TEST(KnnGraph, NoSelfLoopsAndSortedAdjacency) {
+  Rng rng(34);
+  auto pts = workload::uniform_cube<2>(100, rng);
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 2);
+  auto& pool = par::ThreadPool::global();
+  auto g = KnnGraph::from_result(pool, r);
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (auto w : nbrs) EXPECT_NE(w, v);
+  }
+}
+
+TEST(KnnGraph, PaddedRowsProduceOnlyValidEdges) {
+  // n - 1 < k: rows carry padding that must not become edges.
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 5);
+  auto g = KnnGraph::from_result(par::ThreadPool::global(), r);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(KnnGraph, ConnectedComponentsOfTwoClusters) {
+  // Two tight, well-separated clusters with k=1 give >= 2 components.
+  std::vector<geo::Point<2>> pts;
+  Rng rng(35);
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({{rng.uniform(0, 0.01), rng.uniform(0, 0.01)}});
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({{100.0 + rng.uniform(0, 0.01), rng.uniform(0, 0.01)}});
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 1);
+  auto& pool = par::ThreadPool::global();
+  auto g = KnnGraph::from_result(pool, r);
+  EXPECT_GE(g.component_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sepdc::knn

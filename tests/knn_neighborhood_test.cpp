@@ -1,0 +1,100 @@
+// k-neighborhood systems and the Density Lemma (Lemma 2.1).
+#include "knn/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/constants.hpp"
+#include "knn/brute_force.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::knn {
+namespace {
+
+TEST(Neighborhood, RadiiAreKthNeighborDistances) {
+  std::vector<geo::Point<2>> pts{
+      {{0.0, 0.0}}, {{1.0, 0.0}}, {{3.0, 0.0}}, {{6.0, 0.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 2);
+  auto balls =
+      neighborhood_system<2>(std::span<const geo::Point<2>>(pts), r);
+  ASSERT_EQ(balls.size(), 4u);
+  EXPECT_DOUBLE_EQ(balls[0].radius, 3.0);  // 0: neighbors at 1, 3
+  EXPECT_DOUBLE_EQ(balls[1].radius, 2.0);  // 1: neighbors at 0, 3
+  EXPECT_DOUBLE_EQ(balls[2].radius, 3.0);  // 3: neighbors at 1(d2), 6(d3)... center 3: dists 3,2,3 -> k=2 radius 3
+  EXPECT_DOUBLE_EQ(balls[3].radius, 5.0);  // 6: dists 6,5,3 -> k=2 radius 5
+}
+
+TEST(Neighborhood, BallInteriorContainsAtMostKMinusOnePoints) {
+  // The defining property of the k-neighborhood ball.
+  Rng rng(51);
+  for (std::size_t k : {1u, 2u, 4u}) {
+    auto pts = workload::uniform_cube<2>(300, rng);
+    std::span<const geo::Point<2>> span(pts);
+    auto r = brute_force<2>(span, k);
+    auto balls = neighborhood_system<2>(span, r);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      // Compare against the exact squared radius: roundtripping through
+      // sqrt can inflate the ball by one ulp and pull boundary points in.
+      double radius2 = r.radius2(i);
+      std::size_t inside = 0;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (j != i && geo::distance2(pts[i], pts[j]) < radius2) ++inside;
+      }
+      EXPECT_LE(inside, k - 1) << "ball " << i << " k=" << k;
+    }
+  }
+}
+
+TEST(Neighborhood, PlyAt) {
+  std::vector<geo::Ball<2>> balls{
+      {{{0.0, 0.0}}, 1.0}, {{{0.5, 0.0}}, 1.0}, {{{5.0, 0.0}}, 0.1}};
+  EXPECT_EQ(ply_at<2>(balls, geo::Point<2>{{0.25, 0.0}}), 2u);
+  EXPECT_EQ(ply_at<2>(balls, geo::Point<2>{{5.0, 0.0}}), 1u);
+  EXPECT_EQ(ply_at<2>(balls, geo::Point<2>{{10.0, 0.0}}), 0u);
+  // Boundary is not interior.
+  EXPECT_EQ(ply_at<2>(balls, geo::Point<2>{{1.0, 0.0}}), 1u);
+}
+
+class DensityLemma : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DensityLemma, PlyBoundedByKissingTimesK) {
+  const std::size_t k = GetParam();
+  Rng rng(60 + k);
+  auto& pool = par::ThreadPool::global();
+  for (auto kind : {workload::Kind::UniformCube,
+                    workload::Kind::GaussianClusters,
+                    workload::Kind::NearCollinear}) {
+    auto pts = workload::generate<2>(kind, 800, rng);
+    std::span<const geo::Point<2>> span(pts);
+    auto r = brute_force_parallel<2>(pool, span, k);
+    auto balls = neighborhood_system<2>(span, r);
+    std::size_t ply = max_ply<2>(balls, span);
+    EXPECT_LE(ply, static_cast<std::size_t>(geo::kissing_number(2)) * k)
+        << workload::kind_name(kind) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, DensityLemma,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Neighborhood, MaxPlyAtCentersMatchesBruteProbe) {
+  Rng rng(71);
+  auto pts = workload::uniform_cube<2>(500, rng);
+  std::span<const geo::Point<2>> span(pts);
+  auto& pool = par::ThreadPool::global();
+  auto r = brute_force_parallel<2>(pool, span, 3);
+  auto balls = neighborhood_system<2>(span, r);
+  std::size_t fast = max_ply_at_centers<2>(balls, pool);
+  std::size_t slow = max_ply<2>(balls, span);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(Neighborhood, InfiniteRadiusWhenTooFewPoints) {
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
+  auto r = brute_force<2>(std::span<const geo::Point<2>>(pts), 3);
+  auto balls =
+      neighborhood_system<2>(std::span<const geo::Point<2>>(pts), r);
+  EXPECT_TRUE(std::isinf(balls[0].radius));
+}
+
+}  // namespace
+}  // namespace sepdc::knn

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::linalg {
+namespace {
+
+TEST(Matrix, IdentityAndProduct) {
+  Matrix i = Matrix::identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  Matrix ia = i * a;
+  EXPECT_NEAR(ia.frobenius_distance(a), 0.0, 1e-14);
+  Matrix ai = a * i;
+  EXPECT_NEAR(ai.frobenius_distance(a), 0.0, 1e-14);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 5;
+  a(1, 1) = -2;
+  Matrix att = a.transposed().transposed();
+  EXPECT_NEAR(att.frobenius_distance(a), 0.0, 1e-15);
+  EXPECT_EQ(a.transposed().rows(), 3u);
+}
+
+TEST(Matrix, ApplyMatchesManual) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 0;
+  a(1, 1) = 3;
+  auto y = a.apply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Solve, RandomSystemsRoundtrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 2 + rng.below(6);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-5, 5);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+    }
+    auto b = a.apply(x_true);
+    auto x = solve(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Solve, SingularReturnsNullopt) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  EXPECT_FALSE(solve(a, {1.0, 1.0}).has_value());
+}
+
+TEST(NullSpace, WideSystemAlwaysHasVector) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t rows = 3, cols = 5;
+    Matrix a(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-1, 1);
+    auto v = null_space_vector(a);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NEAR(norm(*v), 1.0, 1e-10);
+    auto av = a.apply(*v);
+    for (double e : av) EXPECT_NEAR(e, 0.0, 1e-9);
+  }
+}
+
+TEST(NullSpace, FullColumnRankReturnsNullopt) {
+  Matrix a = Matrix::identity(4);
+  EXPECT_FALSE(null_space_vector(a).has_value());
+}
+
+TEST(NullSpace, RankDeficientSquare) {
+  Matrix a(3, 3);
+  // Row 2 = row 0 + row 1.
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  a(2, 0) = 5;
+  a(2, 1) = 7;
+  a(2, 2) = 9;
+  auto v = null_space_vector(a);
+  ASSERT_TRUE(v.has_value());
+  auto av = a.apply(*v);
+  for (double e : av) EXPECT_NEAR(e, 0.0, 1e-10);
+}
+
+TEST(RotationBetween, MapsFromToTo) {
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t n = 2 + rng.below(4);
+    auto random_unit = [&] {
+      std::vector<double> v(n);
+      double len = 0;
+      do {
+        for (auto& x : v) x = rng.normal();
+        len = norm(v);
+      } while (len < 1e-9);
+      for (auto& x : v) x /= len;
+      return v;
+    };
+    auto from = random_unit();
+    auto to = random_unit();
+    Matrix h = rotation_between(from, to);
+    auto mapped = h.apply(from);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(mapped[i], to[i], 1e-10);
+    // Orthogonality: H Hᵀ = I.
+    Matrix hht = h * h.transposed();
+    EXPECT_NEAR(hht.frobenius_distance(Matrix::identity(n)), 0.0, 1e-10);
+  }
+}
+
+TEST(RotationBetween, IdenticalVectorsGiveIdentity) {
+  std::vector<double> v{1.0, 0.0, 0.0};
+  Matrix h = rotation_between(v, v);
+  EXPECT_NEAR(h.frobenius_distance(Matrix::identity(3)), 0.0, 1e-14);
+}
+
+TEST(RotationBetween, AntipodalVectors) {
+  std::vector<double> v{0.0, 1.0};
+  std::vector<double> w{0.0, -1.0};
+  Matrix h = rotation_between(v, w);
+  auto mapped = h.apply(v);
+  EXPECT_NEAR(mapped[0], w[0], 1e-12);
+  EXPECT_NEAR(mapped[1], w[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace sepdc::linalg

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_pack.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/parallel_sort.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::par {
+namespace {
+
+class ParallelAlgorithms : public ::testing::TestWithParam<unsigned> {
+ protected:
+  ThreadPool pool{GetParam()};
+};
+
+TEST_P(ParallelAlgorithms, ParallelForCoversEveryIndexOnce) {
+  for (std::size_t n : {0u, 1u, 7u, 1000u, 10001u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); },
+                 64);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST_P(ParallelAlgorithms, ParallelReduceSum) {
+  const std::size_t n = 12345;
+  auto total = parallel_reduce(
+      pool, 0, n, std::uint64_t{0}, [](std::size_t i) { return i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, 100);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST_P(ParallelAlgorithms, ParallelInvokeRunsBoth) {
+  int a = 0, b = 0;
+  parallel_invoke(pool, [&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST_P(ParallelAlgorithms, ExclusiveScanMatchesSequential) {
+  Rng rng(5);
+  for (std::size_t n : {0u, 1u, 3u, 100u, 4097u}) {
+    std::vector<std::uint64_t> in(n);
+    for (auto& v : in) v = rng.below(100);
+    std::uint64_t total = 0;
+    auto out = exclusive_scan(
+        pool, in, std::uint64_t{0},
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, &total, 32);
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], expect);
+      expect += in[i];
+    }
+    EXPECT_EQ(total, expect);
+  }
+}
+
+TEST_P(ParallelAlgorithms, InclusiveScanMatchesSequential) {
+  Rng rng(6);
+  const std::size_t n = 999;
+  std::vector<std::int64_t> in(n);
+  for (auto& v : in) v = rng.range(-10, 10);
+  auto out = inclusive_scan(
+      pool, in, std::int64_t{0},
+      [](std::int64_t a, std::int64_t b) { return a + b; }, 64);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += in[i];
+    EXPECT_EQ(out[i], acc);
+  }
+}
+
+TEST_P(ParallelAlgorithms, ScanWithMaxOperator) {
+  std::vector<int> in{3, 1, 4, 1, 5, 9, 2, 6};
+  auto out = inclusive_scan(
+      pool, in, 0, [](int a, int b) { return std::max(a, b); }, 2);
+  std::vector<int> expect{3, 3, 4, 4, 5, 9, 9, 9};
+  EXPECT_EQ(out, expect);
+}
+
+TEST_P(ParallelAlgorithms, SortMatchesStdSort) {
+  Rng rng(7);
+  for (std::size_t n : {0u, 1u, 2u, 100u, 5000u, 50000u}) {
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng.below(1000);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    parallel_sort(pool, v, std::less<>{}, 128);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST_P(ParallelAlgorithms, SortWithCustomComparator) {
+  Rng rng(8);
+  std::vector<int> v(3000);
+  for (auto& x : v) x = static_cast<int>(rng.below(1000));
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), std::greater<>{});
+  parallel_sort(pool, v, std::greater<>{}, 64);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(ParallelAlgorithms, SortAlreadySortedAndReversed) {
+  std::vector<int> asc(10000);
+  std::iota(asc.begin(), asc.end(), 0);
+  auto v = asc;
+  parallel_sort(pool, v, std::less<>{}, 100);
+  EXPECT_EQ(v, asc);
+  std::reverse(v.begin(), v.end());
+  parallel_sort(pool, v, std::less<>{}, 100);
+  EXPECT_EQ(v, asc);
+}
+
+TEST_P(ParallelAlgorithms, SortAdversarialPatterns) {
+  // Organ pipe (ascending then descending), all-equal, and two-value
+  // patterns stress the merge-path split search's tie handling.
+  {
+    std::vector<int> organ;
+    for (int i = 0; i < 5000; ++i) organ.push_back(i);
+    for (int i = 5000; i-- > 0;) organ.push_back(i);
+    auto expect = organ;
+    std::sort(expect.begin(), expect.end());
+    parallel_sort(pool, organ, std::less<>{}, 64);
+    EXPECT_EQ(organ, expect);
+  }
+  {
+    std::vector<int> equal(8192, 7);
+    auto expect = equal;
+    parallel_sort(pool, equal, std::less<>{}, 64);
+    EXPECT_EQ(equal, expect);
+  }
+  {
+    Rng rng(77);
+    std::vector<int> binary(9001);
+    for (auto& x : binary) x = rng.coin() ? 1 : 0;
+    auto expect = binary;
+    std::sort(expect.begin(), expect.end());
+    parallel_sort(pool, binary, std::less<>{}, 64);
+    EXPECT_EQ(binary, expect);
+  }
+}
+
+TEST_P(ParallelAlgorithms, PackKeepsOrderAndFilter) {
+  Rng rng(9);
+  std::vector<int> in(7777);
+  for (auto& x : in) x = static_cast<int>(rng.below(100));
+  auto evens = parallel_pack(pool, in, [](int x) { return x % 2 == 0; }, 64);
+  std::vector<int> expect;
+  for (int x : in)
+    if (x % 2 == 0) expect.push_back(x);
+  EXPECT_EQ(evens, expect);
+}
+
+TEST_P(ParallelAlgorithms, PartitionIsStableBothSides) {
+  Rng rng(10);
+  std::vector<int> v(5001);
+  for (auto& x : v) x = static_cast<int>(rng.below(1000));
+  auto original = v;
+  auto is_small = [](int x) { return x < 500; };
+  std::size_t split = parallel_partition(pool, v, is_small, 64);
+
+  std::vector<int> expect_true, expect_false;
+  for (int x : original) (is_small(x) ? expect_true : expect_false).push_back(x);
+  ASSERT_EQ(split, expect_true.size());
+  for (std::size_t i = 0; i < split; ++i) EXPECT_EQ(v[i], expect_true[i]);
+  for (std::size_t i = split; i < v.size(); ++i)
+    EXPECT_EQ(v[i], expect_false[i - split]);
+}
+
+TEST_P(ParallelAlgorithms, PartitionEdgeCases) {
+  std::vector<int> empty;
+  EXPECT_EQ(parallel_partition(pool, empty, [](int) { return true; }), 0u);
+  std::vector<int> all{1, 2, 3};
+  EXPECT_EQ(parallel_partition(pool, all, [](int) { return true; }), 3u);
+  EXPECT_EQ(parallel_partition(pool, all, [](int) { return false; }), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelAlgorithms,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace sepdc::par

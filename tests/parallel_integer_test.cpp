@@ -1,0 +1,147 @@
+// The §1 CRCW-PRAM toolkit: integer (radix) sorting, random permuting,
+// and parallel selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/permutation.hpp"
+#include "parallel/radix_sort.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace sepdc::par {
+namespace {
+
+class IntegerToolkit : public ::testing::TestWithParam<unsigned> {
+ protected:
+  ThreadPool pool{GetParam()};
+};
+
+TEST_P(IntegerToolkit, RadixSortMatchesStdSort64) {
+  Rng rng(1);
+  for (std::size_t n : {0u, 1u, 2u, 255u, 256u, 4097u, 100000u}) {
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng.next();
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    radix_sort(pool, v, 64);
+    EXPECT_EQ(v, expect) << "n=" << n;
+  }
+}
+
+TEST_P(IntegerToolkit, RadixSortNarrowKeys) {
+  Rng rng(2);
+  std::vector<std::uint32_t> v(50000);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.below(1u << 16));
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  radix_sort(pool, v, 16);  // only the live bits
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(IntegerToolkit, RadixSortByKeyIsStable) {
+  // Sort pairs by the second component only; equal keys must preserve
+  // input order (stability is what the permutation construction needs).
+  struct Pair {
+    std::uint32_t original;
+    std::uint32_t key;
+    bool operator==(const Pair&) const = default;
+  };
+  Rng rng(3);
+  std::vector<Pair> v(20000);
+  for (std::uint32_t i = 0; i < v.size(); ++i)
+    v[i] = Pair{i, static_cast<std::uint32_t>(rng.below(16))};
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Pair& a, const Pair& b) { return a.key < b.key; });
+  radix_sort_by(
+      pool, v, [](const Pair& p) { return static_cast<std::uint64_t>(p.key); },
+      8);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(IntegerToolkit, RadixSortAllEqualAndPresorted) {
+  std::vector<std::uint64_t> same(10000, 42);
+  auto copy = same;
+  radix_sort(pool, same, 64);
+  EXPECT_EQ(same, copy);
+
+  std::vector<std::uint64_t> asc(10000);
+  std::iota(asc.begin(), asc.end(), 0u);
+  auto v = asc;
+  radix_sort(pool, v, 64);
+  EXPECT_EQ(v, asc);
+}
+
+TEST_P(IntegerToolkit, RandomPermutationIsAPermutation) {
+  Rng rng(4);
+  for (std::size_t n : {1u, 7u, 1000u, 65536u}) {
+    auto perm = random_permutation(pool, n, rng);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<std::uint32_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(sorted[i], i);
+  }
+}
+
+TEST_P(IntegerToolkit, RandomPermutationLooksUniform) {
+  // Chi-squared-ish sanity: position of element 0 over many draws should
+  // spread across the range.
+  Rng rng(5);
+  const std::size_t n = 16;
+  std::vector<int> position_counts(n, 0);
+  const int draws = 4000;
+  for (int t = 0; t < draws; ++t) {
+    auto perm = random_permutation(pool, n, rng);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (perm[pos] == 0) {
+        ++position_counts[pos];
+        break;
+      }
+    }
+  }
+  for (int c : position_counts) {
+    EXPECT_GT(c, draws / static_cast<int>(n) / 2);
+    EXPECT_LT(c, draws * 2 / static_cast<int>(n));
+  }
+}
+
+TEST_P(IntegerToolkit, RandomPermutationDeterministicPerSeed) {
+  Rng a(6), b(6);
+  auto pa = random_permutation(pool, 1000, a);
+  auto pb = random_permutation(pool, 1000, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST_P(IntegerToolkit, SelectMatchesNthElement) {
+  Rng rng(7);
+  for (std::size_t n : {1u, 65u, 1000u, 30000u}) {
+    std::vector<std::int64_t> data(n);
+    for (auto& x : data) x = rng.range(-1000, 1000);
+    for (std::size_t rank : {std::size_t{0}, n / 4, n / 2, n - 1}) {
+      auto sorted = data;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                       sorted.end());
+      EXPECT_EQ(parallel_select(pool, data, rank, rng), sorted[rank])
+          << "n=" << n << " rank=" << rank;
+    }
+  }
+}
+
+TEST_P(IntegerToolkit, SelectWithHeavyDuplicates) {
+  Rng rng(8);
+  std::vector<int> data(10000, 5);
+  for (std::size_t i = 0; i < 100; ++i)
+    data[rng.below(data.size())] = static_cast<int>(rng.below(10));
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(parallel_select(pool, data, 5000, rng), sorted[5000]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, IntegerToolkit,
+                         ::testing::Values(1u, 4u));
+
+}  // namespace
+}  // namespace sepdc::par

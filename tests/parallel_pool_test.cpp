@@ -1,0 +1,105 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sepdc::par {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadStillCompletes) {
+  ThreadPool pool(1);  // zero workers: everything runs via helping waits
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 50; ++i) group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// Recursive fork-join must not deadlock even when tasks outnumber workers.
+int fib(ThreadPool& pool, int n) {
+  if (n <= 1) return n;
+  int a = 0, b = 0;
+  TaskGroup group(pool);
+  group.run([&] { a = fib(pool, n - 1); });
+  b = fib(pool, n - 2);
+  group.wait();
+  return a + b;
+}
+
+TEST(ThreadPool, NestedForkJoin) {
+  ThreadPool pool(2);
+  EXPECT_EQ(fib(pool, 15), 610);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.wait();  // no tasks: must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, GroupReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ConcurrencyCountsCaller) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.concurrency(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) group.run([&] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_GE(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, ManyConcurrentGroups) {
+  ThreadPool pool(4);
+  std::vector<long> results(8, 0);
+  TaskGroup outer(pool);
+  for (std::size_t g = 0; g < results.size(); ++g) {
+    outer.run([&, g] {
+      TaskGroup inner(pool);
+      std::atomic<long> sum{0};
+      for (int i = 1; i <= 100; ++i) inner.run([&, i] { sum.fetch_add(i); });
+      inner.wait();
+      results[g] = sum.load();
+    });
+  }
+  outer.wait();
+  for (long r : results) EXPECT_EQ(r, 5050);
+}
+
+}  // namespace
+}  // namespace sepdc::par

@@ -1,0 +1,138 @@
+#include "parallel/segmented_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace sepdc::par {
+namespace {
+
+// Sequential reference implementation.
+template <class T, class Combine>
+std::vector<T> reference_inclusive(const std::vector<T>& v,
+                                   const std::vector<std::uint8_t>& f,
+                                   T identity, Combine combine) {
+  std::vector<T> out(v.size());
+  T acc = identity;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i == 0 || f[i]) acc = identity;
+    acc = combine(acc, v[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+class SegmentedScan : public ::testing::TestWithParam<unsigned> {
+ protected:
+  ThreadPool pool{GetParam()};
+};
+
+TEST_P(SegmentedScan, InclusiveMatchesReferenceRandomSegments) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 2u, 17u, 1000u, 8192u}) {
+    std::vector<std::int64_t> v(n);
+    std::vector<std::uint8_t> f(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = rng.range(-5, 5);
+      f[i] = rng.coin(0.1) ? 1 : 0;
+    }
+    auto plus = [](std::int64_t a, std::int64_t b) { return a + b; };
+    auto got = segmented_inclusive_scan(pool, v, f, std::int64_t{0}, plus,
+                                        64);
+    auto expect = reference_inclusive(v, f, std::int64_t{0}, plus);
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST_P(SegmentedScan, ExclusiveMatchesReference) {
+  Rng rng(2);
+  const std::size_t n = 3000;
+  std::vector<int> v(n);
+  std::vector<std::uint8_t> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int>(rng.below(10));
+    f[i] = rng.coin(0.05) ? 1 : 0;
+  }
+  auto plus = [](int a, int b) { return a + b; };
+  auto got = segmented_exclusive_scan(pool, v, f, 0, plus, 32);
+  // Reference: exclusive = inclusive shifted within segments.
+  auto inc = reference_inclusive(v, f, 0, plus);
+  for (std::size_t i = 0; i < n; ++i) {
+    int expect = (i == 0 || f[i]) ? 0 : inc[i - 1];
+    ASSERT_EQ(got[i], expect) << "i=" << i;
+  }
+}
+
+TEST_P(SegmentedScan, SingleSegmentEqualsPlainScan) {
+  Rng rng(3);
+  const std::size_t n = 2000;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.below(100);
+  std::vector<std::uint8_t> f(n, 0);
+  auto plus = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  auto got = segmented_inclusive_scan(pool, v, f, std::uint64_t{0}, plus);
+  auto plain = inclusive_scan(pool, v, std::uint64_t{0}, plus);
+  EXPECT_EQ(got, plain);
+}
+
+TEST_P(SegmentedScan, AllStartsMakesIdentityScan) {
+  std::vector<int> v{4, 5, 6, 7};
+  std::vector<std::uint8_t> f{1, 1, 1, 1};
+  auto got = segmented_inclusive_scan(
+      pool, v, f, 0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, v);  // every element is its own segment
+}
+
+TEST_P(SegmentedScan, MaxOperatorBroadcastsSegmentPeaks) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<std::uint8_t> f{1, 0, 0, 1, 0, 0, 1, 0};
+  auto got = segmented_inclusive_scan(
+      pool, v, f, 0, [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(got, (std::vector<int>{3, 3, 4, 1, 5, 9, 2, 6}));
+}
+
+TEST_P(SegmentedScan, SegmentedReduceTotals) {
+  std::vector<int> v{1, 2, 3, 10, 20, 100};
+  std::vector<std::uint8_t> f{1, 0, 0, 1, 0, 1};
+  auto totals = segmented_reduce(pool, v, f, 0,
+                                 [](int a, int b) { return a + b; });
+  EXPECT_EQ(totals, (std::vector<int>{6, 30, 100}));
+}
+
+TEST_P(SegmentedScan, ReduceEmptyAndSingleton) {
+  std::vector<int> none;
+  std::vector<std::uint8_t> noflags;
+  EXPECT_TRUE(segmented_reduce(pool, none, noflags, 0,
+                               [](int a, int b) { return a + b; })
+                  .empty());
+  std::vector<int> one{42};
+  std::vector<std::uint8_t> oneflag{0};
+  auto totals = segmented_reduce(pool, one, oneflag, 0,
+                                 [](int a, int b) { return a + b; });
+  EXPECT_EQ(totals, (std::vector<int>{42}));
+}
+
+// The operator used in the reduction must be associative even across
+// segment boundaries; verify by brute-force associativity probing.
+TEST_P(SegmentedScan, SegmentedOperatorIsAssociative) {
+  Rng rng(4);
+  auto plus = [](int a, int b) { return a + b; };
+  detail::SegmentedOp<int, decltype(plus)> op{plus};
+  for (int t = 0; t < 500; ++t) {
+    std::pair<std::uint8_t, int> a{rng.coin() ? 1 : 0,
+                                   static_cast<int>(rng.below(10))};
+    std::pair<std::uint8_t, int> b{rng.coin() ? 1 : 0,
+                                   static_cast<int>(rng.below(10))};
+    std::pair<std::uint8_t, int> c{rng.coin() ? 1 : 0,
+                                   static_cast<int>(rng.below(10))};
+    EXPECT_EQ(op(op(a, b), c), op(a, op(b, c)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, SegmentedScan,
+                         ::testing::Values(1u, 4u));
+
+}  // namespace
+}  // namespace sepdc::par

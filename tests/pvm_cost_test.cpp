@@ -1,0 +1,128 @@
+#include "pvm/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pvm/machine.hpp"
+
+namespace sepdc::pvm {
+namespace {
+
+TEST(Cost, SequentialCompositionAddsBoth) {
+  Cost a{10, 2}, b{5, 3};
+  Cost c = seq(a, b);
+  EXPECT_EQ(c.work, 15u);
+  EXPECT_EQ(c.depth, 5u);
+}
+
+TEST(Cost, ParallelCompositionTakesMaxDepth) {
+  Cost a{10, 2}, b{5, 7};
+  Cost c = par(a, b);
+  EXPECT_EQ(c.work, 15u);
+  EXPECT_EQ(c.depth, 7u);
+}
+
+TEST(Cost, SeqIsAssociative) {
+  Cost a{1, 2}, b{3, 4}, c{5, 6};
+  EXPECT_EQ(seq(seq(a, b), c), seq(a, seq(b, c)));
+}
+
+TEST(Cost, ParIsAssociativeAndCommutative) {
+  Cost a{1, 2}, b{3, 9}, c{5, 6};
+  EXPECT_EQ(par(par(a, b), c), par(a, par(b, c)));
+  EXPECT_EQ(par(a, b), par(b, a));
+}
+
+TEST(Cost, IdentityElement) {
+  Cost a{7, 3};
+  EXPECT_EQ(seq(a, Cost{}), a);
+  EXPECT_EQ(par(a, Cost{}), a);
+}
+
+TEST(Cost, PlusEqualsIsSequential) {
+  Cost a{1, 1};
+  a += Cost{2, 2};
+  EXPECT_EQ(a, (Cost{3, 3}));
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(ScanCost, UnitModelChargesDepthOne) {
+  CostConfig cfg{ScanModel::Unit};
+  Cost c = scan_cost(1 << 20, cfg);
+  EXPECT_EQ(c.depth, 1u);
+  EXPECT_EQ(c.work, 1u << 20);
+}
+
+TEST(ScanCost, LogModelChargesLogDepth) {
+  CostConfig cfg{ScanModel::Log};
+  Cost c = scan_cost(1 << 20, cfg);
+  EXPECT_EQ(c.depth, 20u);
+  EXPECT_EQ(scan_cost(1, cfg).depth, 1u);
+}
+
+TEST(MapCost, LinearWorkUnitDepth) {
+  Cost c = map_cost(12345);
+  EXPECT_EQ(c.work, 12345u);
+  EXPECT_EQ(c.depth, 1u);
+}
+
+TEST(PackCost, CombinesMapScanMap) {
+  CostConfig unit{ScanModel::Unit};
+  Cost c = pack_cost(100, unit);
+  EXPECT_EQ(c.work, 300u);
+  EXPECT_EQ(c.depth, 3u);
+  CostConfig log{ScanModel::Log};
+  EXPECT_EQ(pack_cost(100, log).depth, 2u + ceil_log2(100));
+}
+
+TEST(Ledger, AccumulatesSequentiallyAndParallel) {
+  Ledger ledger;
+  ledger.charge(map_cost(10));
+  ledger.charge_parallel(Cost{100, 5}, Cost{50, 9});
+  EXPECT_EQ(ledger.total().work, 160u);
+  EXPECT_EQ(ledger.total().depth, 10u);
+}
+
+TEST(BrentTime, LimitsAndMonotonicity) {
+  Cost c{1000000, 100};
+  // One processor: all work sequential.
+  EXPECT_DOUBLE_EQ(brent_time(c, 1), 1000100.0);
+  // Unbounded processors approach the depth.
+  EXPECT_NEAR(brent_time(c, 1u << 30), 100.0, 0.01);
+  // Monotone nonincreasing in p.
+  double prev = brent_time(c, 1);
+  for (std::size_t p = 2; p <= 1024; p *= 2) {
+    double t = brent_time(c, p);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  // Zero processors treated as one.
+  EXPECT_DOUBLE_EQ(brent_time(c, 0), brent_time(c, 1));
+}
+
+TEST(BrentTime, SpeedupSaturatesAtParallelism) {
+  // Speedup = T1/Tp caps at work/depth (the computation's parallelism).
+  Cost c{4096, 16};
+  double parallelism = 4096.0 / 16.0;
+  double speedup_huge = brent_time(c, 1) / brent_time(c, 1u << 20);
+  EXPECT_LT(speedup_huge, parallelism + 2.0);
+  EXPECT_GT(speedup_huge, parallelism * 0.9);
+}
+
+TEST(Machine, GlobalConstructs) {
+  Machine m = Machine::global();
+  EXPECT_GE(m.pool.concurrency(), 1u);
+  EXPECT_EQ(m.cost.scan, ScanModel::Unit);
+}
+
+}  // namespace
+}  // namespace sepdc::pvm

@@ -1,0 +1,100 @@
+#include "pvm/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace sepdc::pvm {
+namespace {
+
+class VectorOps : public ::testing::Test {
+ protected:
+  par::ThreadPool pool{4};
+  Machine machine{pool, CostConfig{}};
+};
+
+TEST_F(VectorOps, MapComputesAndCharges) {
+  auto [squares, cost] = vmap<std::uint64_t>(
+      machine, 1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 1000u);
+  EXPECT_EQ(squares[7], 49u);
+  EXPECT_EQ(cost, map_cost(1000));
+}
+
+TEST_F(VectorOps, ReduceMatchesSequential) {
+  auto [total, cost] = vreduce(
+      machine, 5000, std::uint64_t{0}, [](std::size_t i) { return i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, 5000ull * 4999 / 2);
+  EXPECT_EQ(cost.depth, 1u);  // unit-scan model
+}
+
+TEST_F(VectorOps, ReduceChargesLogUnderLogModel) {
+  Machine log_machine{pool, CostConfig{ScanModel::Log}};
+  auto [total, cost] = vreduce(
+      log_machine, 1 << 12, 0, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 1 << 12);
+  EXPECT_EQ(cost.depth, 12u);
+}
+
+TEST_F(VectorOps, ScanMatchesSequential) {
+  std::vector<int> in{3, 1, 4, 1, 5};
+  auto [out, cost] =
+      vscan(machine, in, 0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 8, 9}));
+  EXPECT_EQ(cost.work, 5u);
+  EXPECT_EQ(cost.depth, 1u);
+}
+
+TEST_F(VectorOps, PackFiltersAndCharges) {
+  std::vector<int> in(100);
+  std::iota(in.begin(), in.end(), 0);
+  auto [odds, cost] = vpack(machine, in, [](int x) { return x % 2 == 1; });
+  ASSERT_EQ(odds.size(), 50u);
+  EXPECT_EQ(odds[0], 1);
+  EXPECT_EQ(odds[49], 99);
+  EXPECT_EQ(cost, pack_cost(100, machine.cost));
+}
+
+TEST_F(VectorOps, GatherPermutes) {
+  std::vector<double> data{10.0, 20.0, 30.0};
+  std::vector<std::uint32_t> idx{2, 0, 1, 2};
+  auto [out, cost] = vgather(machine, data, idx);
+  EXPECT_EQ(out, (std::vector<double>{30.0, 10.0, 20.0, 30.0}));
+  EXPECT_EQ(cost, map_cost(4));
+}
+
+TEST_F(VectorOps, ComposedPipelineCostAddsUp) {
+  // A pack-then-reduce pipeline: the ledger total must equal the sum of
+  // the component charges (seq composition).
+  Ledger ledger;
+  std::vector<int> in(1000);
+  std::iota(in.begin(), in.end(), 0);
+  auto packed = vpack(machine, in, [](int x) { return x < 100; });
+  ledger.charge(packed.cost);
+  auto [sum, rcost] = vreduce(
+      machine, packed.value.size(), 0,
+      [&](std::size_t i) { return packed.value[i]; },
+      [](int a, int b) { return a + b; });
+  ledger.charge(rcost);
+  EXPECT_EQ(sum, 99 * 100 / 2);
+  EXPECT_EQ(ledger.total().depth,
+            pack_cost(1000, machine.cost).depth +
+                reduce_cost(100, machine.cost).depth);
+}
+
+TEST_F(VectorOps, EmptyInputs) {
+  auto m = vmap<int>(machine, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(m.value.empty());
+  std::vector<int> none;
+  auto p = vpack(machine, none, [](int) { return true; });
+  EXPECT_TRUE(p.value.empty());
+  auto s = vscan(machine, none, 0, [](int a, int b) { return a + b; });
+  EXPECT_TRUE(s.value.empty());
+}
+
+}  // namespace
+}  // namespace sepdc::pvm

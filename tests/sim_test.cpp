@@ -1,0 +1,154 @@
+// §4 probabilistic (a,b)-trees and the §6.4 duplication process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/duplication.hpp"
+#include "sim/prob_tree.hpp"
+
+namespace sepdc::sim {
+namespace {
+
+TEST(ProbTree, ZeroLuckyWeightAllLuckyGivesZeroDepth) {
+  // With unlucky_scale = 0 every node weighs 0 regardless of luck.
+  Rng rng(1);
+  AbTreeParams p;
+  p.lucky_weight = 0;
+  p.unlucky_scale = 0;
+  EXPECT_EQ(sample_max_weighted_depth(1024, p, rng), 0u);
+}
+
+TEST(ProbTree, ConstantWeightGivesExactlyCLogN) {
+  // lucky == unlucky == C makes RD deterministic: C per level.
+  Rng rng(2);
+  AbTreeParams p;
+  p.lucky_weight = 3;
+  p.unlucky_scale = 0;
+  // Internal nodes: log2(n) levels (leaves weigh nothing).
+  EXPECT_EQ(sample_max_weighted_depth(1 << 10, p, rng), 3u * 10u);
+}
+
+TEST(ProbTree, SingleLeafHasZeroDepth) {
+  Rng rng(3);
+  AbTreeParams p;
+  EXPECT_EQ(sample_max_weighted_depth(1, p, rng), 0u);
+}
+
+TEST(ProbTree, TypicalDepthIsSmallWithHighProbability) {
+  // Lemma 4.1's regime: a ≡ 0, b(m) = log m. RD(n) should be far below
+  // the worst case Σ log(2^i) = Θ(log² n) and usually O(log n).
+  Rng rng(4);
+  const std::uint64_t n = 1 << 14;  // log n = 14
+  AbTreeParams p;  // lucky 0, unlucky log m
+  int trials = 200;
+  int exceed = 0;
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto rd = sample_max_weighted_depth(n, p, rng);
+    sum += static_cast<double>(rd);
+    if (rd > 6 * 14) ++exceed;  // 2c log n with c = 3
+  }
+  EXPECT_LT(static_cast<double>(exceed) / trials, 0.05);
+  EXPECT_LT(sum / trials, 60.0);  // average well below log² n = 196
+}
+
+TEST(ProbTree, DepthDistributionStochasticallyIncreasingInN) {
+  Rng rng(5);
+  AbTreeParams p;
+  double small_mean = 0, large_mean = 0;
+  for (int t = 0; t < 100; ++t) {
+    small_mean += static_cast<double>(
+        sample_max_weighted_depth(1 << 8, p, rng));
+    large_mean += static_cast<double>(
+        sample_max_weighted_depth(1 << 16, p, rng));
+  }
+  EXPECT_LT(small_mean, large_mean);
+}
+
+TEST(ProbTree, BoundFormulaDecaysInC) {
+  double b1 = punting_lemma_bound(1 << 10, 2.0);
+  double b2 = punting_lemma_bound(1 << 10, 4.0);
+  EXPECT_GT(b1, b2);
+  EXPECT_GT(punting_lemma_bound(1 << 10, 0.1), 1.0);  // vacuous at small c
+}
+
+TEST(ProbTree, RejectsNonPowerOfTwo) {
+  Rng rng(6);
+  AbTreeParams p;
+  EXPECT_DEATH(sample_max_weighted_depth(1000, p, rng), "power of two");
+}
+
+TEST(Duplication, NoDuplicationWhenBetaHuge) {
+  // β very large makes duplication probability ~0; with a balanced
+  // adversary and α, total leaf weight stays near W + growth terms.
+  Rng rng(7);
+  DuplicationParams p;
+  p.beta = 50.0;  // w^-50 ~ 0
+  p.alpha = 0.5;
+  auto out = sample_duplication_process(1000.0, 10, p, rng);
+  EXPECT_EQ(out.duplications, 0u);
+  // Each level adds at most 2^level * w^alpha overhead... total bounded.
+  EXPECT_LT(out.total_leaf_weight, 10000.0);
+  EXPECT_GE(out.total_leaf_weight, 1000.0);
+}
+
+TEST(Duplication, AlwaysDuplicateExplodesExponentially) {
+  // β = 0 duplicates at every node: X = W · 2^K.
+  Rng rng(8);
+  DuplicationParams p;
+  p.beta = 0.0;
+  p.w_bar = 0.5;
+  auto out = sample_duplication_process(16.0, 6, p, rng);
+  EXPECT_DOUBLE_EQ(out.total_leaf_weight, 16.0 * 64.0);
+  EXPECT_EQ(out.duplications, 63u);
+}
+
+TEST(Duplication, Lemma65RegimeStaysNearG) {
+  // In the paper's parameter regime the total leaf weight is
+  // O(g(W) log W) w.h.p.; test the empirical 95th percentile.
+  Rng rng(9);
+  DuplicationParams p;  // defaults are the paper's d=2 regime
+  const double w = 4096.0;
+  const std::uint64_t k = 12;
+  double g = lemma65_g(w, static_cast<double>(k), p.alpha, 0.1);
+  std::vector<double> samples;
+  for (int t = 0; t < 100; ++t)
+    samples.push_back(
+        sample_duplication_process(w, k, p, rng).total_leaf_weight);
+  std::sort(samples.begin(), samples.end());
+  double p95 = samples[94];
+  // Lemma 6.5 hides its constant A; an order-of-magnitude envelope is the
+  // right strength for a unit test (the experiment binary reports ratios).
+  EXPECT_LT(p95, 10.0 * g * std::log2(w));
+}
+
+TEST(Duplication, PeakLevelWeightAtLeastRoot) {
+  Rng rng(10);
+  DuplicationParams p;
+  auto out = sample_duplication_process(100.0, 8, p, rng);
+  EXPECT_GE(out.peak_level_weight, 100.0);
+}
+
+TEST(Duplication, EnvelopeHoldsForBothAdversaries) {
+  // Lemma 6.5's bound is adversary-independent: both the balanced and
+  // the skewed strategy must stay within the O(g(W) log W) envelope.
+  // (Skewing is NOT monotone here: small children die at the w̄ cutoff,
+  // so the skewed adversary often produces *less* total weight.)
+  Rng rng(11);
+  const double w = 2048.0;
+  const std::uint64_t k = 11;
+  for (double frac : {0.5, 0.05}) {
+    DuplicationParams p;
+    p.adversary_fraction = frac;
+    double g = lemma65_g(w, static_cast<double>(k), p.alpha, 0.1) *
+               std::log2(w);
+    for (int t = 0; t < 50; ++t) {
+      auto out = sample_duplication_process(w, k, p, rng);
+      EXPECT_LT(out.total_leaf_weight, 4.0 * g) << "fraction " << frac;
+      EXPECT_GE(out.total_leaf_weight, w);  // the root weight survives
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepdc::sim

@@ -1,0 +1,205 @@
+// The stereographic/cap machinery carries the whole separator algorithm;
+// these tests pin down the invariants the derivations rely on.
+#include "geometry/stereographic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::geo {
+namespace {
+
+template <int D>
+Point<D> random_point(Rng& rng, double scale = 3.0) {
+  Point<D> p;
+  for (int i = 0; i < D; ++i) p[i] = rng.uniform(-scale, scale);
+  return p;
+}
+
+TEST(Stereographic, LiftLandsOnUnitSphere) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = random_point<3>(rng, 10.0);
+    auto u = stereo_lift<3>(p);
+    EXPECT_NEAR(norm(u), 1.0, 1e-12);
+  }
+}
+
+TEST(Stereographic, LiftProjectRoundtrip2D) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = random_point<2>(rng);
+    auto back = stereo_project<2>(stereo_lift<2>(p));
+    EXPECT_NEAR(back[0], p[0], 1e-10);
+    EXPECT_NEAR(back[1], p[1], 1e-10);
+  }
+}
+
+TEST(Stereographic, OriginMapsToSouthPole) {
+  Point<2> origin{};
+  auto u = stereo_lift<2>(origin);
+  EXPECT_NEAR(u[0], 0.0, 1e-15);
+  EXPECT_NEAR(u[1], 0.0, 1e-15);
+  EXPECT_NEAR(u[2], -1.0, 1e-15);
+}
+
+TEST(Stereographic, LargePointsApproachNorthPole) {
+  Point<2> far{{1e8, 0.0}};
+  auto u = stereo_lift<2>(far);
+  EXPECT_NEAR(u[2], 1.0, 1e-7);
+}
+
+TEST(Dilation, IdentityAtLambdaOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto u = stereo_lift<3>(random_point<3>(rng));
+    auto v = dilate<3>(u, 1.0);
+    for (int i = 0; i <= 3; ++i) EXPECT_NEAR(v[i], u[i], 1e-12);
+  }
+}
+
+TEST(Dilation, StaysOnSphereAndComposes) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto u = stereo_lift<2>(random_point<2>(rng));
+    auto v = dilate<2>(u, 0.5);
+    EXPECT_NEAR(norm(v), 1.0, 1e-12);
+    auto w = dilate<2>(v, 2.0);  // δ_2 ∘ δ_0.5 = identity
+    for (int i = 0; i <= 2; ++i) EXPECT_NEAR(w[i], u[i], 1e-10);
+  }
+}
+
+// Core invariant: a point is on the pulled-back separator surface exactly
+// when its lift satisfies the cap equation, and the Inner side matches the
+// sign of the cap's affine form.
+TEST(CapPullback, SurfaceAndSidesMatchCapSign) {
+  Rng rng(5);
+  int sphere_cases = 0, plane_cases = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Cap<2> cap;
+    double len = 0;
+    do {
+      for (int i = 0; i <= 2; ++i) cap.a[i] = rng.normal();
+      len = norm(cap.a);
+    } while (len < 1e-9);
+    cap.a = cap.a / len;
+    cap.b = rng.uniform(-0.8, 0.8);
+
+    auto shape = cap_pullback<2>(cap);
+    if (!shape) continue;  // cap misses the sphere
+    (shape->is_sphere() ? sphere_cases : plane_cases)++;
+    // Near-degenerate pullbacks (giant spheres) lose precision to
+    // cancellation in |x-c|² - r²; side agreement is only asserted away
+    // from that regime.
+    if (shape->is_sphere() && shape->sphere().radius > 1e5) continue;
+
+    for (int probe = 0; probe < 50; ++probe) {
+      auto x = random_point<2>(rng, 4.0);
+      double f = cap.evaluate(stereo_lift<2>(x));
+      Side side = shape->classify(x);
+      if (std::abs(f) > 1e-6) {
+        EXPECT_EQ(side, f < 0 ? Side::Inner : Side::Outer)
+            << "x=" << x << " f=" << f;
+      }
+    }
+    // Points sampled on the surface satisfy the cap equation.
+    if (shape->is_sphere()) {
+      const auto& s = shape->sphere();
+      for (int angle_i = 0; angle_i < 8; ++angle_i) {
+        double t = angle_i * 0.7853981633974483;
+        Point<2> on{{s.center[0] + s.radius * std::cos(t),
+                     s.center[1] + s.radius * std::sin(t)}};
+        EXPECT_NEAR(cap.evaluate(stereo_lift<2>(on)), 0.0, 1e-9);
+      }
+    }
+  }
+  EXPECT_GT(sphere_cases, 100);  // spheres dominate for random caps
+}
+
+TEST(CapPullback, GreatCircleThroughPoleGivesHyperplane) {
+  // Cap normal orthogonal to e_D with b=0 passes through both poles.
+  Cap<2> cap;
+  cap.a = Point<3>{{1.0, 0.0, 0.0}};
+  cap.b = 0.0;
+  auto shape = cap_pullback<2>(cap);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_FALSE(shape->is_sphere());
+  // Pulled-back hyperplane is {x_0 = 0}.
+  EXPECT_EQ(shape->classify(Point<2>{{-1.0, 5.0}}), Side::Inner);
+  EXPECT_EQ(shape->classify(Point<2>{{1.0, 5.0}}), Side::Outer);
+}
+
+TEST(CapPullback, CapMissingSphereReturnsNullopt) {
+  Cap<2> cap;
+  cap.a = Point<3>{{0.0, 0.0, 1.0}};
+  cap.b = 2.0;  // plane z == 2 misses the unit sphere
+  EXPECT_FALSE(cap_pullback<2>(cap).has_value());
+}
+
+TEST(CapPreimageRotation, MatchesForwardMap) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random reflection via rotation_between of two random unit vectors.
+    std::vector<double> f(4), t(4);
+    double lf = 0, lt = 0;
+    do {
+      for (auto& x : f) x = rng.normal();
+      lf = linalg::norm(f);
+    } while (lf < 1e-9);
+    do {
+      for (auto& x : t) x = rng.normal();
+      lt = linalg::norm(t);
+    } while (lt < 1e-9);
+    for (auto& x : f) x /= lf;
+    for (auto& x : t) x /= lt;
+    linalg::Matrix q = linalg::rotation_between(f, t);
+
+    Cap<3> cap;
+    for (int i = 0; i <= 3; ++i) cap.a[i] = rng.normal();
+    cap.b = rng.uniform(-0.5, 0.5);
+    Cap<3> pre = cap_preimage_rotation(cap, q);
+
+    for (int probe = 0; probe < 20; ++probe) {
+      auto u = stereo_lift<3>(random_point<3>(rng));
+      // v = Q u.
+      std::vector<double> uv(u.coords.begin(), u.coords.end());
+      auto vv = q.apply(uv);
+      Point<4> v;
+      for (int i = 0; i <= 3; ++i) v[i] = vv[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(pre.evaluate(u), cap.evaluate(v), 1e-10);
+    }
+  }
+}
+
+TEST(CapPreimageDilation, MatchesForwardMap) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    double lambda = rng.uniform(0.2, 3.0);
+    Cap<2> cap;
+    for (int i = 0; i <= 2; ++i) cap.a[i] = rng.normal();
+    cap.b = rng.uniform(-0.5, 0.5);
+    Cap<2> pre = cap_preimage_dilation(cap, lambda);
+
+    for (int probe = 0; probe < 20; ++probe) {
+      auto u = stereo_lift<2>(random_point<2>(rng));
+      auto v = dilate<2>(u, lambda);
+      double fwd = cap.evaluate(v);
+      double back = pre.evaluate(u);
+      // The preimage form equals the forward form up to the positive factor
+      // (1 + λ²|y|²)/(1 + |y|²); only the sign and zero set must agree.
+      if (std::abs(fwd) > 1e-12 || std::abs(back) > 1e-12) {
+        EXPECT_GT(fwd * back, -1e-12)
+            << "sign mismatch: fwd=" << fwd << " back=" << back;
+      }
+      if (std::abs(fwd) < 1e-13) {
+        EXPECT_NEAR(back, 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepdc::geo

@@ -1,0 +1,140 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sepdc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    ss += x * x;
+  }
+  double mean = sum / n;
+  double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, SampleIndicesDistinctAndSorted) {
+  Rng rng(31);
+  for (std::size_t n : {10u, 100u, 1000u}) {
+    for (std::size_t k : {1u, 5u, 9u}) {
+      auto sample = rng.sample_indices(n, k);
+      ASSERT_EQ(sample.size(), k);
+      EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+      std::set<std::size_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto idx : sample) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(37);
+  auto sample = rng.sample_indices(8, 8);
+  ASSERT_EQ(sample.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, CoinProbability) {
+  Rng rng(43);
+  int heads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.coin(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace sepdc

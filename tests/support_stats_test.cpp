@@ -1,0 +1,107 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace sepdc::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, EmptyAndSingleton) {
+  Summary e = summarize({});
+  EXPECT_EQ(e.count, 0u);
+  Summary s = summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateXGivesZeroSlope) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(PowerFit, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double n : {100.0, 1000.0, 10000.0, 100000.0}) {
+    x.push_back(n);
+    y.push_back(2.5 * std::pow(n, 0.5));
+  }
+  PowerFit f = power_fit(x, y);
+  EXPECT_NEAR(f.exponent, 0.5, 1e-9);
+  EXPECT_NEAR(f.constant, 2.5, 1e-6);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(PowerFit, NoisyExponentClose) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (double n = 64; n <= 65536; n *= 2) {
+    x.push_back(n);
+    y.push_back(std::pow(n, 0.75) * rng.uniform(0.9, 1.1));
+  }
+  PowerFit f = power_fit(x, y);
+  EXPECT_NEAR(f.exponent, 0.75, 0.05);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  stats::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);   // clamps into first bin
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(Histogram, TailFraction) {
+  stats::Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(i < 3 ? 0.9 : 0.1);
+  EXPECT_NEAR(h.tail_fraction(0.5), 0.3, 1e-12);
+  EXPECT_NEAR(h.tail_fraction(0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  stats::Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sepdc::stats

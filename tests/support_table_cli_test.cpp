@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace sepdc {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"n", "value"});
+  t.new_row().cell(std::size_t{128}).cell(3.14159, 2);
+  t.new_row().cell(std::size_t{4096}).cell(2.0, 2);
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("4096"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtrip) {
+  Table t({"a", "b"});
+  t.new_row().cell("x").cell("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(FormatDouble, SwitchesToScientific) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  std::string big = format_double(1.23e12, 2);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  std::string small = format_double(1.23e-7, 2);
+  EXPECT_NE(small.find('e'), std::string::npos);
+  EXPECT_EQ(format_double(0.0, 1), "0.0");
+}
+
+TEST(Cli, ParsesEqualsAndSeparateForms) {
+  Cli cli;
+  cli.flag("n", "100", "size").flag("name", "foo", "label");
+  const char* argv[] = {"prog", "--n=42", "--name", "bar"};
+  ASSERT_TRUE(cli.parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_EQ(cli.get("name"), "bar");
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli;
+  cli.flag("x", "2.5", "value").flag("on", "false", "toggle");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 2.5);
+  EXPECT_FALSE(cli.get_bool("on"));
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli;
+  cli.flag("verbose", "false", "talk more");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, IntListParsing) {
+  Cli cli;
+  cli.flag("sizes", "1,2,3", "sweep");
+  const char* argv[] = {"prog", "--sizes=10,20,30"};
+  ASSERT_TRUE(cli.parse(2, const_cast<char**>(argv)));
+  auto v = cli.get_int_list("sizes");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[2], 30);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  cli.flag("n", "1", "size");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+}  // namespace
+}  // namespace sepdc

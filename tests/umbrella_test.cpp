@@ -1,0 +1,52 @@
+// Compiles the umbrella header and exercises a cross-module pipeline
+// through it — guards the public API surface against include rot.
+#include "sepdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sepdc {
+namespace {
+
+TEST(Umbrella, EndToEndPipeline) {
+  Rng rng(1);
+  auto points = workload::gaussian_clusters<2>(1200, 4, 0.02, rng);
+  std::span<const geo::Point<2>> span(points);
+  auto& pool = par::ThreadPool::global();
+
+  // Graph via the one-call API.
+  core::Config cfg;
+  auto out = core::build_knn_graph<2>(span, 3, cfg, pool);
+  EXPECT_EQ(out.graph.vertex_count(), 1200u);
+
+  // Serialize / reload.
+  std::stringstream buffer;
+  ASSERT_TRUE(knn::save_result(buffer, out.knn));
+  knn::KnnResult reloaded;
+  ASSERT_TRUE(knn::load_result(buffer, reloaded));
+  EXPECT_EQ(reloaded.neighbors, out.knn.neighbors);
+
+  // Spatial index over the same points.
+  core::SeparatorIndexConfig icfg;
+  core::SeparatorIndex<2> index(span, icfg, pool);
+  EXPECT_GT(index.count_in_ball(points[0], 0.1), 0u);
+
+  // A separator drawn through the public sampler.
+  separator::SphereSeparatorSampler<2> sampler(span, rng);
+  bool drew = false;
+  for (int t = 0; t < 20 && !drew; ++t)
+    drew = sampler.draw(rng).has_value();
+  EXPECT_TRUE(drew);
+
+  // Model-cost sanity through the metered ops.
+  pvm::Machine machine{pool, {}};
+  auto [sum, cost] = pvm::vreduce(
+      machine, 100, 0, [](std::size_t i) { return static_cast<int>(i); },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 4950);
+  EXPECT_EQ(cost.depth, 1u);
+}
+
+}  // namespace
+}  // namespace sepdc

@@ -1,0 +1,112 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geometry/aabb.hpp"
+
+namespace sepdc::workload {
+namespace {
+
+TEST(Workload, UniformCubeBoundsAndCount) {
+  Rng rng(1);
+  auto pts = uniform_cube<3>(500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts)
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(p[i], 0.0);
+      EXPECT_LT(p[i], 1.0);
+    }
+}
+
+TEST(Workload, UniformBallInsideUnitBall) {
+  Rng rng(2);
+  auto pts = uniform_ball<4>(300, rng);
+  ASSERT_EQ(pts.size(), 300u);
+  for (const auto& p : pts) EXPECT_LE(geo::norm2(p), 1.0 + 1e-12);
+}
+
+TEST(Workload, GaussianClustersAreClustered) {
+  Rng rng(3);
+  auto pts = gaussian_clusters<2>(2000, 4, 0.01, rng);
+  ASSERT_EQ(pts.size(), 2000u);
+  // With σ=0.01 and 4 clusters, the average nearest-neighbor distance is
+  // far below the uniform expectation; proxy: most points have another
+  // point within 4σ.
+  std::size_t close = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j != i && geo::distance(pts[i], pts[j]) < 0.04) {
+        ++close;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(close, 190u);
+}
+
+TEST(Workload, GridJitterDistinctCells) {
+  Rng rng(4);
+  auto pts = grid_jitter<2>(100, 0.0, rng);  // no jitter: exact centers
+  std::set<std::pair<long, long>> cells;
+  for (const auto& p : pts)
+    cells.insert({std::lround(p[0] * 1000), std::lround(p[1] * 1000)});
+  EXPECT_EQ(cells.size(), 100u);
+}
+
+TEST(Workload, SphereShellRadii) {
+  Rng rng(5);
+  auto pts = sphere_shell<3>(400, 0.02, rng);
+  for (const auto& p : pts) {
+    double r = geo::norm(p);
+    EXPECT_GT(r, 0.98);
+    EXPECT_LT(r, 1.02);
+  }
+}
+
+TEST(Workload, AdversarialSlabIsThin) {
+  Rng rng(6);
+  auto pts = adversarial_slab<3>(1000, 1e-5, rng);
+  auto box = geo::Aabb<3>::of(std::span<const geo::Point<3>>(pts));
+  // Slab coordinate range tiny relative to the others.
+  EXPECT_LT(box.hi[0] - box.lo[0], 1e-3);
+  EXPECT_GT(box.hi[1] - box.lo[1], 0.9);
+}
+
+TEST(Workload, NearCollinearHugsDiagonal) {
+  Rng rng(7);
+  auto pts = near_collinear<2>(500, 1e-4, rng);
+  for (const auto& p : pts)
+    EXPECT_NEAR(p[0], p[1], 0.01);  // both ≈ t/√2
+}
+
+TEST(Workload, WithDuplicatesCreatesRepeats) {
+  Rng rng(8);
+  auto pts = with_duplicates<2>(uniform_cube<2>(1000, rng), 0.5, rng);
+  std::set<std::pair<long long, long long>> uniq;
+  for (const auto& p : pts)
+    uniq.insert({std::llround(p[0] * 1e12), std::llround(p[1] * 1e12)});
+  EXPECT_LT(uniq.size(), pts.size());
+}
+
+TEST(Workload, KindRoundtrip) {
+  for (Kind k : {Kind::UniformCube, Kind::GaussianClusters,
+                 Kind::AdversarialSlab, Kind::Duplicates}) {
+    EXPECT_EQ(parse_kind(kind_name(k)), k);
+  }
+}
+
+TEST(Workload, GenerateDispatchProducesRequestedSize) {
+  Rng rng(9);
+  for (Kind k : {Kind::UniformCube, Kind::UniformBall, Kind::GaussianClusters,
+                 Kind::GridJitter, Kind::SphereShell, Kind::AdversarialSlab,
+                 Kind::NearCollinear, Kind::Duplicates}) {
+    auto pts = generate<2>(k, 128, rng);
+    EXPECT_EQ(pts.size(), 128u) << kind_name(k);
+  }
+}
+
+}  // namespace
+}  // namespace sepdc::workload
