@@ -9,16 +9,39 @@
 // check at the smallest size.
 #include "experiment_common.hpp"
 
+#include <sys/resource.h>
+
+#include <fstream>
+
 #include "core/engine.hpp"
 #include "knn/brute_force.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
 using namespace sepdc;
 
+// One sweep point, serialized into the machine-readable results file.
+struct BenchRecord {
+  int d = 0;
+  std::string workload;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  double model_depth = 0.0;
+  double wall_seconds = 0.0;  // median over repeats
+  long peak_rss_kb = 0;       // process high-water mark after the run
+};
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
 template <int D>
 void sweep_dimension(workload::Kind kind, std::size_t max_n, std::size_t k,
-                     Rng& rng, Table& table) {
+                     Rng& rng, Table& table,
+                     std::vector<BenchRecord>& records) {
   auto& pool = par::ThreadPool::global();
   std::vector<double> ns, depths;
   for (std::size_t n : bench::geometric_sweep(2048, max_n, 2)) {
@@ -28,16 +51,20 @@ void sweep_dimension(workload::Kind kind, std::size_t max_n, std::size_t k,
     // Median over independent seeds: the depth is a max over random
     // root-leaf paths and has visible run-to-run variance.
     constexpr int kRepeats = 3;
-    std::vector<double> run_depths;
+    std::vector<double> run_depths, run_seconds;
     typename core::NearestNeighborEngine<D>::Output out;
     for (int rep = 0; rep < kRepeats; ++rep) {
       core::Config cfg;
       cfg.k = k;
       cfg.seed = rng.next();
+      Timer timer;
       out = core::parallel_nearest_neighborhood<D>(span, cfg, pool);
+      run_seconds.push_back(timer.seconds());
       run_depths.push_back(static_cast<double>(out.cost.depth));
     }
     double depth = stats::percentile(run_depths, 0.5);
+    records.push_back({D, workload::kind_name(kind), n, k, depth,
+                       stats::percentile(run_seconds, 0.5), peak_rss_kb()});
 
     if (n == 2048) {  // exact oracle check at the smallest size
       auto oracle = knn::brute_force_parallel<D>(pool, span, k);
@@ -85,7 +112,9 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.flag("max_n", "131072", "largest point count")
       .flag("k", "1", "neighbors")
-      .flag("seed", "6", "seed");
+      .flag("seed", "6", "seed")
+      .flag("json", "BENCH_parallel_nn.json",
+            "machine-readable results file (empty to disable)");
   if (!cli.parse(argc, argv)) return 0;
   bench::banner(
       "E6 / Theorem 6.1 — Parallel Nearest Neighborhood",
@@ -98,12 +127,32 @@ int main(int argc, char** argv) {
 
   Table table({"d", "workload", "n", "depth", "depth/log n", "work/nlogn",
                "punts", "aborts", "peak march frac", "attempts/node"});
-  sweep_dimension<2>(workload::Kind::UniformCube, max_n, k, rng, table);
-  sweep_dimension<2>(workload::Kind::GaussianClusters, max_n, k, rng,
-                     table);
-  sweep_dimension<2>(workload::Kind::AdversarialSlab, max_n, k, rng, table);
-  sweep_dimension<3>(workload::Kind::UniformCube, max_n / 2, k, rng, table);
+  std::vector<BenchRecord> records;
+  sweep_dimension<2>(workload::Kind::UniformCube, max_n, k, rng, table,
+                     records);
+  sweep_dimension<2>(workload::Kind::GaussianClusters, max_n, k, rng, table,
+                     records);
+  sweep_dimension<2>(workload::Kind::AdversarialSlab, max_n, k, rng, table,
+                     records);
+  sweep_dimension<3>(workload::Kind::UniformCube, max_n / 2, k, rng, table,
+                     records);
   table.print(std::cout);
+
+  if (std::string path = cli.get("json"); !path.empty()) {
+    std::ofstream json(path);
+    json << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
+      json << "  {\"d\": " << r.d << ", \"workload\": \"" << r.workload
+           << "\", \"n\": " << r.n << ", \"k\": " << r.k
+           << ", \"model_depth\": " << r.model_depth
+           << ", \"wall_seconds\": " << r.wall_seconds
+           << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    json << "]\n";
+    std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
+  }
   std::printf("Lemma 6.2 check: peak march frac is the largest active-ball "
               "frontier divided by the target-side size; the lemma says it "
               "stays sublinear (<< 1) w.h.p.\n");

@@ -16,6 +16,10 @@ struct KnnGraphOutput {
   knn::KnnGraph graph;
   pvm::Cost cost;
   Diagnostics diag;
+  // The partition forest the run built, plus the run's summary report —
+  // callers can reuse the forest for further queries or log the report.
+  PartitionForest<D> forest;
+  RunReport report;
 };
 
 // Computes the k-nearest-neighbor graph of `points` with the separator
@@ -29,7 +33,8 @@ KnnGraphOutput<D> build_knn_graph(std::span<const geo::Point<D>> points,
   auto out = parallel_nearest_neighborhood<D>(points, cfg, pool);
   auto graph = knn::KnnGraph::from_result(pool, out.knn);
   return KnnGraphOutput<D>{std::move(out.knn), std::move(graph), out.cost,
-                           out.diag};
+                           out.diag, std::move(out.forest),
+                           std::move(out.report)};
 }
 
 // The k-neighborhood system (§5.1) of `points`: the balls whose radii are

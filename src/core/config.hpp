@@ -8,11 +8,28 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "pvm/cost.hpp"
-#include "support/assert.hpp"
 
 namespace sepdc::core {
+
+// Thrown by Config::validate() for configurations that cannot produce a
+// correct or terminating run. Carries the name of the offending field so
+// callers (services, CLI frontends) can point at the exact knob instead
+// of dying on a raw assert.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : std::invalid_argument("config field '" + field + "': " + message),
+        field_(std::move(field)) {}
+
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
 
 enum class PartitionRule : std::uint8_t {
   MttvSphere,        // Unit Time Sphere Separator draws with retry (§6)
@@ -77,21 +94,27 @@ struct Config {
   std::uint64_t seed = 1992;
 
   // Rejects configurations that cannot produce a correct or terminating
-  // run; called by the engine before starting.
+  // run; called by the engine before starting. Throws ConfigError naming
+  // the offending field.
   void validate() const {
-    SEPDC_CHECK_MSG(k >= 1, "k must be at least 1");
-    SEPDC_CHECK_MSG(delta_slack > -0.25 && delta_slack < 0.5,
-                    "delta_slack out of sensible range");
-    SEPDC_CHECK_MSG(mu_slack >= 0.0 && mu_slack < 0.5,
-                    "mu_slack out of sensible range");
-    SEPDC_CHECK_MSG(punt_iota_scale >= 0.0, "negative punt threshold");
-    SEPDC_CHECK_MSG(max_separator_attempts >= 1,
-                    "need at least one separator attempt");
-    SEPDC_CHECK_MSG(march_budget_factor > 0.0,
-                    "march budget must be positive");
-    SEPDC_CHECK_MSG(query_leaf_size >= 1, "query leaves must hold a ball");
-    SEPDC_CHECK_MSG(query_iota_fraction > 0.0 && query_iota_fraction < 1.0,
-                    "query iota fraction must be in (0,1)");
+    if (k < 1) throw ConfigError("k", "k must be at least 1");
+    if (!(delta_slack > -0.25 && delta_slack < 0.5))
+      throw ConfigError("delta_slack", "delta_slack out of sensible range");
+    if (!(mu_slack >= 0.0 && mu_slack < 0.5))
+      throw ConfigError("mu_slack", "mu_slack out of sensible range");
+    if (punt_iota_scale < 0.0)
+      throw ConfigError("punt_iota_scale", "negative punt threshold");
+    if (max_separator_attempts < 1)
+      throw ConfigError("max_separator_attempts",
+                        "need at least one separator attempt");
+    if (!(march_budget_factor > 0.0))
+      throw ConfigError("march_budget_factor",
+                        "march budget must be positive");
+    if (query_leaf_size < 1)
+      throw ConfigError("query_leaf_size", "query leaves must hold a ball");
+    if (!(query_iota_fraction > 0.0 && query_iota_fraction < 1.0))
+      throw ConfigError("query_iota_fraction",
+                        "query iota fraction must be in (0,1)");
   }
 };
 

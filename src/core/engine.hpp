@@ -13,6 +13,14 @@
 // The engine runs on a real thread pool and simultaneously accounts model
 // cost (work/depth) in the parallel vector model; the measured depth is
 // the quantity Lemma 5.1 / Theorem 6.1 bound.
+//
+// Execution substrate: the recursion records its partition tree in an
+// arena-backed PartitionForest (one contiguous node vector, atomic bump
+// allocation — see partition_forest.hpp) and reports through a shared
+// RunContext (relaxed-atomic counters, per-node random streams keyed by
+// recursion path — see run_context.hpp). Node random streams depend only
+// on (seed, path), so same-seed runs are identical regardless of the
+// thread schedule or pool size.
 #pragma once
 
 #include <algorithm>
@@ -20,15 +28,15 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/diagnostics.hpp"
-#include "core/partition_tree.hpp"
+#include "core/partition_forest.hpp"
 #include "core/query_tree.hpp"
+#include "core/run_context.hpp"
 #include "core/separator_search.hpp"
 #include "geometry/constants.hpp"
 #include "geometry/point.hpp"
@@ -52,7 +60,8 @@ class NearestNeighborEngine {
     knn::KnnResult knn;  // rows indexed by original point id
     pvm::Cost cost;      // parallel-vector-model cost of the whole run
     Diagnostics diag;
-    std::unique_ptr<PartitionNode<D>> tree;
+    PartitionForest<D> forest;  // the §6 partition tree, flat
+    RunReport report;
   };
 
   static Output run(std::span<const geo::Point<D>> points, const Config& cfg,
@@ -71,7 +80,9 @@ class NearestNeighborEngine {
         pool_(pool),
         n_(points.size()),
         result_(knn::KnnResult::empty(points.size(), cfg.k)),
-        perm_(points.size()) {
+        perm_(points.size()),
+        forest_(PartitionForest<D>::for_points(points.size())),
+        ctx_(cfg.seed) {
     for (std::size_t i = 0; i < n_; ++i)
       perm_[i] = static_cast<std::uint32_t>(i);
     base_size_ = std::max({cfg_.base_case_floor,
@@ -79,48 +90,64 @@ class NearestNeighborEngine {
                            static_cast<std::size_t>(pvm::ceil_log2(n_))});
   }
 
-  struct NodeOutcome {
-    std::unique_ptr<PartitionNode<D>> tree;
+  // One strand's result: its forest slot and its subtree's model cost.
+  // Diagnostics no longer ride the recursion — they go to ctx_ directly.
+  struct SolveResult {
+    std::uint32_t node = kNoChild;
     pvm::Cost cost;
-    Diagnostics diag;
   };
 
   Output execute() {
-    Rng rng(cfg_.seed);
-    NodeOutcome root = solve(0, static_cast<std::uint32_t>(n_), rng, 0);
-    return Output{std::move(result_), root.cost, root.diag,
-                  std::move(root.tree)};
+    SolveResult root =
+        solve(0, static_cast<std::uint32_t>(n_), RunContext::root_key(), 0);
+    forest_.set_root(root.node);
+    forest_.finalize();
+
+    Diagnostics diag = ctx_.snapshot();
+    diag.tree_height = forest_.height();
+
+    RunReport report;
+    report.seed = cfg_.seed;
+    report.cost = root.cost;
+    report.diag = diag;
+    report.forest_nodes = forest_.node_count();
+    report.forest_leaves = diag.leaves;
+    report.forest_height = diag.tree_height;
+    report.threads = pool_.concurrency();
+
+    return Output{std::move(result_), root.cost, std::move(diag),
+                  std::move(forest_), std::move(report)};
   }
 
   // ---------------------------------------------------------------- solve
 
-  NodeOutcome solve(std::uint32_t begin, std::uint32_t end, Rng& rng,
-                    std::size_t depth) {
+  SolveResult solve(std::uint32_t begin, std::uint32_t end,
+                    std::uint64_t key, std::size_t depth) {
     const std::size_t m = end - begin;
     if (m <= base_size_) return solve_base(begin, end);
 
-    Diagnostics diag;
-    diag.nodes = 1;
+    Rng rng = ctx_.stream(key);
     pvm::Ledger ledger;
 
-    auto shape = choose_separator(begin, end, rng, depth, diag, ledger);
+    auto shape = choose_separator(begin, end, rng, depth, ledger);
     if (!shape) {
       // Unsplittable node (e.g. all points identical): solve directly.
-      NodeOutcome base = solve_base(begin, end);
-      base.diag.brute_force_fallbacks += 1;
+      SolveResult base = solve_base(begin, end);
+      RunContext::add(ctx_.brute_force_fallbacks, 1);
       base.cost += ledger.total();
-      base.diag.separator_attempts += diag.separator_attempts;
-      base.diag.separator_fallbacks += diag.separator_fallbacks;
       return base;
     }
+    RunContext::add(ctx_.nodes, 1);
 
     std::uint32_t mid = partition_range(begin, end, *shape);
     ledger.charge(pvm::pack_cost(m, cfg_.cost));
     SEPDC_ASSERT(mid > begin && mid < end);
 
-    NodeOutcome inner, outer;
-    Rng inner_rng = rng.split();
-    Rng outer_rng = rng.split();
+    std::uint32_t id = forest_.allocate();
+
+    SolveResult inner, outer;
+    const std::uint64_t inner_key = RunContext::child_key(key, 0);
+    const std::uint64_t outer_key = RunContext::child_key(key, 1);
     // Spawn pool tasks only for large subproblems: small ones run inline.
     // This keeps the task count O(n / grain), which bounds the depth of
     // helping-wait chains (a waiting thread executes other queued tasks,
@@ -130,36 +157,41 @@ class NearestNeighborEngine {
     constexpr std::size_t kSpawnGrain = 8192;
     if (m >= kSpawnGrain) {
       par::parallel_invoke(
-          pool_, [&] { inner = solve(begin, mid, inner_rng, depth + 1); },
-          [&] { outer = solve(mid, end, outer_rng, depth + 1); });
+          pool_,
+          [&] { inner = solve(begin, mid, inner_key, depth + 1); },
+          [&] { outer = solve(mid, end, outer_key, depth + 1); });
     } else {
-      inner = solve(begin, mid, inner_rng, depth + 1);
-      outer = solve(mid, end, outer_rng, depth + 1);
+      inner = solve(begin, mid, inner_key, depth + 1);
+      outer = solve(mid, end, outer_key, depth + 1);
     }
     ledger.charge_parallel(inner.cost, outer.cost);
-    diag.merge(inner.diag);
-    diag.merge(outer.diag);
-    diag.tree_height += 1;
 
     Rng correction_rng = rng.split();
-    correct(begin, mid, end, *shape, inner.tree.get(), outer.tree.get(),
-            correction_rng, depth, diag, ledger);
+    correct(begin, mid, end, *shape, inner.node, outer.node, correction_rng,
+            depth, ledger);
 
-    auto tree = PartitionNode<D>::make_internal(
-        begin, end, *shape, std::move(inner.tree), std::move(outer.tree));
-    return NodeOutcome{std::move(tree), ledger.total(), diag};
+    ForestNode<D>& node = forest_.node(id);
+    node.begin = begin;
+    node.end = end;
+    node.separator = *shape;
+    node.inner = inner.node;
+    node.outer = outer.node;
+    return SolveResult{id, ledger.total()};
   }
 
   // ------------------------------------------------------------ base case
 
-  NodeOutcome solve_base(std::uint32_t begin, std::uint32_t end) {
+  SolveResult solve_base(std::uint32_t begin, std::uint32_t end) {
     const std::size_t m = end - begin;
     const std::size_t k = cfg_.k;
-    Diagnostics diag;
-    diag.nodes = 1;
-    diag.leaves = 1;
-    diag.tree_height = 1;
+    RunContext::add(ctx_.nodes, 1);
+    RunContext::add(ctx_.leaves, 1);
     pvm::Cost cost;
+
+    std::uint32_t id = forest_.allocate();
+    ForestNode<D>& node = forest_.node(id);
+    node.begin = begin;
+    node.end = end;
 
     auto box = geo::Aabb<D>::empty();
     for (std::uint32_t i = begin; i < end; ++i)
@@ -178,16 +210,15 @@ class NearestNeighborEngine {
         auto nbr = result_.row_neighbors(self);
         auto d2 = result_.row_dist2(self);
         std::size_t written = 0;
-        for (std::uint32_t id : ids) {
-          if (id == self) continue;
-          nbr[written] = id;
+        for (std::uint32_t other : ids) {
+          if (other == self) continue;
+          nbr[written] = other;
           d2[written] = 0.0;
           if (++written == take) break;
         }
       }
       cost += pvm::Cost{static_cast<std::uint64_t>(m * k), 1};
-      return NodeOutcome{PartitionNode<D>::make_leaf(begin, end), cost,
-                         diag};
+      return SolveResult{id, cost};
     }
 
     // All-pairs base case ("m time using m processors"): depth m, work m².
@@ -203,7 +234,7 @@ class NearestNeighborEngine {
     }
     cost += pvm::Cost{static_cast<std::uint64_t>(m) * m,
                       static_cast<std::uint64_t>(m)};
-    return NodeOutcome{PartitionNode<D>::make_leaf(begin, end), cost, diag};
+    return SolveResult{id, cost};
   }
 
   void write_row(std::uint32_t id, knn::TopK& best) {
@@ -225,7 +256,7 @@ class NearestNeighborEngine {
 
   std::optional<geo::SeparatorShape<D>> choose_separator(
       std::uint32_t begin, std::uint32_t end, Rng& rng, std::size_t depth,
-      Diagnostics& diag, pvm::Ledger& ledger) {
+      pvm::Ledger& ledger) {
     const std::size_t m = end - begin;
     auto at = [&](std::size_t i) {
       return points_[perm_[begin + i]];
@@ -235,10 +266,9 @@ class NearestNeighborEngine {
         cfg_.max_separator_attempts, static_cast<int>(depth % D), rng,
         cfg_.cost);
     ledger.charge(outcome.cost);
-    diag.separator_attempts += outcome.attempts;
-    diag.max_attempts_at_node =
-        std::max(diag.max_attempts_at_node, outcome.attempts);
-    if (outcome.fallback) diag.separator_fallbacks += 1;
+    RunContext::add(ctx_.separator_attempts, outcome.attempts);
+    RunContext::bump_max(ctx_.max_attempts_at_node, outcome.attempts);
+    if (outcome.fallback) RunContext::add(ctx_.separator_fallbacks, 1);
     return outcome.shape;
   }
 
@@ -267,10 +297,9 @@ class NearestNeighborEngine {
   }
 
   void correct(std::uint32_t begin, std::uint32_t mid, std::uint32_t end,
-               const geo::SeparatorShape<D>& shape,
-               const PartitionNode<D>* inner_tree,
-               const PartitionNode<D>* outer_tree, Rng& rng,
-               std::size_t depth, Diagnostics& diag, pvm::Ledger& ledger) {
+               const geo::SeparatorShape<D>& shape, std::uint32_t inner_tree,
+               std::uint32_t outer_tree, Rng& rng, std::size_t depth,
+               pvm::Ledger& ledger) {
     const std::size_t m = end - begin;
 
     // Cut balls per side (Lemma 6.1: only these can be wrong).
@@ -289,12 +318,12 @@ class NearestNeighborEngine {
     ledger.charge(pvm::pack_cost(m, cfg_.cost));
 
     const std::size_t iota = cut_inner.size() + cut_outer.size();
-    diag.record_level(depth, m, iota);
-    diag.total_cut_balls += iota;
-    diag.max_cut_balls = std::max(diag.max_cut_balls, iota);
-    diag.max_cut_fraction =
-        std::max(diag.max_cut_fraction,
-                 static_cast<double>(iota) / static_cast<double>(m));
+    ctx_.record_level(depth, m, iota);
+    RunContext::add(ctx_.total_cut_balls, iota);
+    RunContext::bump_max(ctx_.max_cut_balls, iota);
+    RunContext::bump_max(ctx_.max_cut_fraction,
+                         static_cast<double>(iota) /
+                             static_cast<double>(m));
     if (iota == 0) return;
 
     // Theorem 2.1 bounds the expected cut count by O(k^(1/d) m^((d-1)/d));
@@ -318,18 +347,18 @@ class NearestNeighborEngine {
                   1;
 
     // The two sides touch disjoint rows; run them in parallel and charge
-    // their model costs as parallel strands.
+    // their model costs as parallel strands. Diagnostics go straight to
+    // the shared context (relaxed atomics), so nothing needs merging.
     pvm::Cost cost_a, cost_b;
-    Diagnostics diag_a, diag_b;
     Rng rng_a = rng.split();
     Rng rng_b = rng.split();
     auto side_a = [&] {
       cost_a = correct_side(cut_inner, outer_tree, mid, end, force_punt,
-                            march_budget, rng_a, diag_a);
+                            march_budget, rng_a);
     };
     auto side_b = [&] {
       cost_b = correct_side(cut_outer, inner_tree, begin, mid, force_punt,
-                            march_budget, rng_b, diag_b);
+                            march_budget, rng_b);
     };
     // As in solve(): spawn only when the node is large enough to be worth
     // a task (and to keep helping-wait chains shallow).
@@ -340,44 +369,41 @@ class NearestNeighborEngine {
       side_b();
     }
     ledger.charge_parallel(cost_a, cost_b);
-    diag.merge(diag_a);
-    diag.merge(diag_b);
-    // merge() sums node counters; the helper strands carried none.
   }
 
   // Corrects the cut balls of one side against the opposite side's points
-  // [tb, te) using its partition tree. Returns the model cost.
+  // [tb, te) using its partition subtree. Returns the model cost.
   pvm::Cost correct_side(const std::vector<std::uint32_t>& cut_ids,
-                         const PartitionNode<D>* target_tree,
-                         std::uint32_t tb, std::uint32_t te, bool force_punt,
-                         std::size_t march_budget, Rng& rng,
-                         Diagnostics& diag) {
+                         std::uint32_t target_tree, std::uint32_t tb,
+                         std::uint32_t te, bool force_punt,
+                         std::size_t march_budget, Rng& rng) {
     pvm::Ledger ledger;
     if (cut_ids.empty()) return ledger.total();
     if (!force_punt) {
-      if (fast_correct(cut_ids, target_tree, te - tb, march_budget, diag,
+      if (fast_correct(cut_ids, target_tree, te - tb, march_budget,
                        ledger)) {
-        diag.fast_corrections += 1;
+        RunContext::add(ctx_.fast_corrections, 1);
         return ledger.total();
       }
-      diag.march_aborts += 1;
+      RunContext::add(ctx_.march_aborts, 1);
     }
-    diag.punts += 1;
-    punt_correct(cut_ids, tb, te, rng, diag, ledger);
+    RunContext::add(ctx_.punts, 1);
+    punt_correct(cut_ids, tb, te, rng, ledger);
     return ledger.total();
   }
 
   // §6.2 Fast Correction: march the cut balls down the opposite partition
-  // tree to their reachable leaves, then rebuild each ball's k-NN row from
-  // its own-side row plus the leaf candidates. Returns false (leaving rows
+  // subtree to their reachable leaves, then rebuild each ball's k-NN row
+  // from its own-side row plus the leaf candidates. The march is
+  // level-synchronous over the flat forest: the frontier is a plain
+  // vector of (ball, node-id) pairs. Returns false (leaving rows
   // untouched) if the frontier exceeds the budget at any level.
   bool fast_correct(const std::vector<std::uint32_t>& cut_ids,
-                    const PartitionNode<D>* target_tree,
-                    std::size_t target_size, std::size_t march_budget,
-                    Diagnostics& diag, pvm::Ledger& ledger) {
+                    std::uint32_t target_tree, std::size_t target_size,
+                    std::size_t march_budget, pvm::Ledger& ledger) {
     struct Active {
       std::uint32_t ball;  // index into cut_ids
-      const PartitionNode<D>* node;
+      std::uint32_t node;  // forest slot
     };
     std::vector<geo::Ball<D>> balls(cut_ids.size());
     std::vector<double> radius2(cut_ids.size());
@@ -387,7 +413,7 @@ class NearestNeighborEngine {
     }
     ledger.charge(pvm::map_cost(cut_ids.size()));
 
-    std::vector<std::vector<const PartitionNode<D>*>> leaves(cut_ids.size());
+    std::vector<std::vector<std::uint32_t>> leaves(cut_ids.size());
     std::vector<Active> frontier;
     frontier.reserve(cut_ids.size() * 2);
     for (std::size_t i = 0; i < cut_ids.size(); ++i)
@@ -395,23 +421,22 @@ class NearestNeighborEngine {
 
     std::size_t peak = frontier.size();
     std::uint64_t march_work = 0;
-    std::size_t levels = 0;
     std::vector<Active> next;
     while (!frontier.empty()) {
-      ++levels;
       peak = std::max(peak, frontier.size());
       if (frontier.size() > march_budget) return false;
       next.clear();
       for (const Active& a : frontier) {
-        if (a.node->is_leaf()) {
+        const ForestNode<D>& node = forest_.node(a.node);
+        if (node.is_leaf()) {
           leaves[a.ball].push_back(a.node);
           continue;
         }
-        geo::Region region = a.node->separator.classify(balls[a.ball]);
+        geo::Region region = node.separator.classify(balls[a.ball]);
         if (region != geo::Region::Outer)
-          next.push_back({a.ball, a.node->inner.get()});
+          next.push_back({a.ball, node.inner});
         if (region != geo::Region::Inner)
-          next.push_back({a.ball, a.node->outer.get()});
+          next.push_back({a.ball, node.outer});
       }
       march_work += frontier.size();
       if (cfg_.fast_charging == FastCorrectionCharging::LevelSync) {
@@ -423,9 +448,9 @@ class NearestNeighborEngine {
     // Lemma 6.2 diagnostic: only meaningful at nodes large enough for the
     // asymptotics to speak (tiny nodes trivially reach O(m) pairs).
     if (target_size >= 256) {
-      diag.max_march_fraction = std::max(
-          diag.max_march_fraction,
-          static_cast<double>(peak) / static_cast<double>(target_size));
+      RunContext::bump_max(ctx_.max_march_fraction,
+                           static_cast<double>(peak) /
+                               static_cast<double>(target_size));
     }
 
     // Leaf scans + row merges (rows are disjoint: parallel over balls).
@@ -438,8 +463,9 @@ class NearestNeighborEngine {
           knn::TopK merged(cfg_.k);
           seed_from_row(self, merged);
           std::uint64_t scans = 0;
-          for (const PartitionNode<D>* leaf : leaves[b]) {
-            for (std::uint32_t i = leaf->begin; i < leaf->end; ++i) {
+          for (std::uint32_t leaf_id : leaves[b]) {
+            const ForestNode<D>& leaf = forest_.node(leaf_id);
+            for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
               std::uint32_t other = perm_[i];
               double d2 = geo::distance2(points_[self], points_[other]);
               ++scans;
@@ -450,7 +476,7 @@ class NearestNeighborEngine {
           if (rewrite_row(self, merged)) changed.fetch_add(1);
         },
         /*grain=*/16);
-    diag.corrected_balls += changed.load();
+    RunContext::add(ctx_.corrected_balls, changed.load());
 
     if (cfg_.fast_charging == FastCorrectionCharging::Paper) {
       // Lemma 6.3 accounting: all reachability labels in one elementwise
@@ -464,7 +490,6 @@ class NearestNeighborEngine {
       ledger.charge(pvm::Cost{scan_work.load(), 1});
       ledger.charge(pvm::reduce_cost(scan_work.load(), cfg_.cost));
     }
-    (void)levels;
     return true;
   }
 
@@ -472,7 +497,7 @@ class NearestNeighborEngine {
   // batch-query the opposite side's points through it.
   void punt_correct(const std::vector<std::uint32_t>& cut_ids,
                     std::uint32_t tb, std::uint32_t te, Rng& rng,
-                    Diagnostics& diag, pvm::Ledger& ledger) {
+                    pvm::Ledger& ledger) {
     std::vector<geo::Ball<D>> balls(cut_ids.size());
     for (std::size_t i = 0; i < cut_ids.size(); ++i)
       balls[i] = ball_of(cut_ids[i]);
@@ -490,9 +515,8 @@ class NearestNeighborEngine {
     NeighborhoodQueryTree<D> qt(std::move(balls), params, rng.split(),
                                 pool_);
     ledger.charge(qt.stats().cost);
-    diag.query_builds += 1;
-    diag.query_build_height =
-        std::max(diag.query_build_height, qt.height());
+    RunContext::add(ctx_.query_builds, 1);
+    RunContext::bump_max(ctx_.query_build_height, qt.height());
 
     // Rank-indexed candidate buffers: the batch query touches each rank
     // from exactly one worker, so no synchronization is needed.
@@ -531,7 +555,7 @@ class NearestNeighborEngine {
           if (rewrite_row(self, merged)) changed.fetch_add(1);
         },
         /*grain=*/16);
-    diag.corrected_balls += changed.load();
+    RunContext::add(ctx_.corrected_balls, changed.load());
     ledger.charge(pvm::map_cost(pairs));
     ledger.charge(pvm::reduce_cost(pairs, cfg_.cost));
   }
@@ -572,6 +596,8 @@ class NearestNeighborEngine {
   std::size_t n_;
   knn::KnnResult result_;
   std::vector<std::uint32_t> perm_;
+  PartitionForest<D> forest_;
+  RunContext ctx_;
   std::size_t base_size_ = 0;
 };
 

@@ -11,14 +11,20 @@
 //
 // The same structure performs the "punt" correction of §5/§6: batch
 // queries report every (ball, point) containment pair.
+//
+// Storage is flat: all nodes live in one contiguous vector with 32-bit
+// child indices (root at slot 0), assembled bottom-up — each parallel
+// subtree build returns its nodes as a self-contained block and parents
+// concatenate blocks, shifting child indices. Query descents are index
+// walks over the flat vector instead of pointer chases.
 #pragma once
 
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "geometry/ball.hpp"
@@ -77,8 +83,8 @@ class NeighborhoodQueryTree {
     std::vector<std::uint32_t> all(balls_.size());
     for (std::size_t i = 0; i < all.size(); ++i)
       all[i] = static_cast<std::uint32_t>(i);
-    auto [node, stats] = build(std::move(all), rng, pool, 0);
-    root_ = std::move(node);
+    auto [nodes, stats] = build(std::move(all), rng, pool, 0);
+    nodes_ = std::move(nodes);
     stats_ = stats;
   }
 
@@ -106,14 +112,14 @@ class NeighborhoodQueryTree {
                          std::vector<std::uint32_t>& out,
                          Containment mode = Containment::Interior) const {
     QueryStats stats;
-    const Node* node = root_.get();
-    while (node && !node->is_leaf()) {
+    if (nodes_.empty()) return stats;
+    const Node* node = &nodes_[0];
+    while (!node->is_leaf()) {
       ++stats.nodes_visited;
-      node = node->separator.classify(p) == geo::Side::Inner
-                 ? node->left.get()
-                 : node->right.get();
+      node = &nodes_[node->separator.classify(p) == geo::Side::Inner
+                         ? node->left
+                         : node->right];
     }
-    if (!node) return stats;
     ++stats.nodes_visited;
     stats.balls_scanned = node->ball_ids.size();
     for (std::uint32_t id : node->ball_ids) {
@@ -136,17 +142,17 @@ class NeighborhoodQueryTree {
                         Containment mode = Containment::Closed) const {
     std::atomic<std::uint64_t> visited{0};
     std::atomic<std::uint64_t> scanned{0};
+    if (nodes_.empty()) return pvm::Cost{};
     par::parallel_for(pool, 0, count, [&](std::size_t rank) {
       geo::Point<D> p = at(rank);
-      const Node* node = root_.get();
+      const Node* node = &nodes_[0];
       std::uint64_t path = 0;
-      while (node && !node->is_leaf()) {
+      while (!node->is_leaf()) {
         ++path;
-        node = node->separator.classify(p) == geo::Side::Inner
-                   ? node->left.get()
-                   : node->right.get();
+        node = &nodes_[node->separator.classify(p) == geo::Side::Inner
+                           ? node->left
+                           : node->right];
       }
-      if (!node) return;
       std::uint64_t scans = node->ball_ids.size();
       for (std::uint32_t id : node->ball_ids) {
         double d2 = geo::distance2(balls_[id].center, p);
@@ -171,13 +177,15 @@ class NeighborhoodQueryTree {
   }
 
  private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
   struct Node {
     geo::SeparatorShape<D> separator{};
-    std::unique_ptr<Node> left;
-    std::unique_ptr<Node> right;
+    std::uint32_t left = kNone;   // index into the flat node vector
+    std::uint32_t right = kNone;
     std::vector<std::uint32_t> ball_ids;  // leaves only
 
-    bool is_leaf() const { return left == nullptr; }
+    bool is_leaf() const { return left == kNone; }
   };
 
   static bool contains(const geo::Ball<D>& b, const geo::Point<D>& p,
@@ -190,10 +198,26 @@ class NeighborhoodQueryTree {
     return mode == Containment::Interior ? d2 < r2 : d2 <= r2;
   }
 
+  // A built subtree as a self-contained flat block: the subtree root is
+  // nodes[0], child indices are relative to the block. Parents splice
+  // children's blocks into their own, shifting the indices — the result
+  // is one contiguous vector per tree with no per-node allocations.
   struct BuildResult {
-    std::unique_ptr<Node> node;
+    std::vector<Node> nodes;
     BuildStats stats;
   };
+
+  static void append_shifted(std::vector<Node>& into,
+                             std::vector<Node>&& block,
+                             std::uint32_t offset) {
+    for (Node& n : block) {
+      if (n.left != kNone) {
+        n.left += offset;
+        n.right += offset;
+      }
+      into.push_back(std::move(n));
+    }
+  }
 
   BuildResult build(std::vector<std::uint32_t> ids, Rng rng,
                     par::ThreadPool& pool, std::size_t depth) {
@@ -253,27 +277,36 @@ class NeighborhoodQueryTree {
       right = build(std::move(right_ids), right_rng, pool, depth + 1);
     }
 
-    auto node = std::make_unique<Node>();
-    node->separator = *pick;
-    node->left = std::move(left.node);
-    node->right = std::move(right.node);
+    BuildResult out;
+    out.nodes.reserve(1 + left.nodes.size() + right.nodes.size());
+    out.nodes.emplace_back();
+    const auto left_at = static_cast<std::uint32_t>(out.nodes.size());
+    append_shifted(out.nodes, std::move(left.nodes), left_at);
+    const auto right_at = static_cast<std::uint32_t>(out.nodes.size());
+    append_shifted(out.nodes, std::move(right.nodes), right_at);
+    out.nodes[0].separator = *pick;
+    out.nodes[0].left = left_at;
+    out.nodes[0].right = right_at;
 
     stats.cost += pvm::par(left.stats.cost, right.stats.cost);
     accumulate(stats, left.stats);
     accumulate(stats, right.stats);
     stats.height = 1 + std::max(left.stats.height, right.stats.height);
-    return BuildResult{std::move(node), stats};
+    out.stats = stats;
+    return out;
   }
 
   BuildResult make_leaf(std::vector<std::uint32_t> ids,
                         BuildStats stats) const {
-    auto node = std::make_unique<Node>();
+    BuildResult out;
     stats.leaves = 1;
     stats.height = 1;
     stats.stored_balls = ids.size();
     stats.cost += pvm::unit_cost();
-    node->ball_ids = std::move(ids);
-    return BuildResult{std::move(node), stats};
+    out.nodes.emplace_back();
+    out.nodes[0].ball_ids = std::move(ids);
+    out.stats = stats;
+    return out;
   }
 
   static void accumulate(BuildStats& into, const BuildStats& child) {
@@ -366,7 +399,7 @@ class NeighborhoodQueryTree {
 
   std::vector<geo::Ball<D>> balls_;
   Params params_;
-  std::unique_ptr<Node> root_;
+  std::vector<Node> nodes_;  // flat tree, root at slot 0
   BuildStats stats_;
 };
 

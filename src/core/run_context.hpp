@@ -1,0 +1,165 @@
+// Shared per-run execution context for the divide-and-conquer engine.
+//
+// Replaces the old per-node pattern — construct a fresh Diagnostics at
+// every recursion node and merge it into the parent on the way up — with
+// one context shared by every strand of the run:
+//
+//   * Diagnostics counters are relaxed atomics. Every counter is either a
+//     sum or a max, so the final value is independent of the interleaving
+//     and the run stays bit-deterministic across thread schedules.
+//   * Per-level histograms (points / cut balls by depth) sit behind a
+//     mutex; they are touched once per internal node, so contention is
+//     negligible next to the geometry work.
+//   * Random streams are derived from (seed, node key), where a node key
+//     is a hash chained along the recursion path (root, then inner/outer
+//     branch steps). A node's stream therefore depends only on its
+//     position in the logical tree — not on the thread schedule and not
+//     on how much randomness sibling subtrees consumed — which is what
+//     makes same-seed runs identical across pool sizes.
+//
+// Model cost still composes over the logical fork-join tree with the
+// (work: sum, depth: max) algebra — each strand returns its pvm::Cost and
+// parents combine with pvm::par — because depth is a path property that a
+// global accumulator cannot express.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "pvm/cost.hpp"
+#include "support/rng.hpp"
+
+namespace sepdc::core {
+
+// What a run hands back besides the k-NN rows: the model cost, the final
+// diagnostics snapshot, and the shape summary of the partition forest.
+struct RunReport {
+  std::uint64_t seed = 0;
+  pvm::Cost cost;
+  Diagnostics diag;
+  std::size_t forest_nodes = 0;
+  std::size_t forest_leaves = 0;
+  std::size_t forest_height = 0;
+  unsigned threads = 0;
+};
+
+class RunContext {
+ public:
+  explicit RunContext(std::uint64_t seed) : seed_(seed) {}
+
+  // ------------------------------------------------- per-node randomness
+
+  // Key of the recursion root. Children extend the key by a branch step;
+  // the chain is a splitmix64 walk, so keys of distinct paths collide
+  // with negligible probability.
+  static std::uint64_t root_key() { return 0x517cc1b727220a95ULL; }
+
+  static std::uint64_t child_key(std::uint64_t key, int branch) {
+    std::uint64_t s =
+        key ^ (branch == 0 ? 0xa0761d6478bd642fULL : 0xe7037ed1a0b428dbULL);
+    return splitmix64(s);
+  }
+
+  // The node's private random stream. Draws within a node are sequential
+  // on the owning strand; sibling subtrees never share a stream.
+  Rng stream(std::uint64_t node_key) const {
+    std::uint64_t s = seed_ ^ node_key;
+    return Rng(splitmix64(s));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  // ------------------------------------------------- atomic diagnostics
+
+  std::atomic<std::size_t> nodes{0};
+  std::atomic<std::size_t> leaves{0};
+  std::atomic<std::size_t> separator_attempts{0};
+  std::atomic<std::size_t> max_attempts_at_node{0};
+  std::atomic<std::size_t> separator_fallbacks{0};
+  std::atomic<std::size_t> brute_force_fallbacks{0};
+  std::atomic<std::size_t> fast_corrections{0};
+  std::atomic<std::size_t> punts{0};
+  std::atomic<std::size_t> march_aborts{0};
+  std::atomic<std::size_t> total_cut_balls{0};
+  std::atomic<std::size_t> max_cut_balls{0};
+  std::atomic<double> max_cut_fraction{0.0};
+  std::atomic<double> max_march_fraction{0.0};
+  std::atomic<std::size_t> corrected_balls{0};
+  std::atomic<std::size_t> query_builds{0};
+  std::atomic<std::size_t> query_build_height{0};
+
+  static void add(std::atomic<std::size_t>& counter, std::size_t v) {
+    counter.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static void bump_max(std::atomic<std::size_t>& m, std::size_t v) {
+    std::size_t cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void bump_max(std::atomic<double>& m, double v) {
+    double cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void record_level(std::size_t depth, std::size_t points,
+                    std::size_t cuts) {
+    std::lock_guard<std::mutex> lock(level_mu_);
+    if (points_by_level_.size() <= depth) {
+      points_by_level_.resize(depth + 1, 0);
+      cuts_by_level_.resize(depth + 1, 0);
+    }
+    points_by_level_[depth] += points;
+    cuts_by_level_[depth] += cuts;
+  }
+
+  // Snapshot into the plain Diagnostics struct the experiments consume.
+  // tree_height is a structural property of the forest; the caller fills
+  // it from the built forest.
+  Diagnostics snapshot() const {
+    Diagnostics d;
+    d.nodes = nodes.load(std::memory_order_relaxed);
+    d.leaves = leaves.load(std::memory_order_relaxed);
+    d.separator_attempts =
+        separator_attempts.load(std::memory_order_relaxed);
+    d.max_attempts_at_node =
+        max_attempts_at_node.load(std::memory_order_relaxed);
+    d.separator_fallbacks =
+        separator_fallbacks.load(std::memory_order_relaxed);
+    d.brute_force_fallbacks =
+        brute_force_fallbacks.load(std::memory_order_relaxed);
+    d.fast_corrections = fast_corrections.load(std::memory_order_relaxed);
+    d.punts = punts.load(std::memory_order_relaxed);
+    d.march_aborts = march_aborts.load(std::memory_order_relaxed);
+    d.total_cut_balls = total_cut_balls.load(std::memory_order_relaxed);
+    d.max_cut_balls = max_cut_balls.load(std::memory_order_relaxed);
+    d.max_cut_fraction = max_cut_fraction.load(std::memory_order_relaxed);
+    d.max_march_fraction =
+        max_march_fraction.load(std::memory_order_relaxed);
+    d.corrected_balls = corrected_balls.load(std::memory_order_relaxed);
+    d.query_builds = query_builds.load(std::memory_order_relaxed);
+    d.query_build_height =
+        query_build_height.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(level_mu_);
+      d.points_by_level = points_by_level_;
+      d.cuts_by_level = cuts_by_level_;
+    }
+    return d;
+  }
+
+ private:
+  std::uint64_t seed_;
+  mutable std::mutex level_mu_;
+  std::vector<std::size_t> points_by_level_;
+  std::vector<std::size_t> cuts_by_level_;
+};
+
+}  // namespace sepdc::core

@@ -8,6 +8,14 @@
 // packages that as a queryable index — the thing a downstream user
 // actually wants from a "sphere separator" library.
 //
+// The tree is an arena-backed PartitionForest: one contiguous node
+// vector with 32-bit child indices, built with atomic bump allocation
+// under the parallel recursion. Single queries walk the flat nodes with
+// an explicit stack; the batched entry points (batch_radius, batch_knn)
+// serve many queries at once — batch_radius marches the whole query set
+// level-synchronously down the forest with parallel_for, which is the
+// serving-shaped access pattern the flat layout exists for.
+//
 // Guarantees are exact (not approximate): a leaf is reachable by a ball
 // B whenever B could intersect the leaf's region, so every point inside
 // B is found (§6.2's reachability induction).
@@ -16,12 +24,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/partition_tree.hpp"
+#include "core/partition_forest.hpp"
 #include "core/separator_search.hpp"
 #include "geometry/aabb.hpp"
 #include "geometry/ball.hpp"
@@ -51,19 +59,26 @@ class SeparatorIndex {
                  const SeparatorIndexConfig& cfg, par::ThreadPool& pool)
       : points_(points.begin(), points.end()),
         cfg_(cfg),
-        perm_(points.size()) {
+        perm_(points.size()),
+        forest_(PartitionForest<D>::for_points(points.size())) {
     SEPDC_CHECK_MSG(!points.empty(), "index over empty point set");
     for (std::size_t i = 0; i < perm_.size(); ++i)
       perm_[i] = static_cast<std::uint32_t>(i);
+    auto box = geo::Aabb<D>::empty();
+    for (const auto& p : points_) box.expand(p);
+    diameter_ = std::max(box.extent() * std::sqrt(double(D)), 1e-300);
+    bbox_center_ = box.center();
     Rng rng(cfg.seed);
-    root_ = build(0, static_cast<std::uint32_t>(points.size()), rng, 0,
-                  pool);
+    std::uint32_t root =
+        build(0, static_cast<std::uint32_t>(points.size()), rng, 0, pool);
+    forest_.set_root(root);
+    forest_.finalize();
   }
 
   std::size_t size() const { return points_.size(); }
-  std::size_t height() const { return root_->height(); }
-  std::size_t leaf_count() const { return root_->leaf_count(); }
-  const PartitionNode<D>& root() const { return *root_; }
+  std::size_t height() const { return forest_.height(); }
+  std::size_t leaf_count() const { return forest_.leaf_count(); }
+  const PartitionForest<D>& forest() const { return forest_; }
 
   // Invokes fn(id, dist2) for every indexed point with
   // distance(point, center) <= radius (closed ball).
@@ -73,7 +88,7 @@ class SeparatorIndex {
     if (radius < 0.0) return;
     geo::Ball<D> ball{center, radius};
     double r2 = radius * radius;
-    march(root_.get(), ball, [&](std::uint32_t id) {
+    march(ball, [&](std::uint32_t id) {
       double d2 = geo::distance2(points_[id], center);
       if (d2 <= r2) fn(id, d2);
     });
@@ -113,38 +128,153 @@ class SeparatorIndex {
     return best;
   }
 
- private:
-  std::unique_ptr<PartitionNode<D>> build(std::uint32_t begin,
-                                          std::uint32_t end, Rng& rng,
-                                          std::size_t depth,
-                                          par::ThreadPool& pool) {
-    const std::size_t m = end - begin;
-    if (depth == 0) {
-      auto box = geo::Aabb<D>::empty();
-      for (const auto& p : points_) box.expand(p);
-      diameter_ = std::max(box.extent() * std::sqrt(double(D)), 1e-300);
-      bbox_center_ = box.center();
+  // --------------------------------------------------- batched queries
+
+  // Fixed-radius search for a whole batch of queries at once. All query
+  // balls march down the flat tree level-synchronously: each level's
+  // (query, node) frontier is classified with one parallel_for sweep,
+  // reached leaves are grouped by query, and the leaf scans run in
+  // parallel over disjoint per-query result rows. Output order and
+  // content are deterministic (independent of the worker schedule).
+  // Returns, per query, the (point id, dist2) pairs within the closed
+  // ball of `radius`.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> batch_radius(
+      par::ThreadPool& pool, std::span<const geo::Point<D>> queries,
+      double radius) const {
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> out(
+        queries.size());
+    if (radius < 0.0 || queries.empty()) return out;
+    const double r2 = radius * radius;
+
+    struct Visit {
+      std::uint32_t query;
+      std::uint32_t node;
+    };
+    std::vector<Visit> frontier(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      frontier[i] = {static_cast<std::uint32_t>(i), forest_.root_id()};
+
+    std::vector<Visit> leaf_visits;
+    std::vector<Visit> next;
+    constexpr std::size_t kClassifyGrain = 512;
+    while (!frontier.empty()) {
+      // Chunked classification: every chunk expands into its own buffer,
+      // buffers are concatenated in chunk order, so the next frontier is
+      // schedule-independent.
+      const std::size_t chunks = std::max<std::size_t>(
+          1, std::min<std::size_t>(
+                 (frontier.size() + kClassifyGrain - 1) / kClassifyGrain,
+                 pool.concurrency() * 4));
+      const std::size_t chunk_len = (frontier.size() + chunks - 1) / chunks;
+      std::vector<std::vector<Visit>> next_parts(chunks);
+      std::vector<std::vector<Visit>> leaf_parts(chunks);
+      par::parallel_for(
+          pool, 0, chunks,
+          [&](std::size_t c) {
+            const std::size_t lo = c * chunk_len;
+            const std::size_t hi =
+                std::min(frontier.size(), lo + chunk_len);
+            for (std::size_t f = lo; f < hi; ++f) {
+              const Visit v = frontier[f];
+              const ForestNode<D>& node = forest_.node(v.node);
+              if (node.is_leaf()) {
+                leaf_parts[c].push_back(v);
+                continue;
+              }
+              geo::Ball<D> ball{queries[v.query], radius};
+              geo::Region region = node.separator.classify(ball);
+              if (region != geo::Region::Outer)
+                next_parts[c].push_back({v.query, node.inner});
+              if (region != geo::Region::Inner)
+                next_parts[c].push_back({v.query, node.outer});
+            }
+          },
+          /*grain=*/1);
+      next.clear();
+      for (std::size_t c = 0; c < chunks; ++c) {
+        next.insert(next.end(), next_parts[c].begin(), next_parts[c].end());
+        leaf_visits.insert(leaf_visits.end(), leaf_parts[c].begin(),
+                           leaf_parts[c].end());
+      }
+      frontier.swap(next);
     }
-    if (m <= cfg_.leaf_size)
-      return PartitionNode<D>::make_leaf(begin, end);
+
+    // Group reached leaves by query (stable counting sort), then scan
+    // each query's leaves in parallel — rows are disjoint, no locking.
+    std::vector<std::uint32_t> offsets(queries.size() + 1, 0);
+    for (const Visit& v : leaf_visits) ++offsets[v.query + 1];
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      offsets[q + 1] += offsets[q];
+    std::vector<std::uint32_t> grouped_leaves(leaf_visits.size());
+    {
+      std::vector<std::uint32_t> cursor(offsets.begin(),
+                                        offsets.end() - 1);
+      for (const Visit& v : leaf_visits)
+        grouped_leaves[cursor[v.query]++] = v.node;
+    }
+    par::parallel_for(
+        pool, 0, queries.size(),
+        [&](std::size_t q) {
+          for (std::uint32_t g = offsets[q]; g < offsets[q + 1]; ++g) {
+            const ForestNode<D>& leaf = forest_.node(grouped_leaves[g]);
+            for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+              std::uint32_t id = perm_[i];
+              double d2 = geo::distance2(points_[id], queries[q]);
+              if (d2 <= r2) out[q].emplace_back(id, d2);
+            }
+          }
+        },
+        /*grain=*/16);
+    return out;
+  }
+
+  // Exact k-NN for a batch of queries, parallel over disjoint result
+  // rows; each query runs the expanding-radius search over the flat
+  // tree. Returns, per query, the neighbors sorted by distance.
+  std::vector<std::vector<knn::TopK::Entry>> batch_knn(
+      par::ThreadPool& pool, std::span<const geo::Point<D>> queries,
+      std::size_t k) const {
+    std::vector<std::vector<knn::TopK::Entry>> out(queries.size());
+    par::parallel_for(
+        pool, 0, queries.size(),
+        [&](std::size_t i) { out[i] = knn(queries[i], k).take_sorted(); },
+        /*grain=*/8);
+    return out;
+  }
+
+ private:
+  std::uint32_t build(std::uint32_t begin, std::uint32_t end, Rng& rng,
+                      std::size_t depth, par::ThreadPool& pool) {
+    const std::size_t m = end - begin;
+    std::uint32_t id = forest_.allocate();
+    if (m <= cfg_.leaf_size) {
+      ForestNode<D>& node = forest_.node(id);
+      node.begin = begin;
+      node.end = end;
+      return id;
+    }
 
     auto at = [&](std::size_t i) { return points_[perm_[begin + i]]; };
     auto outcome = find_point_separator<D>(
         m, at, cfg_.partition, geo::splitting_ratio(D) + cfg_.delta_slack,
         cfg_.max_separator_attempts, static_cast<int>(depth % D), rng,
         cfg_.cost);
-    if (!outcome.shape)  // unsplittable (identical points): big leaf
-      return PartitionNode<D>::make_leaf(begin, end);
+    if (!outcome.shape) {  // unsplittable (identical points): big leaf
+      ForestNode<D>& node = forest_.node(id);
+      node.begin = begin;
+      node.end = end;
+      return id;
+    }
 
     // Partition the permutation range: Inner side first.
     std::vector<std::uint32_t> inner_ids, outer_ids;
     inner_ids.reserve(m);
     for (std::uint32_t i = begin; i < end; ++i) {
-      std::uint32_t id = perm_[i];
-      if (outcome.shape->classify(points_[id]) == geo::Side::Inner)
-        inner_ids.push_back(id);
+      std::uint32_t pid = perm_[i];
+      if (outcome.shape->classify(points_[pid]) == geo::Side::Inner)
+        inner_ids.push_back(pid);
       else
-        outer_ids.push_back(id);
+        outer_ids.push_back(pid);
     }
     std::copy(inner_ids.begin(), inner_ids.end(), perm_.begin() + begin);
     std::copy(outer_ids.begin(), outer_ids.end(),
@@ -152,7 +282,7 @@ class SeparatorIndex {
     auto mid = begin + static_cast<std::uint32_t>(inner_ids.size());
     SEPDC_ASSERT(mid > begin && mid < end);
 
-    std::unique_ptr<PartitionNode<D>> inner, outer;
+    std::uint32_t inner = kNoChild, outer = kNoChild;
     Rng inner_rng = rng.split();
     Rng outer_rng = rng.split();
     if (m >= cfg_.parallel_grain) {
@@ -164,32 +294,41 @@ class SeparatorIndex {
       inner = build(begin, mid, inner_rng, depth + 1, pool);
       outer = build(mid, end, outer_rng, depth + 1, pool);
     }
-    return PartitionNode<D>::make_internal(begin, end, *outcome.shape,
-                                           std::move(inner),
-                                           std::move(outer));
+    ForestNode<D>& node = forest_.node(id);
+    node.begin = begin;
+    node.end = end;
+    node.separator = *outcome.shape;
+    node.inner = inner;
+    node.outer = outer;
+    return id;
   }
 
   // Reachability march (Lemma 6.3): visit every leaf the ball can touch.
+  // Iterative over the flat forest — no pointer chasing, no recursion.
   template <class Fn>
-  void march(const PartitionNode<D>* node, const geo::Ball<D>& ball,
-             Fn fn) const {
-    if (node->is_leaf()) {
-      for (std::uint32_t i = node->begin; i < node->end; ++i) fn(perm_[i]);
-      return;
+  void march(const geo::Ball<D>& ball, Fn fn) const {
+    std::vector<std::uint32_t> stack{forest_.root_id()};
+    while (!stack.empty()) {
+      const ForestNode<D>& node = forest_.node(stack.back());
+      stack.pop_back();
+      if (node.is_leaf()) {
+        for (std::uint32_t i = node.begin; i < node.end; ++i) fn(perm_[i]);
+        continue;
+      }
+      geo::Region region = node.separator.classify(ball);
+      if (region != geo::Region::Inner) stack.push_back(node.outer);
+      if (region != geo::Region::Outer) stack.push_back(node.inner);
     }
-    geo::Region region = node->separator.classify(ball);
-    if (region != geo::Region::Outer) march(node->inner.get(), ball, fn);
-    if (region != geo::Region::Inner) march(node->outer.get(), ball, fn);
   }
 
   // Radius seed for expanding k-NN: the spacing scale of the leaf that
   // the query point lands in.
   double initial_radius(const geo::Point<D>& q) const {
-    const PartitionNode<D>* node = root_.get();
+    const ForestNode<D>* node = &forest_.root();
     while (!node->is_leaf()) {
-      node = node->separator.classify(q) == geo::Side::Inner
-                 ? node->inner.get()
-                 : node->outer.get();
+      node = &forest_.node(node->separator.classify(q) == geo::Side::Inner
+                               ? node->inner
+                               : node->outer);
     }
     auto box = geo::Aabb<D>::empty();
     box.expand(q);
@@ -202,7 +341,7 @@ class SeparatorIndex {
   std::vector<geo::Point<D>> points_;
   SeparatorIndexConfig cfg_;
   std::vector<std::uint32_t> perm_;
-  std::unique_ptr<PartitionNode<D>> root_;
+  PartitionForest<D> forest_;
   double diameter_ = 1.0;
   geo::Point<D> bbox_center_{};
 };

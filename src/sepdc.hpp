@@ -14,7 +14,9 @@
 
 #include "core/api.hpp"
 #include "core/engine.hpp"
+#include "core/partition_forest.hpp"
 #include "core/query_tree.hpp"
+#include "core/run_context.hpp"
 #include "core/separator_index.hpp"
 #include "geometry/constants.hpp"
 #include "knn/brute_force.hpp"

@@ -1,9 +1,14 @@
 // Contract tests: the library's checked preconditions must fail loudly
 // (SEPDC_CHECK aborts with a message), not corrupt state silently.
+// Config::validate() is the exception: it throws a typed ConfigError
+// naming the offending field, so embedding applications can report the
+// bad knob instead of dying.
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
@@ -19,22 +24,72 @@ namespace {
 
 using ::testing::KilledBySignal;
 
+// Runs validate() expecting a ConfigError; returns it for inspection.
+core::ConfigError expect_config_error(const core::Config& cfg) {
+  try {
+    cfg.validate();
+  } catch (const core::ConfigError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "validate() did not throw ConfigError";
+  return core::ConfigError("", "");
+}
+
 TEST(Contracts, ConfigValidateRejectsZeroK) {
   core::Config cfg;
   cfg.k = 0;
-  EXPECT_DEATH(cfg.validate(), "k must be at least 1");
+  auto e = expect_config_error(cfg);
+  EXPECT_EQ(e.field(), "k");
+  EXPECT_NE(std::string(e.what()).find("k must be at least 1"),
+            std::string::npos);
 }
 
 TEST(Contracts, ConfigValidateRejectsBadMarchBudget) {
   core::Config cfg;
   cfg.march_budget_factor = 0.0;
-  EXPECT_DEATH(cfg.validate(), "march budget");
+  auto e = expect_config_error(cfg);
+  EXPECT_EQ(e.field(), "march_budget_factor");
+  EXPECT_NE(std::string(e.what()).find("march budget"), std::string::npos);
 }
 
 TEST(Contracts, ConfigValidateRejectsBadAttempts) {
   core::Config cfg;
   cfg.max_separator_attempts = 0;
-  EXPECT_DEATH(cfg.validate(), "separator attempt");
+  auto e = expect_config_error(cfg);
+  EXPECT_EQ(e.field(), "max_separator_attempts");
+  EXPECT_NE(std::string(e.what()).find("separator attempt"),
+            std::string::npos);
+}
+
+TEST(Contracts, ConfigValidateNamesEveryBadField) {
+  // Each out-of-range knob is reported under its own field name, and the
+  // what() string carries the field so a bare catch of std::exception
+  // still tells the user which knob to fix.
+  struct Case {
+    const char* field;
+    core::Config cfg;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"delta_slack", {}});
+  cases.back().cfg.delta_slack = 0.9;
+  cases.push_back({"mu_slack", {}});
+  cases.back().cfg.mu_slack = -0.1;
+  cases.push_back({"punt_iota_scale", {}});
+  cases.back().cfg.punt_iota_scale = -1.0;
+  cases.push_back({"query_leaf_size", {}});
+  cases.back().cfg.query_leaf_size = 0;
+  cases.push_back({"query_iota_fraction", {}});
+  cases.back().cfg.query_iota_fraction = 1.5;
+  for (const auto& c : cases) {
+    auto e = expect_config_error(c.cfg);
+    EXPECT_EQ(e.field(), c.field);
+    EXPECT_NE(std::string(e.what()).find(c.field), std::string::npos);
+  }
+}
+
+TEST(Contracts, ConfigValidateAcceptsDefaults) {
+  core::Config cfg;
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(Contracts, EngineRejectsEmptyInput) {

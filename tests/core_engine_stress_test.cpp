@@ -18,11 +18,11 @@ namespace {
 // Structural invariants every k-NN result must satisfy, independent of
 // any oracle: rows sorted by distance, no self references, no duplicate
 // neighbors, distances consistent with the geometry, padding only at the
-// tail, and the partition tree covering exactly [0, n).
+// tail, and the partition forest covering exactly [0, n).
 template <int D>
 void check_invariants(std::span<const geo::Point<D>> points,
                       const knn::KnnResult& r,
-                      const PartitionNode<D>* tree) {
+                      const PartitionForest<D>& forest) {
   for (std::size_t i = 0; i < r.n; ++i) {
     auto nbr = r.row_neighbors(i);
     auto d2 = r.row_dist2(i);
@@ -45,22 +45,21 @@ void check_invariants(std::span<const geo::Point<D>> points,
       }
     }
   }
-  ASSERT_NE(tree, nullptr);
-  ASSERT_EQ(tree->begin, 0u);
-  ASSERT_EQ(tree->end, r.n);
+  ASSERT_FALSE(forest.empty());
+  ASSERT_EQ(forest.root().begin, 0u);
+  ASSERT_EQ(forest.root().end, r.n);
   // Children partition the parent range exactly.
-  std::function<void(const PartitionNode<D>*)> walk =
-      [&](const PartitionNode<D>* node) {
-        if (node->is_leaf()) return;
-        ASSERT_EQ(node->inner->begin, node->begin);
-        ASSERT_EQ(node->inner->end, node->outer->begin);
-        ASSERT_EQ(node->outer->end, node->end);
-        ASSERT_GT(node->inner->size(), 0u);
-        ASSERT_GT(node->outer->size(), 0u);
-        walk(node->inner.get());
-        walk(node->outer.get());
-      };
-  walk(tree);
+  forest.preorder([&](std::uint32_t id) {
+    const auto& node = forest.node(id);
+    if (node.is_leaf()) return;
+    const auto& inner = forest.node(node.inner);
+    const auto& outer = forest.node(node.outer);
+    ASSERT_EQ(inner.begin, node.begin);
+    ASSERT_EQ(inner.end, outer.begin);
+    ASSERT_EQ(outer.end, node.end);
+    ASSERT_GT(inner.size(), 0u);
+    ASSERT_GT(outer.size(), 0u);
+  });
 }
 
 class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -81,7 +80,7 @@ TEST_P(EngineProperty, InvariantsAndOracleAcrossRandomInstances) {
   cfg.k = k;
   cfg.seed = rng.next();
   auto out = NearestNeighborEngine<2>::run(span, cfg, pool);
-  check_invariants<2>(span, out.knn, out.tree.get());
+  check_invariants<2>(span, out.knn, out.forest);
 
   auto oracle = knn::brute_force_parallel<2>(pool, span, k);
   ASSERT_EQ(out.knn.dist2, oracle.dist2)

@@ -65,8 +65,10 @@ TEST_P(EngineOracle2D, MatchesBruteForceExactly) {
   EXPECT_GE(out.diag.leaves, 1u);
   EXPECT_GT(out.cost.work, 0u);
   EXPECT_GT(out.cost.depth, 0u);
-  ASSERT_NE(out.tree, nullptr);
-  EXPECT_EQ(out.tree->size(), n);
+  ASSERT_FALSE(out.forest.empty());
+  EXPECT_EQ(out.forest.point_count(), n);
+  EXPECT_EQ(out.report.forest_nodes, out.forest.node_count());
+  EXPECT_EQ(out.report.seed, cfg.seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -171,6 +171,95 @@ TEST(SeparatorIndex, HeightIsLogarithmic) {
   EXPECT_GE(index.leaf_count(), 32768u / cfg.leaf_size / 4);
 }
 
+TEST(SeparatorIndex, BatchRadiusMatchesBruteForce) {
+  Rng rng(48);
+  auto pts = workload::gaussian_clusters<2>(2500, 4, 0.03, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  auto& pool = par::ThreadPool::global();
+  SeparatorIndex<2> index(span, cfg, pool);
+
+  std::vector<geo::Point<2>> queries;
+  for (int q = 0; q < 300; ++q)
+    queries.push_back({{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)}});
+  double radius = 0.15;
+  auto rows = index.batch_radius(
+      pool, std::span<const geo::Point<2>>(queries), radius);
+  ASSERT_EQ(rows.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::uint32_t> got;
+    for (const auto& [id, d2] : rows[q]) {
+      EXPECT_DOUBLE_EQ(d2, geo::distance2(pts[id], queries[q]));
+      got.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_in_ball<2>(span, queries[q], radius))
+        << "query " << q;
+  }
+}
+
+TEST(SeparatorIndex, BatchRadiusDeterministicAcrossPoolSizes) {
+  Rng rng(49);
+  auto pts = workload::uniform_cube<2>(2000, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  par::ThreadPool solo(1);
+  par::ThreadPool quad(4);
+  SeparatorIndex<2> index(span, cfg, solo);
+
+  std::vector<geo::Point<2>> queries;
+  for (int q = 0; q < 500; ++q)
+    queries.push_back({{rng.uniform(), rng.uniform()}});
+  std::span<const geo::Point<2>> qspan(queries);
+  auto a = index.batch_radius(solo, qspan, 0.1);
+  auto b = index.batch_radius(quad, qspan, 0.1);
+  // Bit-identical rows, including the within-row order.
+  EXPECT_EQ(a, b);
+}
+
+TEST(SeparatorIndex, BatchRadiusEdgeCases) {
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
+  SeparatorIndexConfig cfg;
+  auto& pool = par::ThreadPool::global();
+  SeparatorIndex<2> index(std::span<const geo::Point<2>>(pts), cfg, pool);
+  // Empty query batch.
+  EXPECT_TRUE(
+      index.batch_radius(pool, std::span<const geo::Point<2>>(), 1.0)
+          .empty());
+  // Negative radius: rows exist but are empty.
+  std::vector<geo::Point<2>> queries{{{0.0, 0.0}}};
+  auto rows = index.batch_radius(
+      pool, std::span<const geo::Point<2>>(queries), -1.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].empty());
+}
+
+TEST(SeparatorIndex, BatchKnnMatchesSingleQueries) {
+  Rng rng(50);
+  auto pts = workload::uniform_cube<2>(1500, rng);
+  std::span<const geo::Point<2>> span(pts);
+  SeparatorIndexConfig cfg;
+  auto& pool = par::ThreadPool::global();
+  SeparatorIndex<2> index(span, cfg, pool);
+  knn::KdTree<2> tree(span);
+
+  std::vector<geo::Point<2>> queries;
+  for (int q = 0; q < 200; ++q)
+    queries.push_back({{rng.uniform(), rng.uniform()}});
+  std::size_t k = 5;
+  auto rows =
+      index.batch_knn(pool, std::span<const geo::Point<2>>(queries), k);
+  ASSERT_EQ(rows.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto expect = tree.query(queries[q], k).take_sorted();
+    ASSERT_EQ(rows[q].size(), expect.size());
+    for (std::size_t s = 0; s < expect.size(); ++s) {
+      EXPECT_EQ(rows[q][s].index, expect[s].index) << "query " << q;
+      EXPECT_DOUBLE_EQ(rows[q][s].dist2, expect[s].dist2);
+    }
+  }
+}
+
 TEST(SeparatorIndex, HyperplanePartitionVariant) {
   Rng rng(47);
   auto pts = workload::uniform_cube<2>(2000, rng);
