@@ -1,0 +1,454 @@
+// Service benchmark: concurrent query throughput with and without
+// micro-batching, emitting BENCH_service.json.
+//
+// Two serving designs over the same index, same query stream, same
+// client counts:
+//
+//   baseline — one-query-at-a-time service: the design you get without
+//     micro-batching. Clients hand single queries to a dispatcher
+//     thread over a mutex-protected queue and block until their answer
+//     comes back, so every query pays the full request round trip
+//     (enqueue, wake dispatcher, execute, wake client). The index sits
+//     behind a write-preferring reader/writer gate; a rebuild takes the
+//     exclusive side and reconstructs in place, stalling the dispatcher
+//     for the whole build.
+//
+//   broker — the src/service/ design: clients submit bulk requests that
+//     the QueryBroker coalesces into micro-batches routed to
+//     SeparatorIndex::batch_knn / batch_radius, amortizing the request
+//     round trip over the whole batch; rebuilds construct a snapshot
+//     off to the side and publish it by atomic shared_ptr handoff, so
+//     queries never wait on a writer.
+//
+// Two query workloads (the broker serves both):
+//   knn    — k nearest neighbors per query (~10us of index work each);
+//   radius — closed-ball search (~1us each), the regime micro-batching
+//     is for: per-request overhead dominates per-query work.
+//
+// Two traffic scenarios per design:
+//   steady  — queries only.
+//   rebuild — a writer thread continuously rebuilds (build, publish or
+//     in-place swap, sleep gap_ms, repeat).
+//
+// The headline acceptance number is broker vs baseline throughput at
+// the largest client count on the radius workload (target: >= 3x).
+#include "experiment_common.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/config.hpp"
+#include "service/query_broker.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sepdc;
+using Pt = geo::Point<2>;
+
+// Write-preferring reader/writer gate for the baseline: a plain
+// std::shared_mutex lets a stream of readers starve the rebuild thread
+// indefinitely (glibc rwlocks prefer readers), which would benchmark a
+// service that silently never reindexes. This gate is what a lock-based
+// design actually deploys.
+class RwGate {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return !writer_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+  void unlock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (--readers_ == 0) cv_.notify_all();
+  }
+  void lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    ++writers_waiting_;
+    cv_.wait(l, [&] { return !writer_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_ = true;
+  }
+  void unlock() {
+    std::lock_guard<std::mutex> l(mu_);
+    writer_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_ = false;
+};
+
+enum class Kind { kKnn, kRadius };
+
+struct CellResult {
+  double qps = 0.0;
+  double p50_request_us = 0.0;
+  double p99_request_us = 0.0;
+  std::size_t queries = 0;
+  std::size_t request_queries = 1;  // queries per client submission
+  std::size_t rebuilds = 0;
+  service::ServiceStatsSnapshot stats{};  // broker cells only
+};
+
+struct CellParams {
+  std::span<const Pt> points;
+  std::span<const Pt> queries;
+  Kind kind = Kind::kKnn;
+  std::size_t k = 8;
+  double radius = 0.01;
+  unsigned clients = 1;
+  bool rebuild = false;
+  double seconds = 0.6;
+  std::chrono::milliseconds gap{2};
+  std::size_t bulk = 64;
+  std::uint64_t seed = 9;
+};
+
+void summarize(CellResult& r, double elapsed, std::size_t completed,
+               std::vector<std::vector<double>>& latencies) {
+  r.qps = static_cast<double>(completed) / elapsed;
+  r.queries = completed;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  if (!all.empty()) {
+    r.p50_request_us = stats::percentile(all, 0.5);
+    r.p99_request_us = stats::percentile(all, 0.99);
+  }
+}
+
+// One-query-at-a-time service: a dispatcher thread pops one request,
+// answers it against the gated index, and wakes the owning client.
+CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
+  core::SeparatorIndexConfig icfg;
+  icfg.seed = p.seed;
+  std::optional<core::SeparatorIndex<2>> index(std::in_place, p.points,
+                                               icfg, pool);
+  RwGate gate;
+
+  struct Req {
+    const Pt* query = nullptr;
+    bool done = false;
+  };
+  std::mutex mu;
+  std::condition_variable cv_in, cv_out;
+  std::deque<Req*> queue;
+  bool stop_dispatch = false;
+
+  std::thread dispatcher([&] {
+    for (;;) {
+      Req* r;
+      {
+        std::unique_lock<std::mutex> l(mu);
+        cv_in.wait(l, [&] { return stop_dispatch || !queue.empty(); });
+        if (stop_dispatch && queue.empty()) return;
+        r = queue.front();
+        queue.pop_front();
+      }
+      gate.lock_shared();
+      if (p.kind == Kind::kKnn) {
+        auto row = index->knn(*r->query, p.k);
+        (void)row;
+      } else {
+        std::size_t hits = 0;
+        index->for_each_in_ball(*r->query, p.radius,
+                                [&](std::uint32_t, double) { ++hits; });
+        (void)hits;
+      }
+      gate.unlock_shared();
+      {
+        std::lock_guard<std::mutex> l(mu);
+        r->done = true;
+      }
+      cv_out.notify_all();
+    }
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::vector<double>> latencies(p.clients);
+  CellResult result;
+  result.request_queries = 1;
+
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < p.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t qi = (c * 7919) % p.queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        Req r{&p.queries[qi]};
+        Timer t;
+        {
+          std::lock_guard<std::mutex> l(mu);
+          queue.push_back(&r);
+        }
+        cv_in.notify_one();
+        {
+          std::unique_lock<std::mutex> l(mu);
+          cv_out.wait(l, [&] { return r.done; });
+        }
+        latencies[c].push_back(t.seconds() * 1e6);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        qi = (qi + 1) % p.queries.size();
+      }
+    });
+  }
+  std::thread writer;
+  if (p.rebuild) {
+    writer = std::thread([&] {
+      std::uint64_t seed = p.seed + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        core::SeparatorIndexConfig c = icfg;
+        c.seed = ++seed;
+        gate.lock();  // dispatcher stalls for the entire in-place rebuild
+        index.emplace(p.points, c, pool);
+        gate.unlock();
+        ++result.rebuilds;
+        std::this_thread::sleep_for(p.gap);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  std::size_t done = completed.load(std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  if (writer.joinable()) writer.join();
+  {
+    std::lock_guard<std::mutex> l(mu);
+    stop_dispatch = true;
+  }
+  cv_in.notify_all();
+  dispatcher.join();
+
+  summarize(result, p.seconds, done, latencies);
+  return result;
+}
+
+CellResult run_broker(const CellParams& p, par::ThreadPool& pool) {
+  service::BrokerConfig cfg;
+  cfg.max_batch = p.bulk;
+  cfg.flush_interval = std::chrono::microseconds(200);
+  cfg.index.seed = p.seed;
+  service::QueryBroker<2> broker(p.points, cfg, pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::vector<double>> latencies(p.clients);
+  CellResult result;
+  result.request_queries = p.bulk;
+
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < p.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t qi = (c * 7919) % p.queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t len =
+            std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+        Timer t;
+        if (p.kind == Kind::kKnn) {
+          auto rows = broker.bulk_knn(p.queries.subspan(qi, len), p.k);
+          (void)rows;
+        } else {
+          auto rows =
+              broker.bulk_radius(p.queries.subspan(qi, len), p.radius);
+          (void)rows;
+        }
+        latencies[c].push_back(t.seconds() * 1e6);
+        completed.fetch_add(len, std::memory_order_relaxed);
+        qi = (qi + len) % p.queries.size();
+      }
+    });
+  }
+  std::thread writer;
+  if (p.rebuild) {
+    writer = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        broker.rebuild(p.points);  // off to the side; queries unblocked
+        ++result.rebuilds;
+        std::this_thread::sleep_for(p.gap);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  std::size_t done = completed.load(std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  if (writer.joinable()) writer.join();
+
+  summarize(result, p.seconds, done, latencies);
+  result.stats = broker.stats();
+  return result;
+}
+
+struct Record {
+  std::string workload;
+  std::string scenario;
+  std::string mode;
+  unsigned clients = 0;
+  CellResult cell;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "20000", "indexed points")
+      .flag("queries", "8192", "distinct query points (cycled)")
+      .flag("k", "8", "neighbors per knn query")
+      .flag("radius", "0.01", "ball radius for radius queries")
+      .flag("bulk", "64", "queries per broker bulk request")
+      .flag("seconds", "0.6", "measurement window per cell")
+      .flag("gap_ms", "2", "writer sleep between rebuilds")
+      .flag("clients", "1,2,4,8", "client thread counts")
+      .flag("seed", "9", "random seed")
+      .flag("json", "BENCH_service.json",
+            "machine-readable results file (empty to disable)");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::banner(
+      "SERVICE — concurrent query serving",
+      "micro-batched broker amortizes the request round trip that a "
+      "one-query-at-a-time service pays per query, and snapshot handoff "
+      "sustains throughput while the index is rebuilt");
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto nq = static_cast<std::size_t>(cli.get_int("queries"));
+
+  if (cli.get_int("k") < 1)
+    throw core::ConfigError("k", "k must be at least 1");
+
+  CellParams base;
+  base.k = static_cast<std::size_t>(cli.get_int("k"));
+  base.radius = cli.get_double("radius");
+  base.bulk = static_cast<std::size_t>(cli.get_int("bulk"));
+  base.seconds = cli.get_double("seconds");
+  base.gap = std::chrono::milliseconds(cli.get_int("gap_ms"));
+  base.seed = rng.next();
+
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::vector<Pt> queries(nq);
+  for (auto& q : queries)
+    q = {{rng.uniform(-0.05, 1.05), rng.uniform(-0.05, 1.05)}};
+  base.points = std::span<const Pt>(points);
+  base.queries = std::span<const Pt>(queries);
+
+  auto& pool = par::ThreadPool::global();
+  std::vector<Record> records;
+  Table table({"workload", "scenario", "mode", "clients", "qps", "p50 us",
+               "p99 us", "rebuilds", "punted", "speedup"});
+
+  unsigned top_clients = 0;
+  for (std::int64_t clients : cli.get_int_list("clients"))
+    top_clients = std::max(top_clients, static_cast<unsigned>(clients));
+
+  for (Kind kind : {Kind::kKnn, Kind::kRadius}) {
+    const std::string workload = kind == Kind::kKnn ? "knn" : "radius";
+    for (bool rebuild : {false, true}) {
+      const std::string scenario = rebuild ? "rebuild" : "steady";
+      for (std::int64_t clients : cli.get_int_list("clients")) {
+        CellParams p = base;
+        p.kind = kind;
+        p.clients = static_cast<unsigned>(clients);
+        p.rebuild = rebuild;
+        CellResult baseline = run_baseline(p, pool);
+        CellResult broker = run_broker(p, pool);
+        records.push_back(
+            {workload, scenario, "baseline", p.clients, baseline});
+        records.push_back({workload, scenario, "broker", p.clients, broker});
+        double speedup =
+            baseline.qps > 0.0 ? broker.qps / baseline.qps : 0.0;
+        table.new_row()
+            .cell(workload)
+            .cell(scenario)
+            .cell("baseline")
+            .cell(p.clients)
+            .cell(baseline.qps, 0)
+            .cell(baseline.p50_request_us, 1)
+            .cell(baseline.p99_request_us, 1)
+            .cell(baseline.rebuilds)
+            .cell(0)
+            .cell(1.0, 2);
+        table.new_row()
+            .cell(workload)
+            .cell(scenario)
+            .cell("broker")
+            .cell(p.clients)
+            .cell(broker.qps, 0)
+            .cell(broker.p50_request_us, 1)
+            .cell(broker.p99_request_us, 1)
+            .cell(broker.rebuilds)
+            .cell(broker.stats.punted)
+            .cell(speedup, 2);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Headline: broker vs one-query-at-a-time baseline at the largest
+  // client count, per workload and scenario.
+  auto qps_of = [&](const std::string& workload, const std::string& scenario,
+                    const std::string& mode) {
+    for (const auto& r : records)
+      if (r.workload == workload && r.scenario == scenario &&
+          r.mode == mode && r.clients == top_clients)
+        return r.cell.qps;
+    return 0.0;
+  };
+  auto speedup_of = [&](const std::string& workload,
+                        const std::string& scenario) {
+    double b = qps_of(workload, scenario, "baseline");
+    return b > 0.0 ? qps_of(workload, scenario, "broker") / b : 0.0;
+  };
+  std::printf(
+      "\nbroker vs one-query-at-a-time baseline at %u clients "
+      "(target >= 3x on radius):\n"
+      "  radius: %.2fx steady, %.2fx under rebuild\n"
+      "  knn:    %.2fx steady, %.2fx under rebuild\n",
+      top_clients, speedup_of("radius", "steady"),
+      speedup_of("radius", "rebuild"), speedup_of("knn", "steady"),
+      speedup_of("knn", "rebuild"));
+
+  if (std::string path = cli.get("json"); !path.empty()) {
+    std::ofstream json(path);
+    json << "[\n";
+    for (const auto& r : records) {
+      json << "  {\"workload\": \"" << r.workload << "\", \"scenario\": \""
+           << r.scenario << "\", \"mode\": \"" << r.mode
+           << "\", \"clients\": " << r.clients
+           << ", \"throughput_qps\": " << r.cell.qps
+           << ", \"p50_request_us\": " << r.cell.p50_request_us
+           << ", \"p99_request_us\": " << r.cell.p99_request_us
+           << ", \"request_queries\": " << r.cell.request_queries
+           << ", \"queries\": " << r.cell.queries
+           << ", \"rebuilds\": " << r.cell.rebuilds
+           << ", \"batched\": " << r.cell.stats.batched
+           << ", \"punted\": " << r.cell.stats.punted
+           << ", \"expired\": " << r.cell.stats.expired
+           << ", \"rebuilt_under\": " << r.cell.stats.rebuilt_under
+           << ", \"snapshots_published\": "
+           << r.cell.stats.snapshots_published << "},\n";
+    }
+    json << "  {\"scenario\": \"summary\", \"clients\": " << top_clients
+         << ", \"speedup_radius_steady\": " << speedup_of("radius", "steady")
+         << ", \"speedup_radius_rebuild\": "
+         << speedup_of("radius", "rebuild")
+         << ", \"speedup_knn_steady\": " << speedup_of("knn", "steady")
+         << ", \"speedup_knn_rebuild\": " << speedup_of("knn", "rebuild")
+         << ", \"target\": 3.0}\n";
+    json << "]\n";
+    std::printf("wrote %zu records to %s\n", records.size() + 1,
+                path.c_str());
+  }
+  return 0;
+}

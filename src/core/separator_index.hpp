@@ -75,10 +75,20 @@ class SeparatorIndex {
     forest_.finalize();
   }
 
+  // Sentinel for "exclude nothing" in knn / batch_knn.
+  static constexpr std::uint32_t kNoExclude = 0xffffffffu;
+
   std::size_t size() const { return points_.size(); }
   std::size_t height() const { return forest_.height(); }
   std::size_t leaf_count() const { return forest_.leaf_count(); }
   const PartitionForest<D>& forest() const { return forest_; }
+
+  // Const snapshot view: the indexed points (in input order) and the
+  // build configuration. A service that publishes this index as an
+  // immutable snapshot uses these to derive fallback structures and to
+  // rebuild a successor generation without retaining the input.
+  std::span<const geo::Point<D>> points() const { return points_; }
+  const SeparatorIndexConfig& config() const { return cfg_; }
 
   // Invokes fn(id, dist2) for every indexed point with
   // distance(point, center) <= radius (closed ball).
@@ -230,14 +240,22 @@ class SeparatorIndex {
 
   // Exact k-NN for a batch of queries, parallel over disjoint result
   // rows; each query runs the expanding-radius search over the flat
-  // tree. Returns, per query, the neighbors sorted by distance.
+  // tree. Returns, per query, the neighbors sorted by distance. When
+  // `exclude` is non-empty it must have one point id per query (or
+  // kNoExclude) to skip — the all-k-NN self-exclusion shape.
   std::vector<std::vector<knn::TopK::Entry>> batch_knn(
       par::ThreadPool& pool, std::span<const geo::Point<D>> queries,
-      std::size_t k) const {
+      std::size_t k, std::span<const std::uint32_t> exclude = {}) const {
+    SEPDC_CHECK_MSG(exclude.empty() || exclude.size() == queries.size(),
+                    "batch_knn: exclude must be empty or per-query");
     std::vector<std::vector<knn::TopK::Entry>> out(queries.size());
     par::parallel_for(
         pool, 0, queries.size(),
-        [&](std::size_t i) { out[i] = knn(queries[i], k).take_sorted(); },
+        [&](std::size_t i) {
+          out[i] = knn(queries[i], k,
+                       exclude.empty() ? kNoExclude : exclude[i])
+                       .take_sorted();
+        },
         /*grain=*/8);
     return out;
   }

@@ -25,6 +25,10 @@ class TopK {
       if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
       return a.index < b.index;
     }
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.dist2 == b.dist2 && a.index == b.index;
+    }
   };
 
   explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k); }

@@ -34,6 +34,38 @@ void TaskGroup::record_error(std::exception_ptr e) {
   if (!first_error_) first_error_ = e;
 }
 
+Waitable& Waitable::operator=(Waitable&& other) noexcept {
+  if (this != &other) {
+    if (group_) {
+      try {
+        group_->wait();
+      } catch (...) {
+      }
+    }
+    group_ = std::move(other.group_);
+  }
+  return *this;
+}
+
+Waitable::~Waitable() {
+  if (group_) {
+    try {
+      group_->wait();
+    } catch (...) {
+      // Errors from an abandoned handle are dropped; wait() explicitly
+      // when the outcome matters.
+    }
+  }
+}
+
+void Waitable::wait() {
+  if (!group_) return;
+  // Destroy the group even if wait() throws: a rethrown error still means
+  // every task finished (wait() drains before rethrowing).
+  auto group = std::move(group_);
+  group->wait();
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
@@ -51,6 +83,12 @@ ThreadPool::~ThreadPool() {
   work_available_.notify_all();
   for (auto& t : threads_) t.join();
   SEPDC_ASSERT(queue_.empty());
+}
+
+Waitable ThreadPool::submit(std::function<void()> fn) {
+  auto group = std::make_unique<TaskGroup>(*this);
+  group->run(std::move(fn));
+  return Waitable(std::move(group));
 }
 
 ThreadPool& ThreadPool::global() {

@@ -16,6 +16,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,6 +50,32 @@ class TaskGroup {
   void record_error(std::exception_ptr e);
 };
 
+// Handle for one task submitted with ThreadPool::submit. wait() blocks
+// until the task finishes, helping with queued work meanwhile (so waiting
+// is safe even on a pool with zero workers), and rethrows the task's
+// exception. Destroying an un-waited handle waits too, but swallows the
+// error — call wait() when the outcome matters.
+class Waitable {
+ public:
+  Waitable() = default;
+  Waitable(Waitable&& other) noexcept = default;
+  Waitable& operator=(Waitable&& other) noexcept;
+  ~Waitable();
+
+  bool valid() const { return group_ != nullptr; }
+
+  // Blocks (helping) until the task completes; rethrows its exception.
+  // The handle becomes invalid afterwards.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  explicit Waitable(std::unique_ptr<TaskGroup> group)
+      : group_(std::move(group)) {}
+
+  std::unique_ptr<TaskGroup> group_;
+};
+
 class ThreadPool {
  public:
   // threads == 0 selects std::thread::hardware_concurrency().
@@ -60,6 +87,12 @@ class ThreadPool {
 
   // Worker threads plus the caller; the natural fan-out for parallel_for.
   unsigned concurrency() const { return workers_ + 1; }
+
+  // Detached-until-waited submission: schedules fn like a one-task group
+  // and returns a handle any thread may later wait on. This is what a
+  // service thread uses to run work (a snapshot rebuild, a batch flush)
+  // without blocking at the call site.
+  Waitable submit(std::function<void()> fn);
 
   // Process-wide pool (constructed on first use). The environment variable
   // SEPDC_THREADS overrides the size.

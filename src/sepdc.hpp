@@ -8,6 +8,8 @@
 //   - core::NeighborhoodQueryTree (§3), core::SeparatorIndex (spatial
 //     queries over the partition tree)
 //   - separator::SphereSeparatorSampler (the MTTV separator itself)
+//   - service::QueryBroker (concurrent micro-batched query serving with
+//     snapshot handoff), service::SnapshotStore
 //   - knn:: brute force, kd-tree, graphs, serialization
 //   - workload:: generators, support:: RNG / stats / tables
 #pragma once
@@ -30,6 +32,9 @@
 #include "separator/hyperplane.hpp"
 #include "separator/mttv.hpp"
 #include "separator/quality.hpp"
+#include "service/query_broker.hpp"
+#include "service/service_stats.hpp"
+#include "service/snapshot.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"

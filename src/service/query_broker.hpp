@@ -1,0 +1,517 @@
+// QueryBroker — a concurrent query front-end over the separator index.
+//
+// Many client threads call knn()/radius() (single or bulk); the broker
+// coalesces their requests into micro-batches and routes each batch to
+// SeparatorIndex::batch_knn / batch_radius on the shared thread pool —
+// the batched kernels are where the flat forest layout pays off, and
+// (as in ParGeo-style batched geometry serving) one batch of b queries
+// costs far less than b independent dispatches. A dedicated flusher
+// thread drains the pending queue whenever it holds max_batch queries
+// (flush on size) or the oldest request has waited flush_interval
+// (flush on deadline).
+//
+// Index updates never block readers: rebuilds construct a complete
+// immutable snapshot off to the side and publish it through the
+// SnapshotStore's atomic shared_ptr slot. A query grabs the current
+// snapshot once and runs entirely against that generation.
+//
+// Deadline-aware degradation follows the Punting Lemma's shape (run the
+// preferred algorithm only while it can still win; otherwise fall back
+// immediately rather than retrying): a query whose deadline cannot
+// survive the batch path — worst-case flush wait plus the estimated
+// batch service time — is *punted* at submission to the snapshot's
+// direct kd-tree / single-march fallback on the client's own thread.
+// Both paths are exact with the identical (dist2, id) tie-break, so
+// punting degrades latency, never answers. Per-outcome counters
+// (batched, punted, expired, rebuilt-under) land in a relaxed-atomic
+// ServiceStats.
+//
+// Result contracts (independent of batching, punting, and timing):
+//   knn rows    — exactly k nearest (fewer iff the snapshot has fewer
+//                 candidates), sorted by (dist2, id); ties by lower id.
+//   radius rows — every point with distance(q, p) <= r (closed ball),
+//                 sorted by (dist2, id).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/separator_index.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/service_stats.hpp"
+#include "service/snapshot.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace sepdc::service {
+
+struct BrokerConfig {
+  // Flush the pending queue as soon as it holds this many queries.
+  std::size_t max_batch = 64;
+  // ... or as soon as the oldest pending request has waited this long.
+  std::chrono::microseconds flush_interval{200};
+  // Build configuration for every snapshot generation (the seed is
+  // perturbed per generation so rebuilds decorrelate).
+  core::SeparatorIndexConfig index;
+};
+
+template <int D>
+class QueryBroker {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using KnnRow = std::vector<knn::TopK::Entry>;
+  using RadiusRow = std::vector<std::pair<std::uint32_t, double>>;
+  using Snapshot = IndexSnapshot<D>;
+  using SnapshotPtr = typename SnapshotStore<D>::Ptr;
+
+  static constexpr std::uint32_t kNoExclude =
+      core::SeparatorIndex<D>::kNoExclude;
+  // budget == kNoDeadline means "never punt, never expires".
+  static constexpr std::chrono::microseconds kNoDeadline{0};
+
+  QueryBroker(std::span<const geo::Point<D>> points,
+              const BrokerConfig& cfg, par::ThreadPool& pool)
+      : cfg_(cfg), pool_(pool) {
+    SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    rebuild(points);  // generation 1, synchronous: never serve index-less
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+
+  ~QueryBroker() { shutdown(); }
+
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  // Drains pending queries, stops the flusher, and waits for outstanding
+  // async rebuilds. Not safe to race with concurrent submissions of new
+  // work; intended for the owner's teardown path (the destructor calls
+  // it).
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+    try {
+      drain_rebuilds();
+    } catch (...) {
+      // Teardown must not throw; rebuild failures surface via
+      // drain_rebuilds() when called explicitly.
+    }
+  }
+
+  // ------------------------------------------------------- client API
+  // All entry points are safe to call from any number of threads.
+
+  KnnRow knn(const geo::Point<D>& q, std::size_t k,
+             std::chrono::microseconds budget = kNoDeadline,
+             std::uint32_t exclude = kNoExclude) {
+    std::uint32_t ex = exclude;
+    auto rows = run_knn({&q, 1}, k, budget,
+                        exclude == kNoExclude
+                            ? std::span<const std::uint32_t>{}
+                            : std::span<const std::uint32_t>{&ex, 1});
+    return std::move(rows[0]);
+  }
+
+  // Bulk k-NN: one submission covering many queries (the whole bulk
+  // shares one wait, so per-query synchronization cost amortizes away).
+  // `exclude`, when non-empty, carries one point id per query to skip —
+  // pass the identity to compute an all-k-NN over the indexed points.
+  std::vector<KnnRow> bulk_knn(std::span<const geo::Point<D>> queries,
+                               std::size_t k,
+                               std::chrono::microseconds budget =
+                                   kNoDeadline,
+                               std::span<const std::uint32_t> exclude = {}) {
+    ServiceStats::add(stats_.bulk_requests, 1);
+    return run_knn(queries, k, budget, exclude);
+  }
+
+  RadiusRow radius(const geo::Point<D>& q, double r,
+                   std::chrono::microseconds budget = kNoDeadline) {
+    auto rows = run_radius({&q, 1}, r, budget);
+    return std::move(rows[0]);
+  }
+
+  std::vector<RadiusRow> bulk_radius(
+      std::span<const geo::Point<D>> queries, double r,
+      std::chrono::microseconds budget = kNoDeadline) {
+    ServiceStats::add(stats_.bulk_requests, 1);
+    return run_radius(queries, r, budget);
+  }
+
+  // ------------------------------------------------------ rebuild API
+
+  // Builds a new generation over `points` and publishes it atomically.
+  // Blocks the caller only; readers keep answering from the previous
+  // snapshot throughout. Returns the claimed version.
+  std::uint64_t rebuild(std::span<const geo::Point<D>> points) {
+    RebuildScope scope(*this);
+    return rebuild_locked_free(points);
+  }
+
+  // Same, but runs on the thread pool via waitable submission and
+  // returns immediately. Outstanding rebuilds are joined by
+  // drain_rebuilds() / shutdown().
+  void rebuild_async(std::vector<geo::Point<D>> points) {
+    rebuilds_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    par::Waitable handle =
+        pool_.submit([this, pts = std::move(points)] {
+          struct Dec {
+            QueryBroker& b;
+            ~Dec() {
+              b.rebuilds_in_flight_.fetch_sub(1,
+                                              std::memory_order_acq_rel);
+            }
+          } dec{*this};
+          rebuild_locked_free(std::span<const geo::Point<D>>(pts));
+        });
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    rebuild_handles_.push_back(std::move(handle));
+  }
+
+  // Waits for every outstanding rebuild_async; rethrows the first
+  // rebuild error.
+  void drain_rebuilds() {
+    std::vector<par::Waitable> handles;
+    {
+      std::lock_guard<std::mutex> lock(rebuild_mu_);
+      handles.swap(rebuild_handles_);
+    }
+    for (auto& h : handles) h.wait();
+  }
+
+  // ------------------------------------------------------ observation
+
+  SnapshotPtr current_snapshot() const { return store_.current(); }
+  std::uint64_t version() const { return store_.version(); }
+  ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
+  const BrokerConfig& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    bool is_knn = true;
+    std::span<const geo::Point<D>> queries;
+    std::span<const std::uint32_t> exclude;  // knn only; empty = none
+    std::size_t k = 0;
+    double radius = 0.0;
+    bool has_deadline = false;
+    typename Clock::time_point deadline{};
+    std::vector<KnnRow>* knn_out = nullptr;
+    std::vector<RadiusRow>* radius_out = nullptr;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  struct RebuildScope {
+    QueryBroker& b;
+    explicit RebuildScope(QueryBroker& broker) : b(broker) {
+      b.rebuilds_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~RebuildScope() {
+      b.rebuilds_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::uint64_t rebuild_locked_free(
+      std::span<const geo::Point<D>> points) {
+    ServiceStats::add(stats_.rebuilds, 1);
+    std::uint64_t version = store_.claim_version();
+    core::SeparatorIndexConfig icfg = cfg_.index;
+    icfg.seed += version;  // decorrelate generations
+    store_.publish(SnapshotStore<D>::build(points, icfg, pool_, version),
+                   &stats_);
+    return version;
+  }
+
+  bool under_rebuild() const {
+    return rebuilds_in_flight_.load(std::memory_order_acquire) > 0;
+  }
+
+  static void sort_radius_row(RadiusRow& row) {
+    std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second < b.second;
+      return a.first < b.first;
+    });
+  }
+
+  // Punt decision (client side, at submission): would the batch path —
+  // worst-case flush wait plus the EWMA-estimated batch service time for
+  // everything already queued plus us — overrun the deadline?
+  bool should_punt(typename Clock::time_point now,
+                   typename Clock::time_point deadline,
+                   std::size_t nqueries) const {
+    double waiting = static_cast<double>(
+        pending_queries_.load(std::memory_order_relaxed) + nqueries);
+    double est_us =
+        stats_.est_batch_us_per_query.load(std::memory_order_relaxed) *
+        waiting;
+    auto eta = now + cfg_.flush_interval +
+               std::chrono::microseconds(
+                   static_cast<std::int64_t>(est_us));
+    return eta > deadline;
+  }
+
+  void account_answered(std::size_t nqueries, bool punted,
+                        bool has_deadline,
+                        typename Clock::time_point deadline) {
+    ServiceStats::add(punted ? stats_.punted : stats_.batched, nqueries);
+    if (under_rebuild()) ServiceStats::add(stats_.rebuilt_under, nqueries);
+    if (has_deadline && Clock::now() > deadline)
+      ServiceStats::add(stats_.expired, nqueries);
+  }
+
+  std::vector<KnnRow> run_knn(std::span<const geo::Point<D>> queries,
+                              std::size_t k,
+                              std::chrono::microseconds budget,
+                              std::span<const std::uint32_t> exclude) {
+    SEPDC_CHECK_MSG(exclude.empty() || exclude.size() == queries.size(),
+                    "broker knn: exclude must be empty or per-query");
+    std::vector<KnnRow> out(queries.size());
+    if (queries.empty()) return out;
+    ServiceStats::add(stats_.submitted, queries.size());
+
+    const bool has_deadline = budget > kNoDeadline;
+    auto now = Clock::now();
+    auto deadline =
+        has_deadline ? now + budget : Clock::time_point::max();
+    if (has_deadline && should_punt(now, deadline, queries.size())) {
+      SnapshotPtr snap = store_.current();
+      for (std::size_t i = 0; i < queries.size(); ++i)
+        out[i] = snap->fallback
+                     ->query(queries[i], k,
+                             exclude.empty() ? kNoExclude : exclude[i])
+                     .take_sorted();
+      account_answered(queries.size(), /*punted=*/true, has_deadline,
+                       deadline);
+      return out;
+    }
+
+    Pending req;
+    req.is_knn = true;
+    req.queries = queries;
+    req.exclude = exclude;
+    req.k = k;
+    req.has_deadline = has_deadline;
+    req.deadline = deadline;
+    req.knn_out = &out;
+    enqueue_and_wait(req);
+    return out;
+  }
+
+  std::vector<RadiusRow> run_radius(
+      std::span<const geo::Point<D>> queries, double r,
+      std::chrono::microseconds budget) {
+    std::vector<RadiusRow> out(queries.size());
+    if (queries.empty()) return out;
+    ServiceStats::add(stats_.submitted, queries.size());
+
+    const bool has_deadline = budget > kNoDeadline;
+    auto now = Clock::now();
+    auto deadline =
+        has_deadline ? now + budget : Clock::time_point::max();
+    if (has_deadline && should_punt(now, deadline, queries.size())) {
+      SnapshotPtr snap = store_.current();
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        snap->index->for_each_in_ball(
+            queries[i], r, [&](std::uint32_t id, double d2) {
+              out[i].emplace_back(id, d2);
+            });
+        sort_radius_row(out[i]);
+      }
+      account_answered(queries.size(), /*punted=*/true, has_deadline,
+                       deadline);
+      return out;
+    }
+
+    Pending req;
+    req.is_knn = false;
+    req.queries = queries;
+    req.radius = r;
+    req.has_deadline = has_deadline;
+    req.deadline = deadline;
+    req.radius_out = &out;
+    enqueue_and_wait(req);
+    return out;
+  }
+
+  void enqueue_and_wait(Pending& req) {
+    std::unique_lock<std::mutex> lock(mu_);
+    SEPDC_CHECK_MSG(!stopping_, "query submitted to a stopped broker");
+    if (queue_.empty()) oldest_enqueue_ = Clock::now();
+    queue_.push_back(&req);
+    pending_queries_.fetch_add(req.queries.size(),
+                               std::memory_order_relaxed);
+    queue_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return req.done; });
+    if (req.error) std::rethrow_exception(req.error);
+  }
+
+  void flusher_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (queue_.empty()) {
+        if (stopping_) return;
+        queue_cv_.wait(lock,
+                       [&] { return stopping_ || !queue_.empty(); });
+        continue;
+      }
+      bool by_size = pending_queries_.load(std::memory_order_relaxed) >=
+                     cfg_.max_batch;
+      if (!by_size && !stopping_) {
+        auto flush_at = oldest_enqueue_ + cfg_.flush_interval;
+        by_size = queue_cv_.wait_until(lock, flush_at, [&] {
+          return stopping_ ||
+                 pending_queries_.load(std::memory_order_relaxed) >=
+                     cfg_.max_batch;
+        });
+        // Timeout with the size condition unmet = flush on deadline.
+      }
+      std::vector<Pending*> batch;
+      batch.swap(queue_);
+      pending_queries_.store(0, std::memory_order_relaxed);
+      ServiceStats::add(stats_.flushes, 1);
+      ServiceStats::add(
+          by_size ? stats_.flush_by_size : stats_.flush_by_deadline, 1);
+
+      lock.unlock();
+      execute(batch);
+      lock.lock();
+      for (Pending* r : batch) r->done = true;
+      done_cv_.notify_all();
+    }
+  }
+
+  // Runs one micro-batch against the current snapshot. Requests are
+  // grouped by (kind, parameter) and each group goes through the batched
+  // index kernel in one call; per-request rows are scattered back in
+  // place. Called with mu_ released — clients are blocked on done_cv_,
+  // so every Pending and its output vector stays alive.
+  void execute(std::vector<Pending*>& batch) {
+    Timer timer;
+    SnapshotPtr snap = store_.current();
+    std::size_t total = 0;
+    try {
+      // --- k-NN groups, keyed by k.
+      std::vector<std::pair<std::size_t, std::vector<Pending*>>> kgroups;
+      std::vector<std::pair<double, std::vector<Pending*>>> rgroups;
+      for (Pending* r : batch) {
+        if (r->is_knn) {
+          auto it = std::find_if(
+              kgroups.begin(), kgroups.end(),
+              [&](const auto& g) { return g.first == r->k; });
+          if (it == kgroups.end()) {
+            kgroups.push_back({r->k, {r}});
+          } else {
+            it->second.push_back(r);
+          }
+        } else {
+          auto it = std::find_if(
+              rgroups.begin(), rgroups.end(),
+              [&](const auto& g) { return g.first == r->radius; });
+          if (it == rgroups.end()) {
+            rgroups.push_back({r->radius, {r}});
+          } else {
+            it->second.push_back(r);
+          }
+        }
+      }
+
+      for (auto& [k, reqs] : kgroups) {
+        std::size_t count = 0;
+        bool any_exclude = false;
+        for (Pending* r : reqs) {
+          count += r->queries.size();
+          any_exclude |= !r->exclude.empty();
+        }
+        std::vector<geo::Point<D>> flat;
+        flat.reserve(count);
+        std::vector<std::uint32_t> flat_exclude;
+        if (any_exclude) flat_exclude.reserve(count);
+        for (Pending* r : reqs) {
+          flat.insert(flat.end(), r->queries.begin(), r->queries.end());
+          if (any_exclude) {
+            if (r->exclude.empty()) {
+              flat_exclude.insert(flat_exclude.end(), r->queries.size(),
+                                  kNoExclude);
+            } else {
+              flat_exclude.insert(flat_exclude.end(), r->exclude.begin(),
+                                  r->exclude.end());
+            }
+          }
+        }
+        auto rows = snap->index->batch_knn(
+            pool_, std::span<const geo::Point<D>>(flat), k,
+            std::span<const std::uint32_t>(flat_exclude));
+        std::size_t offset = 0;
+        for (Pending* r : reqs) {
+          for (std::size_t i = 0; i < r->queries.size(); ++i)
+            (*r->knn_out)[i] = std::move(rows[offset + i]);
+          offset += r->queries.size();
+        }
+        total += count;
+      }
+
+      // --- radius groups, keyed by the radius value.
+      for (auto& [radius, reqs] : rgroups) {
+        std::vector<geo::Point<D>> flat;
+        for (Pending* r : reqs)
+          flat.insert(flat.end(), r->queries.begin(), r->queries.end());
+        auto rows = snap->index->batch_radius(
+            pool_, std::span<const geo::Point<D>>(flat), radius);
+        std::size_t offset = 0;
+        for (Pending* r : reqs) {
+          for (std::size_t i = 0; i < r->queries.size(); ++i) {
+            sort_radius_row(rows[offset + i]);
+            (*r->radius_out)[i] = std::move(rows[offset + i]);
+          }
+          offset += r->queries.size();
+        }
+        total += flat.size();
+      }
+    } catch (...) {
+      // A failed batch fails every request in it; clients rethrow.
+      auto err = std::current_exception();
+      for (Pending* r : batch)
+        if (!r->error) r->error = err;
+    }
+
+    for (Pending* r : batch)
+      account_answered(r->queries.size(), /*punted=*/false,
+                       r->has_deadline, r->deadline);
+    ServiceStats::bump_max(stats_.max_flush_queries, total);
+    if (total > 0)
+      stats_.observe_batch_cost(timer.seconds() * 1e6 /
+                                static_cast<double>(total));
+  }
+
+  BrokerConfig cfg_;
+  par::ThreadPool& pool_;
+  SnapshotStore<D> store_;
+  ServiceStats stats_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  // wakes the flusher
+  std::condition_variable done_cv_;   // wakes waiting clients
+  std::vector<Pending*> queue_;
+  typename Clock::time_point oldest_enqueue_{};
+  std::atomic<std::size_t> pending_queries_{0};
+  bool stopping_ = false;
+  std::thread flusher_;
+
+  std::atomic<std::size_t> rebuilds_in_flight_{0};
+  std::mutex rebuild_mu_;
+  std::vector<par::Waitable> rebuild_handles_;
+};
+
+}  // namespace sepdc::service

@@ -1,0 +1,107 @@
+// Relaxed-atomic outcome counters for the query service.
+//
+// Same design as core::RunContext's diagnostics: one ServiceStats is
+// shared by every client thread, the flusher, and every rebuild strand.
+// Every counter is a sum (or a max), so the final value is independent
+// of the interleaving — no locks on the query hot path, and a snapshot
+// taken after quiescence is exact.
+//
+// Outcome taxonomy (per query, mutually exclusive):
+//   batched — answered through a micro-batch flush,
+//   punted  — deadline could not survive the batch path, answered
+//             immediately through the direct fallback (Punting-Lemma
+//             shape: run the fast path only when it can win, otherwise
+//             fall back without retrying).
+// Orthogonal markers:
+//   expired       — the answer was produced after its deadline (still
+//                    exact; the service degrades latency, never results),
+//   rebuilt_under — answered while a snapshot rebuild was in flight.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace sepdc::service {
+
+// Plain value snapshot, safe to copy around and serialize.
+struct ServiceStatsSnapshot {
+  std::size_t submitted = 0;       // queries accepted by the service
+  std::size_t batched = 0;         // answered via a micro-batch
+  std::size_t punted = 0;          // answered via the direct fallback
+  std::size_t expired = 0;         // answered after their deadline
+  std::size_t rebuilt_under = 0;   // answered while a rebuild was in flight
+  std::size_t bulk_requests = 0;   // multi-query submissions
+  std::size_t flushes = 0;         // micro-batches executed
+  std::size_t flush_by_size = 0;   // flush triggered by max_batch
+  std::size_t flush_by_deadline = 0;  // flush triggered by flush_interval
+  std::size_t max_flush_queries = 0;  // largest micro-batch seen
+  std::size_t rebuilds = 0;            // rebuilds started
+  std::size_t snapshots_published = 0;  // generations that won publication
+  std::size_t snapshots_discarded = 0;  // stale builds beaten by a newer one
+  double est_batch_us_per_query = 0.0;  // EWMA batch service cost
+};
+
+class ServiceStats {
+ public:
+  std::atomic<std::size_t> submitted{0};
+  std::atomic<std::size_t> batched{0};
+  std::atomic<std::size_t> punted{0};
+  std::atomic<std::size_t> expired{0};
+  std::atomic<std::size_t> rebuilt_under{0};
+  std::atomic<std::size_t> bulk_requests{0};
+  std::atomic<std::size_t> flushes{0};
+  std::atomic<std::size_t> flush_by_size{0};
+  std::atomic<std::size_t> flush_by_deadline{0};
+  std::atomic<std::size_t> max_flush_queries{0};
+  std::atomic<std::size_t> rebuilds{0};
+  std::atomic<std::size_t> snapshots_published{0};
+  std::atomic<std::size_t> snapshots_discarded{0};
+  // EWMA of per-query batch service time in microseconds; feeds the punt
+  // decision (a deadline shorter than the estimated batch-path completion
+  // takes the direct fallback instead).
+  std::atomic<double> est_batch_us_per_query{0.0};
+
+  static void add(std::atomic<std::size_t>& counter, std::size_t v) {
+    counter.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static void bump_max(std::atomic<std::size_t>& m, std::size_t v) {
+    std::size_t cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void observe_batch_cost(double us_per_query) {
+    constexpr double kAlpha = 0.25;
+    double cur = est_batch_us_per_query.load(std::memory_order_relaxed);
+    double next = cur == 0.0 ? us_per_query
+                             : cur + kAlpha * (us_per_query - cur);
+    est_batch_us_per_query.store(next, std::memory_order_relaxed);
+  }
+
+  ServiceStatsSnapshot snapshot() const {
+    ServiceStatsSnapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.batched = batched.load(std::memory_order_relaxed);
+    s.punted = punted.load(std::memory_order_relaxed);
+    s.expired = expired.load(std::memory_order_relaxed);
+    s.rebuilt_under = rebuilt_under.load(std::memory_order_relaxed);
+    s.bulk_requests = bulk_requests.load(std::memory_order_relaxed);
+    s.flushes = flushes.load(std::memory_order_relaxed);
+    s.flush_by_size = flush_by_size.load(std::memory_order_relaxed);
+    s.flush_by_deadline = flush_by_deadline.load(std::memory_order_relaxed);
+    s.max_flush_queries =
+        max_flush_queries.load(std::memory_order_relaxed);
+    s.rebuilds = rebuilds.load(std::memory_order_relaxed);
+    s.snapshots_published =
+        snapshots_published.load(std::memory_order_relaxed);
+    s.snapshots_discarded =
+        snapshots_discarded.load(std::memory_order_relaxed);
+    s.est_batch_us_per_query =
+        est_batch_us_per_query.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace sepdc::service

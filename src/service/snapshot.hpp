@@ -1,0 +1,123 @@
+// Immutable index snapshots with atomic shared_ptr handoff.
+//
+// The serving problem: many reader threads query one spatial index while
+// a background writer periodically rebuilds it over fresh points. Locking
+// the index for the duration of a rebuild stalls every reader for the
+// whole build (tens of milliseconds at serving sizes). Instead the store
+// publishes *generations*: each rebuild constructs a complete
+// IndexSnapshot off to the side and installs it with one atomic
+// shared_ptr store. Readers grab the current generation with one atomic
+// load and keep a reference for as long as their query runs — a reader
+// can never observe a half-built index, and an old generation stays alive
+// until its last in-flight query drops the reference.
+//
+// Versions are strictly monotone. Concurrent rebuilds are allowed: each
+// claims a version up front, and publication is a CAS loop that only
+// installs a strictly newer generation, so a slow stale build can never
+// clobber a fresher one (it is counted as discarded instead).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/separator_index.hpp"
+#include "knn/kdtree.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/service_stats.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace sepdc::service {
+
+// One published generation. Everything in here is immutable after
+// construction; readers share it by shared_ptr<const IndexSnapshot>.
+template <int D>
+struct IndexSnapshot {
+  std::uint64_t version = 0;
+  // Primary structure: the separator-based partition index (batched and
+  // single-query exact search).
+  std::shared_ptr<const core::SeparatorIndex<D>> index;
+  // Direct fallback for punted k-NN queries: a kd-tree over the same
+  // points. Exact with the identical (dist2, id) tie-break, so a punted
+  // answer is bit-equal to the batched one.
+  std::shared_ptr<const knn::KdTree<D>> fallback;
+  std::size_t point_count = 0;
+  double build_seconds = 0.0;
+};
+
+template <int D>
+class SnapshotStore {
+ public:
+  using Snapshot = IndexSnapshot<D>;
+  using Ptr = std::shared_ptr<const Snapshot>;
+
+  // Builds generation `version` (both structures) without publishing it.
+  static Ptr build(std::span<const geo::Point<D>> points,
+                   const core::SeparatorIndexConfig& cfg,
+                   par::ThreadPool& pool, std::uint64_t version) {
+    SEPDC_CHECK_MSG(!points.empty(), "snapshot over empty point set");
+    Timer timer;
+    auto snap = std::make_shared<Snapshot>();
+    snap->version = version;
+    snap->index =
+        std::make_shared<const core::SeparatorIndex<D>>(points, cfg, pool);
+    snap->fallback = std::make_shared<const knn::KdTree<D>>(points);
+    snap->point_count = points.size();
+    snap->build_seconds = timer.seconds();
+    return snap;
+  }
+
+  // Wait-free for readers: one atomic shared_ptr load.
+  Ptr current() const { return slot_.load(std::memory_order_acquire); }
+
+  // Version of the currently published generation (0 before the first
+  // publish).
+  std::uint64_t version() const {
+    Ptr cur = current();
+    return cur ? cur->version : 0;
+  }
+
+  // Claims the next version number for a rebuild about to start.
+  std::uint64_t claim_version() {
+    return versions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // Atomically installs `next` iff it is strictly newer than the current
+  // generation. Returns true when published; false means a newer
+  // generation won the race and `next` was discarded.
+  bool publish(Ptr next, ServiceStats* stats = nullptr) {
+    SEPDC_CHECK_MSG(next && next->version > 0, "publishing null snapshot");
+    Ptr cur = slot_.load(std::memory_order_acquire);
+    while (!cur || next->version > cur->version) {
+      if (slot_.compare_exchange_weak(cur, next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        if (stats) ServiceStats::add(stats->snapshots_published, 1);
+        return true;
+      }
+    }
+    if (stats) ServiceStats::add(stats->snapshots_discarded, 1);
+    return false;
+  }
+
+  // Build + publish. Returns the claimed version (published unless a
+  // concurrent rebuild finished a newer one first).
+  std::uint64_t rebuild(std::span<const geo::Point<D>> points,
+                        const core::SeparatorIndexConfig& cfg,
+                        par::ThreadPool& pool,
+                        ServiceStats* stats = nullptr) {
+    if (stats) ServiceStats::add(stats->rebuilds, 1);
+    std::uint64_t version = claim_version();
+    publish(build(points, cfg, pool, version), stats);
+    return version;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> slot_{nullptr};
+  std::atomic<std::uint64_t> versions_{0};
+};
+
+}  // namespace sepdc::service

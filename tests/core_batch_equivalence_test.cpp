@@ -1,0 +1,204 @@
+// Metamorphic properties of the batched SeparatorIndex entry points.
+//
+// batch_knn / batch_radius must be pure functions of (index, query,
+// parameters): invariant under query permutation, duplication, batch
+// composition, and interleaving with each other. PR 1 introduced the
+// batched kernels with these properties implied; this suite pins them.
+#include "core/separator_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/generators.hpp"
+
+namespace sepdc::core {
+namespace {
+
+using Entry = knn::TopK::Entry;
+using Pt = geo::Point<2>;
+
+void expect_rows_equal(const std::vector<Entry>& got,
+                       const std::vector<Entry>& expect,
+                       const char* what, std::size_t q) {
+  ASSERT_EQ(got.size(), expect.size()) << what << " query " << q;
+  for (std::size_t s = 0; s < got.size(); ++s) {
+    EXPECT_EQ(got[s].index, expect[s].index)
+        << what << " query " << q << " slot " << s;
+    EXPECT_DOUBLE_EQ(got[s].dist2, expect[s].dist2)
+        << what << " query " << q << " slot " << s;
+  }
+}
+
+struct Fixture {
+  std::vector<Pt> points;
+  std::vector<Pt> queries;
+  par::ThreadPool& pool = par::ThreadPool::global();
+  SeparatorIndexConfig cfg;
+  std::unique_ptr<SeparatorIndex<2>> index;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 1800,
+                   std::size_t nq = 300) {
+    Rng rng(seed);
+    points = workload::gaussian_clusters<2>(n, 6, 0.05, rng);
+    for (std::size_t q = 0; q < nq; ++q)
+      queries.push_back({{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)}});
+    cfg.seed = rng.next();
+    index = std::make_unique<SeparatorIndex<2>>(
+        std::span<const Pt>(points), cfg, pool);
+  }
+};
+
+TEST(BatchEquivalence, BatchKnnEqualsPerQueryKnn) {
+  Fixture f(900);
+  const std::size_t k = 5;
+  auto rows = f.index->batch_knn(f.pool, std::span<const Pt>(f.queries), k);
+  ASSERT_EQ(rows.size(), f.queries.size());
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    auto expect = f.index->knn(f.queries[q], k).take_sorted();
+    expect_rows_equal(rows[q], expect, "direct", q);
+  }
+}
+
+TEST(BatchEquivalence, InvariantUnderQueryPermutation) {
+  Fixture f(901);
+  const std::size_t k = 4;
+  auto base = f.index->batch_knn(f.pool, std::span<const Pt>(f.queries), k);
+
+  std::vector<std::size_t> perm(f.queries.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(77);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+
+  std::vector<Pt> permuted(f.queries.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    permuted[i] = f.queries[perm[i]];
+  auto rows = f.index->batch_knn(f.pool, std::span<const Pt>(permuted), k);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    expect_rows_equal(rows[i], base[perm[i]], "permuted", i);
+
+  // Same property for batch_radius (row content and within-row order are
+  // a function of the query alone).
+  const double r = 0.12;
+  auto rbase =
+      f.index->batch_radius(f.pool, std::span<const Pt>(f.queries), r);
+  auto rrows =
+      f.index->batch_radius(f.pool, std::span<const Pt>(permuted), r);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    EXPECT_EQ(rrows[i], rbase[perm[i]]) << "radius permuted row " << i;
+}
+
+TEST(BatchEquivalence, InvariantUnderQueryDuplication) {
+  Fixture f(902, 1500, 150);
+  const std::size_t k = 3;
+  auto base = f.index->batch_knn(f.pool, std::span<const Pt>(f.queries), k);
+
+  // Every query twice, a few of them four times.
+  std::vector<Pt> dup;
+  std::vector<std::size_t> src;
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    std::size_t copies = 2 + (q % 7 == 0 ? 2 : 0);
+    for (std::size_t c = 0; c < copies; ++c) {
+      dup.push_back(f.queries[q]);
+      src.push_back(q);
+    }
+  }
+  auto rows = f.index->batch_knn(f.pool, std::span<const Pt>(dup), k);
+  ASSERT_EQ(rows.size(), dup.size());
+  for (std::size_t i = 0; i < dup.size(); ++i)
+    expect_rows_equal(rows[i], base[src[i]], "duplicated", i);
+}
+
+TEST(BatchEquivalence, InvariantUnderBatchSplitting) {
+  Fixture f(903, 1500, 240);
+  const std::size_t k = 6;
+  auto base = f.index->batch_knn(f.pool, std::span<const Pt>(f.queries), k);
+
+  // Concatenation of sub-batch results equals the one-shot batch, for
+  // several different chop sizes.
+  for (std::size_t chunk : {1u, 7u, 64u, 239u}) {
+    std::size_t q = 0;
+    while (q < f.queries.size()) {
+      std::size_t len = std::min<std::size_t>(chunk, f.queries.size() - q);
+      auto rows = f.index->batch_knn(
+          f.pool, std::span<const Pt>(f.queries).subspan(q, len), k);
+      for (std::size_t i = 0; i < len; ++i)
+        expect_rows_equal(rows[i], base[q + i], "split", q + i);
+      q += len;
+    }
+  }
+}
+
+TEST(BatchEquivalence, InterleavedRadiusAndKnnBatches) {
+  Fixture f(904, 1500, 200);
+  const std::size_t k = 4;
+  const double r = 0.1;
+
+  // Reference answers computed through the single-query paths.
+  std::vector<std::vector<Entry>> knn_expect(f.queries.size());
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rad_expect(
+      f.queries.size());
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    knn_expect[q] = f.index->knn(f.queries[q], k).take_sorted();
+    f.index->for_each_in_ball(f.queries[q], r,
+                              [&](std::uint32_t id, double d2) {
+                                rad_expect[q].emplace_back(id, d2);
+                              });
+    std::sort(rad_expect[q].begin(), rad_expect[q].end());
+  }
+
+  // Alternate small radius and knn batches over the same (const) index;
+  // neither kind may perturb the other.
+  std::span<const Pt> queries(f.queries);
+  for (std::size_t q = 0; q < f.queries.size();) {
+    std::size_t len = std::min<std::size_t>(37, f.queries.size() - q);
+    auto sub = queries.subspan(q, len);
+    auto rad_rows = f.index->batch_radius(f.pool, sub, r);
+    auto knn_rows = f.index->batch_knn(f.pool, sub, k);
+    for (std::size_t i = 0; i < len; ++i) {
+      expect_rows_equal(knn_rows[i], knn_expect[q + i], "interleaved", q + i);
+      std::sort(rad_rows[i].begin(), rad_rows[i].end());
+      EXPECT_EQ(rad_rows[i], rad_expect[q + i])
+          << "interleaved radius row " << q + i;
+    }
+    q += len;
+  }
+}
+
+TEST(BatchEquivalence, ExcludeMatchesSingleQueryExclude) {
+  Fixture f(905, 1200, 0);
+  const std::size_t k = 3;
+  // Query the indexed points themselves with identity self-exclusion.
+  std::vector<Pt> queries(f.points.begin(), f.points.begin() + 200);
+  std::vector<std::uint32_t> exclude(queries.size());
+  std::iota(exclude.begin(), exclude.end(), 0u);
+  auto rows = f.index->batch_knn(f.pool, std::span<const Pt>(queries), k,
+                                 std::span<const std::uint32_t>(exclude));
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto expect =
+        f.index->knn(queries[q], k, static_cast<std::uint32_t>(q))
+            .take_sorted();
+    expect_rows_equal(rows[q], expect, "exclude", q);
+    for (const auto& e : rows[q]) EXPECT_NE(e.index, q);
+  }
+}
+
+TEST(BatchEquivalence, DegenerateBatches) {
+  Fixture f(906, 600, 10);
+  // k = 0: rows exist and are empty.
+  auto rows =
+      f.index->batch_knn(f.pool, std::span<const Pt>(f.queries), 0);
+  ASSERT_EQ(rows.size(), f.queries.size());
+  for (const auto& row : rows) EXPECT_TRUE(row.empty());
+  // Empty batch: no rows.
+  EXPECT_TRUE(f.index->batch_knn(f.pool, std::span<const Pt>(), 3).empty());
+  // k beyond the population: every row holds all points.
+  auto big = f.index->batch_knn(
+      f.pool, std::span<const Pt>(f.queries).first(3), 10000);
+  for (const auto& row : big) EXPECT_EQ(row.size(), f.points.size());
+}
+
+}  // namespace
+}  // namespace sepdc::core

@@ -84,6 +84,47 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_GE(pool.concurrency(), 1u);
 }
 
+TEST(ThreadPool, SubmitReturnsWaitableHandle) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  Waitable handle = pool.submit([&] { value.store(42); });
+  handle.wait();
+  EXPECT_EQ(value.load(), 42);
+  EXPECT_FALSE(handle.valid());  // consumed by wait()
+}
+
+TEST(ThreadPool, SubmitWorksOnZeroWorkerPool) {
+  ThreadPool pool(1);  // zero workers: wait() must help to make progress
+  std::atomic<int> value{0};
+  Waitable handle = pool.submit([&] { value.store(7); });
+  handle.wait();
+  EXPECT_EQ(value.load(), 7);
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  Waitable handle =
+      pool.submit([] { throw std::runtime_error("submit boom"); });
+  EXPECT_THROW(handle.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitableDestructorJoinsAndSwallows) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  {
+    Waitable handle = pool.submit([&] { value.store(5); });
+    Waitable moved = std::move(handle);
+    EXPECT_FALSE(handle.valid());
+    // `moved` destroyed without wait(): must join, not crash.
+  }
+  EXPECT_EQ(value.load(), 5);
+  {
+    Waitable erring = pool.submit([] { throw std::runtime_error("x"); });
+    // Destructor swallows the error.
+  }
+  SUCCEED();
+}
+
 TEST(ThreadPool, ManyConcurrentGroups) {
   ThreadPool pool(4);
   std::vector<long> results(8, 0);
