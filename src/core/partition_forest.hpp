@@ -59,6 +59,13 @@ class PartitionForest {
   // least one point and are disjoint, so a binary partition tree has at
   // most 2n - 1 nodes.
   static PartitionForest for_points(std::size_t point_count) {
+    // Point ranges and node ids are 32-bit; 2n - 1 slots must stay below
+    // the kNoChild sentinel. The check makes the narrowing in the builders
+    // (size_t counts -> uint32_t begin/end/ids) explicit and safe instead
+    // of silently wrapping at ~4B points.
+    SEPDC_CHECK_MSG(point_count <= (std::size_t{1} << 31),
+                    "PartitionForest: point count exceeds the 32-bit "
+                    "index space");
     PartitionForest f;
     f.reset(point_count == 0 ? 1 : 2 * point_count - 1);
     return f;
@@ -67,6 +74,9 @@ class PartitionForest {
   // Re-arms the arena with a fixed capacity. Not thread-safe; call before
   // handing the forest to forked builders.
   void reset(std::size_t capacity) {
+    SEPDC_CHECK_MSG(capacity < kNoChild,
+                    "PartitionForest: capacity exceeds the 32-bit node-id "
+                    "space");
     nodes_.assign(capacity, Node{});
     used_.store(0, std::memory_order_relaxed);
     root_ = kNoChild;

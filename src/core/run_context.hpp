@@ -25,12 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/diagnostics.hpp"
 #include "pvm/cost.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sepdc::core {
 
@@ -110,8 +111,8 @@ class RunContext {
   }
 
   void record_level(std::size_t depth, std::size_t points,
-                    std::size_t cuts) {
-    std::lock_guard<std::mutex> lock(level_mu_);
+                    std::size_t cuts) SEPDC_EXCLUDES(level_mu_) {
+    LockGuard lock(level_mu_);
     if (points_by_level_.size() <= depth) {
       points_by_level_.resize(depth + 1, 0);
       cuts_by_level_.resize(depth + 1, 0);
@@ -148,7 +149,7 @@ class RunContext {
     d.query_build_height =
         query_build_height.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(level_mu_);
+      LockGuard lock(level_mu_);
       d.points_by_level = points_by_level_;
       d.cuts_by_level = cuts_by_level_;
     }
@@ -157,9 +158,11 @@ class RunContext {
 
  private:
   std::uint64_t seed_;
-  mutable std::mutex level_mu_;
-  std::vector<std::size_t> points_by_level_;
-  std::vector<std::size_t> cuts_by_level_;
+  // level_mu_ guards the per-level histograms only; every counter above
+  // is a relaxed atomic and never needs it.
+  mutable Mutex level_mu_;
+  std::vector<std::size_t> points_by_level_ SEPDC_GUARDED_BY(level_mu_);
+  std::vector<std::size_t> cuts_by_level_ SEPDC_GUARDED_BY(level_mu_);
 };
 
 }  // namespace sepdc::core

@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -22,7 +23,7 @@ void TaskGroup::wait() {
   pool_.wait_for(*this);
   std::exception_ptr err;
   {
-    std::lock_guard lock(error_mutex_);
+    LockGuard lock(error_mutex_);
     err = first_error_;
     first_error_ = nullptr;
   }
@@ -30,7 +31,7 @@ void TaskGroup::wait() {
 }
 
 void TaskGroup::record_error(std::exception_ptr e) {
-  std::lock_guard lock(error_mutex_);
+  LockGuard lock(error_mutex_);
   if (!first_error_) first_error_ = e;
 }
 
@@ -66,10 +67,13 @@ void Waitable::wait() {
   group->wait();
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+unsigned ThreadPool::resolve_workers(unsigned threads) {
   unsigned n = threads ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
-  workers_ = n - 1;  // the calling thread participates via helping waits
+  return n - 1;  // the calling thread participates via helping waits
+}
+
+ThreadPool::ThreadPool(unsigned threads) : workers_(resolve_workers(threads)) {
   threads_.reserve(workers_);
   for (unsigned i = 0; i < workers_; ++i)
     threads_.emplace_back([this] { worker_loop(); });
@@ -77,11 +81,12 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
   for (auto& t : threads_) t.join();
+  LockGuard lock(mutex_);
   SEPDC_ASSERT(queue_.empty());
 }
 
@@ -104,7 +109,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::enqueue(Task task) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
@@ -113,7 +118,7 @@ void ThreadPool::enqueue(Task task) {
 bool ThreadPool::try_run_one() {
   Task task;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -132,8 +137,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -153,7 +158,7 @@ void ThreadPool::wait_for(TaskGroup& group) {
   // pending, block until some task (anywhere) finishes, then re-check.
   while (group.pending_.load(std::memory_order_acquire) != 0) {
     if (try_run_one()) continue;
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     if (group.pending_.load(std::memory_order_acquire) == 0) return;
     if (!queue_.empty()) continue;
     task_done_.wait_for(lock, std::chrono::milliseconds(1));

@@ -11,15 +11,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sepdc::par {
 
@@ -44,10 +45,10 @@ class TaskGroup {
   friend class ThreadPool;
   ThreadPool& pool_;
   std::atomic<std::size_t> pending_{0};
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  Mutex error_mutex_;
+  std::exception_ptr first_error_ SEPDC_GUARDED_BY(error_mutex_);
 
-  void record_error(std::exception_ptr e);
+  void record_error(std::exception_ptr e) SEPDC_EXCLUDES(error_mutex_);
 };
 
 // Handle for one task submitted with ThreadPool::submit. wait() blocks
@@ -106,20 +107,30 @@ class ThreadPool {
     TaskGroup* group;
   };
 
-  void enqueue(Task task);
-  // Pops one task if available; returns false when the queue is empty.
-  bool try_run_one();
-  void worker_loop();
-  // Helping wait used by TaskGroup::wait.
-  void wait_for(TaskGroup& group);
+  // Resolves the worker-thread count for a requested pool size (0 = use
+  // hardware_concurrency; the calling thread always participates).
+  static unsigned resolve_workers(unsigned threads);
 
-  unsigned workers_;
+  void enqueue(Task task) SEPDC_EXCLUDES(mutex_);
+  // Pops one task if available; returns false when the queue is empty.
+  bool try_run_one() SEPDC_EXCLUDES(mutex_);
+  void worker_loop() SEPDC_EXCLUDES(mutex_);
+  // Helping wait used by TaskGroup::wait.
+  void wait_for(TaskGroup& group) SEPDC_EXCLUDES(mutex_);
+
+  // Lock protocol: mutex_ guards the task queue and the shutdown flag.
+  // workers_ is immutable after construction (hence readable anywhere,
+  // e.g. concurrency()); task completion counts live in each group's
+  // atomic pending_. Condition variables: work_available_ signals a new
+  // task or shutdown to sleeping workers; task_done_ signals any task
+  // completion to helping waiters.
+  const unsigned workers_;
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable task_done_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar task_done_;
+  std::deque<Task> queue_ SEPDC_GUARDED_BY(mutex_);
+  bool stopping_ SEPDC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sepdc::par

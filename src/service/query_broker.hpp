@@ -35,10 +35,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -49,6 +47,8 @@
 #include "service/service_stats.hpp"
 #include "service/snapshot.hpp"
 #include "support/assert.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace sepdc::service {
@@ -94,9 +94,9 @@ class QueryBroker {
   // async rebuilds. Not safe to race with concurrent submissions of new
   // work; intended for the owner's teardown path (the destructor calls
   // it).
-  void shutdown() {
+  void shutdown() SEPDC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -163,7 +163,8 @@ class QueryBroker {
   // Same, but runs on the thread pool via waitable submission and
   // returns immediately. Outstanding rebuilds are joined by
   // drain_rebuilds() / shutdown().
-  void rebuild_async(std::vector<geo::Point<D>> points) {
+  void rebuild_async(std::vector<geo::Point<D>> points)
+      SEPDC_EXCLUDES(rebuild_mu_) {
     rebuilds_in_flight_.fetch_add(1, std::memory_order_acq_rel);
     par::Waitable handle =
         pool_.submit([this, pts = std::move(points)] {
@@ -176,16 +177,16 @@ class QueryBroker {
           } dec{*this};
           rebuild_locked_free(std::span<const geo::Point<D>>(pts));
         });
-    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    LockGuard lock(rebuild_mu_);
     rebuild_handles_.push_back(std::move(handle));
   }
 
   // Waits for every outstanding rebuild_async; rethrows the first
   // rebuild error.
-  void drain_rebuilds() {
+  void drain_rebuilds() SEPDC_EXCLUDES(rebuild_mu_) {
     std::vector<par::Waitable> handles;
     {
-      std::lock_guard<std::mutex> lock(rebuild_mu_);
+      LockGuard lock(rebuild_mu_);
       handles.swap(rebuild_handles_);
     }
     for (auto& h : handles) h.wait();
@@ -345,37 +346,49 @@ class QueryBroker {
     return out;
   }
 
-  void enqueue_and_wait(Pending& req) {
-    std::unique_lock<std::mutex> lock(mu_);
+  // Appends the request and blocks until the flusher marks it done.
+  // Waits are explicit predicate loops so the guarded reads stay inside
+  // this function, where the analysis knows mu_ is held.
+  void enqueue_and_wait(Pending& req) SEPDC_EXCLUDES(mu_) {
+    UniqueLock lock(mu_);
     SEPDC_CHECK_MSG(!stopping_, "query submitted to a stopped broker");
     if (queue_.empty()) oldest_enqueue_ = Clock::now();
     queue_.push_back(&req);
     pending_queries_.fetch_add(req.queries.size(),
                                std::memory_order_relaxed);
     queue_cv_.notify_one();
-    done_cv_.wait(lock, [&] { return req.done; });
+    while (!req.done) done_cv_.wait(lock);
     if (req.error) std::rethrow_exception(req.error);
   }
 
-  void flusher_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void flusher_loop() SEPDC_EXCLUDES(mu_) {
+    UniqueLock lock(mu_);
     for (;;) {
       if (queue_.empty()) {
         if (stopping_) return;
-        queue_cv_.wait(lock,
-                       [&] { return stopping_ || !queue_.empty(); });
+        while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
         continue;
       }
       bool by_size = pending_queries_.load(std::memory_order_relaxed) >=
                      cfg_.max_batch;
       if (!by_size && !stopping_) {
         auto flush_at = oldest_enqueue_ + cfg_.flush_interval;
-        by_size = queue_cv_.wait_until(lock, flush_at, [&] {
-          return stopping_ ||
-                 pending_queries_.load(std::memory_order_relaxed) >=
-                     cfg_.max_batch;
-        });
-        // Timeout with the size condition unmet = flush on deadline.
+        for (;;) {
+          if (stopping_ ||
+              pending_queries_.load(std::memory_order_relaxed) >=
+                  cfg_.max_batch) {
+            by_size = true;
+            break;
+          }
+          if (queue_cv_.wait_until(lock, flush_at) ==
+              std::cv_status::timeout) {
+            // Timeout with the size condition unmet = flush on deadline.
+            by_size = stopping_ ||
+                      pending_queries_.load(std::memory_order_relaxed) >=
+                          cfg_.max_batch;
+            break;
+          }
+        }
       }
       std::vector<Pending*> batch;
       batch.swap(queue_);
@@ -397,7 +410,7 @@ class QueryBroker {
   // index kernel in one call; per-request rows are scattered back in
   // place. Called with mu_ released — clients are blocked on done_cv_,
   // so every Pending and its output vector stays alive.
-  void execute(std::vector<Pending*>& batch) {
+  void execute(std::vector<Pending*>& batch) SEPDC_EXCLUDES(mu_) {
     Timer timer;
     SnapshotPtr snap = store_.current();
     std::size_t total = 0;
@@ -500,18 +513,29 @@ class QueryBroker {
   SnapshotStore<D> store_;
   ServiceStats stats_;
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;  // wakes the flusher
-  std::condition_variable done_cv_;   // wakes waiting clients
-  std::vector<Pending*> queue_;
-  typename Clock::time_point oldest_enqueue_{};
+  // Lock protocol (machine-checked under clang -Wthread-safety):
+  //   mu_ guards the pending queue, the oldest-enqueue timestamp, and
+  //   the stop flag. The flusher swaps the queue out under mu_, then
+  //   answers the batch with mu_ *released* (execute() is EXCLUDES(mu_)),
+  //   so clients can keep enqueueing during a flush. pending_queries_ is
+  //   an atomic mirror of the queued-query count so should_punt() can
+  //   read it without taking mu_ on the client hot path.
+  Mutex mu_;
+  CondVar queue_cv_;  // wakes the flusher
+  CondVar done_cv_;   // wakes waiting clients
+  std::vector<Pending*> queue_ SEPDC_GUARDED_BY(mu_);
+  typename Clock::time_point oldest_enqueue_ SEPDC_GUARDED_BY(mu_);
   std::atomic<std::size_t> pending_queries_{0};
-  bool stopping_ = false;
+  bool stopping_ SEPDC_GUARDED_BY(mu_) = false;
   std::thread flusher_;
 
+  // rebuild_mu_ guards only the Waitable handles of in-flight async
+  // rebuilds; the snapshot handoff itself is lock-free (SnapshotStore's
+  // CAS publishes outside any lock — see snapshot.hpp). mu_ and
+  // rebuild_mu_ are never nested.
   std::atomic<std::size_t> rebuilds_in_flight_{0};
-  std::mutex rebuild_mu_;
-  std::vector<par::Waitable> rebuild_handles_;
+  Mutex rebuild_mu_;
+  std::vector<par::Waitable> rebuild_handles_ SEPDC_GUARDED_BY(rebuild_mu_);
 };
 
 }  // namespace sepdc::service

@@ -15,6 +15,18 @@
 // claims a version up front, and publication is a CAS loop that only
 // installs a strictly newer generation, so a slow stale build can never
 // clobber a fresher one (it is counted as discarded instead).
+//
+// Concurrency note for the static-analysis layer (docs/static_analysis.md):
+// this file is deliberately lock-free — there is no capability for
+// -Wthread-safety to track. The whole point of the design is that the
+// snapshot handoff *escapes* the broker's queue lock: build() runs with
+// no lock held, publish() is a bare CAS on slot_, and readers only ever
+// execute one atomic load. The invariants that replace lock discipline
+// (slot_ only moves to strictly newer versions; a published snapshot is
+// immutable) are asserted here and exercised by service_concurrency_test.
+// The atomics below are on the idiom linter's allowlist for exactly this
+// reason; new mutable state in this file must either be atomic with a
+// documented protocol or move behind an annotated sepdc::Mutex.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,135 @@
+// Annotated mutex wrappers — the only place in the tree allowed to name
+// std::mutex / std::condition_variable directly (tools/lint_sepdc.py
+// enforces this).
+//
+// sepdc::Mutex is a std::mutex tagged as a Clang Thread Safety Analysis
+// *capability*: members declared SEPDC_GUARDED_BY(mu_) can only be
+// touched while it is held, methods can declare SEPDC_REQUIRES(mu_) /
+// SEPDC_EXCLUDES(mu_), and `clang++ -Wthread-safety -Werror` turns any
+// violation into a compile error. LockGuard and UniqueLock are the
+// scoped acquirers (std::lock_guard / std::unique_lock equivalents);
+// CondVar pairs a std::condition_variable with a UniqueLock over a
+// sepdc::Mutex without losing the annotation trail.
+//
+// Waits are written as explicit predicate loops at the call site
+// (`while (!pred) cv.wait(lock);`) rather than lambda predicates, so the
+// predicate's reads of guarded members are analyzed in the enclosing
+// function — where the analysis knows the lock is held.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class CondVar;
+
+// A std::mutex that is also a thread-safety capability.
+class SEPDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SEPDC_ACQUIRE() { mu_.lock(); }
+  void unlock() SEPDC_RELEASE() { mu_.unlock(); }
+  bool try_lock() SEPDC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock held for a full scope (std::lock_guard equivalent).
+class SEPDC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SEPDC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() SEPDC_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII lock with mid-scope unlock()/lock() (std::unique_lock equivalent);
+// what CondVar waits on. Starts held.
+class SEPDC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SEPDC_ACQUIRE(mu) : mu_(&mu), held_(true) {
+    mu_->lock();
+  }
+  ~UniqueLock() SEPDC_RELEASE() {
+    if (held_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() SEPDC_ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+  void unlock() SEPDC_RELEASE() {
+    held_ = false;
+    mu_->unlock();
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool held_;
+};
+
+// Condition variable over a sepdc::Mutex. Waits take the UniqueLock that
+// holds the mutex; from the analysis' point of view the capability stays
+// held across the call, which is exactly what the caller observes (the
+// wait re-acquires before returning). Internally the wait adopts the
+// native handle so the plain std::condition_variable fast path is kept.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // Atomically releases the lock and blocks; the lock is re-acquired
+  // before returning. Spurious wakeups happen: always wait in a
+  // `while (!predicate)` loop.
+  void wait(UniqueLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with `lock`
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(native, dur);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sepdc

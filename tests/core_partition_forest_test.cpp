@@ -23,11 +23,11 @@ geo::SeparatorShape<2> vertical_plane(double x) {
 }
 
 // Builds the forest
-//           root [0,4)
-//          /          \
-//    inner [0,2)    outer leaf [2,4)
-//      /      \
-// leaf [0,1)  leaf [1,2)
+//   root [0,4)
+//   ├── inner [0,2)
+//   │   ├── leaf [0,1)
+//   │   └── leaf [1,2)
+//   └── outer leaf [2,4)
 // with slots deliberately allocated out of preorder, to check that the
 // traversals follow the links, not the arena order.
 PartitionForest<2> small_forest() {

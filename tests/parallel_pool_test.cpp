@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace sepdc::par {
@@ -72,6 +73,57 @@ TEST(ThreadPool, GroupReusableAfterWait) {
 TEST(ThreadPool, ConcurrencyCountsCaller) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.concurrency(), 3u);
+}
+
+// Protocol assertion for the static-analysis pass: the worker count is
+// immutable after construction, so concurrency() must be callable from
+// any thread, lock-free, at any time — including while tasks run and
+// other threads hammer the queue. Under TSan this test also proves the
+// unguarded read is race-free; under -Wthread-safety the `const` member
+// is what lets concurrency() compile without holding the pool mutex.
+TEST(ThreadPool, ConcurrencyIsImmutableAndLockFreeUnderLoad) {
+  ThreadPool pool(4);
+  const unsigned expected = pool.concurrency();
+  std::atomic<int> work{0};
+  std::atomic<bool> mismatch{false};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i)
+    group.run([&] {
+      if (pool.concurrency() != expected) mismatch.store(true);
+      work.fetch_add(1);
+    });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t)
+    readers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i)
+        if (pool.concurrency() != expected) mismatch.store(true);
+    });
+  group.wait();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(work.load(), 64);
+  EXPECT_FALSE(mismatch.load());
+}
+
+// Protocol assertion for the shutdown flag: stopping_ is only ever
+// written/read under the pool mutex, so destroying a pool while workers
+// sleep on the condvar, or immediately after a burst of work, must be
+// clean — no lost wakeup, no worker touching the flag unlocked.
+TEST(ThreadPool, ShutdownWithIdleAndBusyWorkersIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    if (round % 2 == 0) {
+      // Idle teardown: workers are parked in the condvar wait.
+      std::this_thread::yield();
+    } else {
+      // Busy teardown: destroy right after the last task drains.
+      TaskGroup group(pool);
+      std::atomic<int> n{0};
+      for (int i = 0; i < 128; ++i) group.run([&] { n.fetch_add(1); });
+      group.wait();
+      EXPECT_EQ(n.load(), 128);
+    }
+  }
+  SUCCEED();
 }
 
 TEST(ThreadPool, GlobalPoolIsUsable) {

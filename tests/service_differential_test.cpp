@@ -169,9 +169,9 @@ TEST_P(ServiceDifferential, RadiusEqualsBruteForceClosedBall) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, ServiceDifferential,
                          ::testing::ValuesIn(kAllKinds),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               workload::kind_name(info.param));
+                               workload::kind_name(param_info.param));
                          });
 
 // Two client threads submitting chunks concurrently: their requests

@@ -1,0 +1,11 @@
+// lint-fixture: src/foo/no_guard.hpp
+//
+// Header without an include guard pragma.
+
+namespace sepdc::foo {
+
+struct Unguarded {
+  int x = 0;
+};
+
+}  // namespace sepdc::foo

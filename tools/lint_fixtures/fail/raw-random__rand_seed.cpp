@@ -1,0 +1,15 @@
+// lint-fixture: src/foo/gen.cpp
+//
+// libc randomness seeded from the wall clock: nondeterministic, breaks
+// the same-seed bit-identical guarantee. Must use support/rng.
+#include <cstdlib>
+#include <ctime>
+
+namespace sepdc::foo {
+
+int bad_draw() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 100;
+}
+
+}  // namespace sepdc::foo

@@ -1,0 +1,23 @@
+// lint-fixture: src/foo/bad_lock.hpp
+//
+// Raw std::mutex + std::lock_guard in library code: invisible to
+// -Wthread-safety, so the idiom linter must reject it.
+#pragma once
+
+#include <mutex>
+
+namespace sepdc::foo {
+
+class BadLock {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace sepdc::foo

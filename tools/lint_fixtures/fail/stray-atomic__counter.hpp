@@ -1,0 +1,15 @@
+// lint-fixture: src/foo/counters.hpp
+//
+// An atomic outside the audited ownership sites: a new concurrency
+// protocol nobody reviewed.
+#pragma once
+
+#include <atomic>
+
+namespace sepdc::foo {
+
+struct StrayCounter {
+  std::atomic<int> hits{0};
+};
+
+}  // namespace sepdc::foo

@@ -1,0 +1,15 @@
+// lint-fixture: src/service/service_stats.hpp
+//
+// Atomics are fine in the audited ownership sites.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace sepdc::service {
+
+struct CountersFixture {
+  std::atomic<std::size_t> hits{0};
+};
+
+}  // namespace sepdc::service

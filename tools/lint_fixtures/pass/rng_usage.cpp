@@ -1,0 +1,15 @@
+// lint-fixture: src/foo/rng_usage.cpp
+//
+// House randomness: support/rng streams, never rand() or time(nullptr)
+// (both named only in comments and strings here — must not trip).
+#include "support/rng.hpp"
+
+namespace sepdc::foo {
+
+double draw(Rng& rng) {
+  const char* banner = "no rand() calls, no time(NULL) seeds";
+  (void)banner;
+  return rng.uniform();  // a runtime() or build_time() helper is fine too
+}
+
+}  // namespace sepdc::foo

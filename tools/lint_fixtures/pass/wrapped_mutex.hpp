@@ -1,0 +1,24 @@
+// lint-fixture: src/foo/wrapped.hpp
+//
+// Uses the annotated wrappers (and mentions std::mutex only here, in a
+// comment, which the linter must ignore).
+#pragma once
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc::foo {
+
+class Wrapped {
+ public:
+  void touch() SEPDC_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ SEPDC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sepdc::foo

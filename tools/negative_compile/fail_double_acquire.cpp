@@ -1,0 +1,28 @@
+// Negative-compilation fixture: must FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// because the same mutex is acquired twice in one scope (self-deadlock
+// on a non-recursive mutex).
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Doubled {
+ public:
+  int poke() SEPDC_EXCLUDES(mu_) {
+    sepdc::LockGuard outer(mu_);
+    sepdc::LockGuard inner(mu_);  // BUG under analysis: already held
+    return ++count_;
+  }
+
+ private:
+  sepdc::Mutex mu_;
+  int count_ SEPDC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Doubled d;
+  return d.poke();
+}

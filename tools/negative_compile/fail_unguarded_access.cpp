@@ -1,0 +1,32 @@
+// Negative-compilation fixture: must FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// because a SEPDC_GUARDED_BY member is touched without holding its mutex.
+// run_negative_compile.py asserts both the failure and that the diagnostic
+// is a thread-safety one (not some unrelated error).
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // BUG under analysis: writes balance_ with mu_ not held.
+  void deposit_unlocked(int v) { balance_ += v; }
+
+  int read_locked() SEPDC_EXCLUDES(mu_) {
+    sepdc::LockGuard lock(mu_);
+    return balance_;
+  }
+
+ private:
+  sepdc::Mutex mu_;
+  int balance_ SEPDC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit_unlocked(1);
+  return a.read_locked();
+}

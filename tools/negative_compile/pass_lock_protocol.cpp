@@ -1,0 +1,47 @@
+// Positive control: correct use of every wrapper must compile CLEAN under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// If this file ever fails, the harness (or the wrappers) is broken — the
+// two fail_* fixtures prove nothing without it.
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int v) SEPDC_EXCLUDES(mu_) {
+    sepdc::LockGuard lock(mu_);
+    balance_ += v;
+  }
+
+  // Caller-holds-the-lock protocol.
+  int balance_locked() const SEPDC_REQUIRES(mu_) { return balance_; }
+
+  int drain() SEPDC_EXCLUDES(mu_) {
+    sepdc::UniqueLock lock(mu_);
+    int out = balance_;
+    balance_ = 0;
+    lock.unlock();  // mid-scope release…
+    lock.lock();    // …and reacquire, as the flusher loop does
+    balance_locked();
+    return out;
+  }
+
+  sepdc::Mutex& mu() SEPDC_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  mutable sepdc::Mutex mu_;
+  int balance_ SEPDC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(3);
+  {
+    sepdc::LockGuard lock(a.mu());
+    (void)a.balance_locked();
+  }
+  return a.drain() == 3 ? 0 : 1;
+}

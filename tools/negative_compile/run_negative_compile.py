@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the annotated mutex wrappers.
+
+Compiles every fixture in this directory with Clang's Thread Safety
+Analysis promoted to an error:
+
+  pass_*.cpp  must compile clean — the positive control proving the
+              harness actually builds the wrappers;
+  fail_*.cpp  must FAIL to compile, and the diagnostic must be a
+              thread-safety one (an unrelated syntax error would be a
+              false positive).
+
+The analysis only exists in Clang. Without a clang++ on PATH (or in
+$SEPDC_CLANGXX) the harness exits 77, which ctest maps to SKIPPED via
+SKIP_RETURN_CODE — GCC-only environments stay green, the Clang CI job
+runs the real thing.
+
+Usage: run_negative_compile.py [--src DIR] [--clangxx BIN]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP_EXIT = 77
+
+FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Werror=thread-safety",
+]
+
+
+def find_clangxx(explicit: str | None) -> str | None:
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("SEPDC_CLANGXX"):
+        candidates.append(os.environ["SEPDC_CLANGXX"])
+    candidates.append("clang++")
+    candidates += [f"clang++-{v}" for v in range(21, 13, -1)]
+    for c in candidates:
+        path = shutil.which(c)
+        if path:
+            return path
+    return None
+
+
+def main() -> int:
+    here = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--src", type=Path, default=here.parent.parent / "src",
+                        help="path to the repo's src/ include root")
+    parser.add_argument("--clangxx", default=None,
+                        help="clang++ binary (default: $SEPDC_CLANGXX or "
+                        "first clang++ on PATH)")
+    args = parser.parse_args()
+
+    clangxx = find_clangxx(args.clangxx)
+    if clangxx is None:
+        print("no clang++ found — thread-safety negative-compilation "
+              "checks need Clang; SKIPPED")
+        return SKIP_EXIT
+
+    fixtures = sorted(here.glob("pass_*.cpp")) + sorted(here.glob("fail_*.cpp"))
+    if not fixtures:
+        print("error: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        expect_ok = fixture.name.startswith("pass_")
+        cmd = [clangxx, *FLAGS, f"-I{args.src}", str(fixture)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if expect_ok:
+            if proc.returncode != 0:
+                failures += 1
+                print(f"FAIL {fixture.name}: positive control did not "
+                      f"compile:\n{proc.stderr}")
+            else:
+                print(f"ok   {fixture.name}: compiles clean")
+        else:
+            if proc.returncode == 0:
+                failures += 1
+                print(f"FAIL {fixture.name}: compiled, but must be rejected "
+                      "by -Wthread-safety")
+            elif "thread-safety" not in proc.stderr:
+                failures += 1
+                print(f"FAIL {fixture.name}: rejected, but not by the "
+                      f"thread-safety analysis:\n{proc.stderr}")
+            else:
+                print(f"ok   {fixture.name}: rejected by thread-safety "
+                      "analysis")
+
+    if failures:
+        print(f"{failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(fixtures)} fixtures behaved ({clangxx})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
