@@ -25,10 +25,21 @@
 //   radius — closed-ball search (~1us each), the regime micro-batching
 //     is for: per-request overhead dominates per-query work.
 //
-// Two traffic scenarios per design:
-//   steady  — queries only.
-//   rebuild — a writer thread continuously rebuilds (build, publish or
+// Traffic scenarios per design:
+//   steady   — queries only.
+//   rebuild  — a writer thread continuously rebuilds (build, publish or
 //     in-place swap, sleep gap_ms, repeat).
+//   deadline — broker only: every request carries a budget shorter than
+//     the flush interval, so the punt decision fires deterministically
+//     and the Punting-Lemma fallback path (and its latency histogram)
+//     is actually measured rather than reported as zero.
+//
+// Request latency is recorded into the shared metrics::Histogram (the
+// same one the broker uses internally), and the broker rows carry its
+// queue-wait / batch-execute / punt percentiles so a p99 regression can
+// be attributed to a phase instead of guessed at. Pass --trace out.json
+// to additionally capture Chrome-trace spans of flushes, batch kernels,
+// punts, and snapshot builds (open in chrome://tracing or Perfetto).
 //
 // The headline acceptance number is broker vs baseline throughput at
 // the largest client count on the radius workload (target: >= 3x).
@@ -44,7 +55,10 @@
 
 #include "core/config.hpp"
 #include "service/query_broker.hpp"
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -112,18 +126,18 @@ struct CellParams {
   std::chrono::milliseconds gap{2};
   std::size_t bulk = 64;
   std::uint64_t seed = 9;
+  // Per-request budget for the deadline scenario; zero means none.
+  std::chrono::microseconds deadline{0};
+  metrics::TraceRecorder* trace = nullptr;  // broker cells only
 };
 
 void summarize(CellResult& r, double elapsed, std::size_t completed,
-               std::vector<std::vector<double>>& latencies) {
-  r.qps = static_cast<double>(completed) / elapsed;
+               const metrics::Histogram& latency) {
+  r.qps = elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
   r.queries = completed;
-  std::vector<double> all;
-  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-  if (!all.empty()) {
-    r.p50_request_us = stats::percentile(all, 0.5);
-    r.p99_request_us = stats::percentile(all, 0.99);
-  }
+  auto snap = latency.snapshot();
+  r.p50_request_us = snap.p50_us();
+  r.p99_request_us = snap.p99_us();
 }
 
 // One-query-at-a-time service: a dispatcher thread pops one request,
@@ -175,10 +189,11 @@ CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> completed{0};
-  std::vector<std::vector<double>> latencies(p.clients);
+  metrics::Histogram latency;  // ns per request, shared by all clients
   CellResult result;
   result.request_queries = 1;
 
+  Timer elapsed_timer;
   std::vector<std::thread> threads;
   for (unsigned c = 0; c < p.clients; ++c) {
     threads.emplace_back([&, c] {
@@ -195,7 +210,7 @@ CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
           std::unique_lock<std::mutex> l(mu);
           cv_out.wait(l, [&] { return r.done; });
         }
-        latencies[c].push_back(t.seconds() * 1e6);
+        latency.record_seconds(t.seconds());
         completed.fetch_add(1, std::memory_order_relaxed);
         qi = (qi + 1) % p.queries.size();
       }
@@ -218,9 +233,14 @@ CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
   }
 
   std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
-  std::size_t done = completed.load(std::memory_order_relaxed);
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
+  // Counters are read only after every client has joined (and the wall
+  // clock stops with them): reading them mid-flight undercounts by the
+  // requests still draining and then misreconciles against the broker's
+  // own counters (the "batched exceeds the bench's query count" bug).
+  double elapsed = elapsed_timer.seconds();
+  std::size_t done = completed.load(std::memory_order_relaxed);
   if (writer.joinable()) writer.join();
   {
     std::lock_guard<std::mutex> l(mu);
@@ -229,7 +249,7 @@ CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
   cv_in.notify_all();
   dispatcher.join();
 
-  summarize(result, p.seconds, done, latencies);
+  summarize(result, elapsed, done, latency);
   return result;
 }
 
@@ -238,14 +258,20 @@ CellResult run_broker(const CellParams& p, par::ThreadPool& pool) {
   cfg.max_batch = p.bulk;
   cfg.flush_interval = std::chrono::microseconds(200);
   cfg.index.seed = p.seed;
+  cfg.trace = p.trace;
   service::QueryBroker<2> broker(p.points, cfg, pool);
 
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> completed{0};
-  std::vector<std::vector<double>> latencies(p.clients);
+  metrics::Histogram latency;  // ns per request, shared by all clients
   CellResult result;
   result.request_queries = p.bulk;
 
+  const auto budget = p.deadline.count() > 0
+                          ? p.deadline
+                          : service::QueryBroker<2>::kNoDeadline;
+
+  Timer elapsed_timer;
   std::vector<std::thread> threads;
   for (unsigned c = 0; c < p.clients; ++c) {
     threads.emplace_back([&, c] {
@@ -255,14 +281,15 @@ CellResult run_broker(const CellParams& p, par::ThreadPool& pool) {
             std::min<std::size_t>(p.bulk, p.queries.size() - qi);
         Timer t;
         if (p.kind == Kind::kKnn) {
-          auto rows = broker.bulk_knn(p.queries.subspan(qi, len), p.k);
+          auto rows =
+              broker.bulk_knn(p.queries.subspan(qi, len), p.k, budget);
           (void)rows;
         } else {
-          auto rows =
-              broker.bulk_radius(p.queries.subspan(qi, len), p.radius);
+          auto rows = broker.bulk_radius(p.queries.subspan(qi, len),
+                                         p.radius, budget);
           (void)rows;
         }
-        latencies[c].push_back(t.seconds() * 1e6);
+        latency.record_seconds(t.seconds());
         completed.fetch_add(len, std::memory_order_relaxed);
         qi = (qi + len) % p.queries.size();
       }
@@ -280,13 +307,29 @@ CellResult run_broker(const CellParams& p, par::ThreadPool& pool) {
   }
 
   std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
-  std::size_t done = completed.load(std::memory_order_relaxed);
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
+  // Read counters only after the clients have joined — see run_baseline.
+  double elapsed = elapsed_timer.seconds();
+  std::size_t done = completed.load(std::memory_order_relaxed);
   if (writer.joinable()) writer.join();
 
-  summarize(result, p.seconds, done, latencies);
+  summarize(result, elapsed, done, latency);
   result.stats = broker.stats();
+  // At quiescence the broker's accounting must reconcile exactly with
+  // the bench's own count and with the histograms (the invariants
+  // docs/observability.md documents); a violation is a counting bug.
+  SEPDC_CHECK_MSG(result.stats.submitted == done,
+                  "broker submitted != bench completed");
+  SEPDC_CHECK_MSG(
+      result.stats.batched + result.stats.punted == result.stats.submitted,
+      "batched + punted != submitted");
+  SEPDC_CHECK_MSG(result.stats.flush_size.sum() == result.stats.batched,
+                  "flush_size histogram does not reconcile with batched");
+  SEPDC_CHECK_MSG(result.stats.queue_wait.count() == result.stats.batched,
+                  "queue_wait histogram does not reconcile with batched");
+  SEPDC_CHECK_MSG(result.stats.punt_latency.count() == result.stats.punted,
+                  "punt_latency histogram does not reconcile with punted");
   return result;
 }
 
@@ -312,6 +355,12 @@ int main(int argc, char** argv) {
       .flag("gap_ms", "2", "writer sleep between rebuilds")
       .flag("clients", "1,2,4,8", "client thread counts")
       .flag("seed", "9", "random seed")
+      .flag("deadline_us", "150",
+            "per-request budget in the deadline scenario (shorter than "
+            "the 200us flush interval, so every request punts)")
+      .flag("trace", "",
+            "write Chrome-trace JSON of broker phase spans (empty to "
+            "disable; open in chrome://tracing or Perfetto)")
       .flag("json", "BENCH_service.json",
             "machine-readable results file (empty to disable)");
   if (!cli.parse(argc, argv)) return 0;
@@ -352,33 +401,48 @@ int main(int argc, char** argv) {
   for (std::int64_t clients : cli.get_int_list("clients"))
     top_clients = std::max(top_clients, static_cast<unsigned>(clients));
 
+  const auto deadline_us =
+      std::chrono::microseconds(cli.get_int("deadline_us"));
+  std::optional<metrics::TraceRecorder> trace;
+  if (!cli.get("trace").empty()) trace.emplace();
+
   for (Kind kind : {Kind::kKnn, Kind::kRadius}) {
     const std::string workload = kind == Kind::kKnn ? "knn" : "radius";
-    for (bool rebuild : {false, true}) {
-      const std::string scenario = rebuild ? "rebuild" : "steady";
+    for (const char* scenario : {"steady", "rebuild", "deadline"}) {
+      const bool rebuild = std::string(scenario) == "rebuild";
+      const bool deadline = std::string(scenario) == "deadline";
       for (std::int64_t clients : cli.get_int_list("clients")) {
         CellParams p = base;
         p.kind = kind;
         p.clients = static_cast<unsigned>(clients);
         p.rebuild = rebuild;
-        CellResult baseline = run_baseline(p, pool);
+        if (deadline) p.deadline = deadline_us;
+        p.trace = trace ? &*trace : nullptr;
+        // The deadline scenario is broker-only: the baseline has no
+        // deadline concept, so its row would just repeat "steady".
+        CellResult baseline;
+        if (!deadline) {
+          baseline = run_baseline(p, pool);
+          records.push_back(
+              {workload, scenario, "baseline", p.clients, baseline});
+        }
         CellResult broker = run_broker(p, pool);
-        records.push_back(
-            {workload, scenario, "baseline", p.clients, baseline});
         records.push_back({workload, scenario, "broker", p.clients, broker});
         double speedup =
             baseline.qps > 0.0 ? broker.qps / baseline.qps : 0.0;
-        table.new_row()
-            .cell(workload)
-            .cell(scenario)
-            .cell("baseline")
-            .cell(p.clients)
-            .cell(baseline.qps, 0)
-            .cell(baseline.p50_request_us, 1)
-            .cell(baseline.p99_request_us, 1)
-            .cell(baseline.rebuilds)
-            .cell(0)
-            .cell(1.0, 2);
+        if (!deadline) {
+          table.new_row()
+              .cell(workload)
+              .cell(scenario)
+              .cell("baseline")
+              .cell(p.clients)
+              .cell(baseline.qps, 0)
+              .cell(baseline.p50_request_us, 1)
+              .cell(baseline.p99_request_us, 1)
+              .cell(baseline.rebuilds)
+              .cell(0)
+              .cell(1.0, 2);
+        }
         table.new_row()
             .cell(workload)
             .cell(scenario)
@@ -419,10 +483,18 @@ int main(int argc, char** argv) {
       speedup_of("radius", "rebuild"), speedup_of("knn", "steady"),
       speedup_of("knn", "rebuild"));
 
+  if (std::string path = cli.get("trace"); !path.empty() && trace) {
+    std::ofstream out(path);
+    trace->write_chrome_trace(out);
+    std::printf("wrote %zu trace events to %s\n", trace->event_count(),
+                path.c_str());
+  }
+
   if (std::string path = cli.get("json"); !path.empty()) {
     std::ofstream json(path);
     json << "[\n";
     for (const auto& r : records) {
+      const auto& s = r.cell.stats;
       json << "  {\"workload\": \"" << r.workload << "\", \"scenario\": \""
            << r.scenario << "\", \"mode\": \"" << r.mode
            << "\", \"clients\": " << r.clients
@@ -432,12 +504,22 @@ int main(int argc, char** argv) {
            << ", \"request_queries\": " << r.cell.request_queries
            << ", \"queries\": " << r.cell.queries
            << ", \"rebuilds\": " << r.cell.rebuilds
-           << ", \"batched\": " << r.cell.stats.batched
-           << ", \"punted\": " << r.cell.stats.punted
-           << ", \"expired\": " << r.cell.stats.expired
-           << ", \"rebuilt_under\": " << r.cell.stats.rebuilt_under
-           << ", \"snapshots_published\": "
-           << r.cell.stats.snapshots_published << "},\n";
+           << ", \"submitted\": " << s.submitted
+           << ", \"batched\": " << s.batched
+           << ", \"punted\": " << s.punted
+           << ", \"expired\": " << s.expired
+           << ", \"rebuilt_under\": " << s.rebuilt_under
+           << ", \"flushes\": " << s.flushes
+           << ", \"queue_wait_p50_us\": " << s.queue_wait.p50_us()
+           << ", \"queue_wait_p99_us\": " << s.queue_wait.p99_us()
+           << ", \"execute_p50_us\": " << s.batch_execute.p50_us()
+           << ", \"execute_p99_us\": " << s.batch_execute.p99_us()
+           << ", \"punt_p50_us\": " << s.punt_latency.p50_us()
+           << ", \"punt_p99_us\": " << s.punt_latency.p99_us()
+           << ", \"flush_size_mean\": " << s.flush_size.mean()
+           << ", \"flush_size_max\": " << s.flush_size.max()
+           << ", \"snapshots_published\": " << s.snapshots_published
+           << "},\n";
     }
     json << "  {\"scenario\": \"summary\", \"clients\": " << top_clients
          << ", \"speedup_radius_steady\": " << speedup_of("radius", "steady")

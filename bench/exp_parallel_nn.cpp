@@ -12,10 +12,13 @@
 #include <sys/resource.h>
 
 #include <fstream>
+#include <optional>
 
 #include "core/engine.hpp"
 #include "knn/brute_force.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -29,6 +32,7 @@ struct BenchRecord {
   std::size_t k = 0;
   double model_depth = 0.0;
   double wall_seconds = 0.0;  // median over repeats
+  double wall_p50_us = 0.0;   // same median, from the shared histogram
   long peak_rss_kb = 0;       // process high-water mark after the run
 };
 
@@ -41,7 +45,8 @@ long peak_rss_kb() {
 template <int D>
 void sweep_dimension(workload::Kind kind, std::size_t max_n, std::size_t k,
                      Rng& rng, Table& table,
-                     std::vector<BenchRecord>& records) {
+                     std::vector<BenchRecord>& records,
+                     metrics::TraceRecorder* trace) {
   auto& pool = par::ThreadPool::global();
   std::vector<double> ns, depths;
   for (std::size_t n : bench::geometric_sweep(2048, max_n, 2)) {
@@ -49,22 +54,27 @@ void sweep_dimension(workload::Kind kind, std::size_t max_n, std::size_t k,
     std::span<const geo::Point<D>> span(points);
 
     // Median over independent seeds: the depth is a max over random
-    // root-leaf paths and has visible run-to-run variance.
+    // root-leaf paths and has visible run-to-run variance. The medians
+    // come from the shared metrics::Histogram — depth values are small
+    // enough to land in its exact unit-width buckets, and wall times get
+    // the same <= 1/32 bucket resolution every other bench reports.
     constexpr int kRepeats = 3;
-    std::vector<double> run_depths, run_seconds;
+    metrics::Histogram depth_hist, wall_hist;
     typename core::NearestNeighborEngine<D>::Output out;
     for (int rep = 0; rep < kRepeats; ++rep) {
       core::Config cfg;
       cfg.k = k;
       cfg.seed = rng.next();
+      cfg.trace = trace;
       Timer timer;
       out = core::parallel_nearest_neighborhood<D>(span, cfg, pool);
-      run_seconds.push_back(timer.seconds());
-      run_depths.push_back(static_cast<double>(out.cost.depth));
+      wall_hist.record_seconds(timer.seconds());
+      depth_hist.record(static_cast<std::uint64_t>(out.cost.depth));
     }
-    double depth = stats::percentile(run_depths, 0.5);
+    auto wall = wall_hist.snapshot();
+    double depth = depth_hist.snapshot().p50();
     records.push_back({D, workload::kind_name(kind), n, k, depth,
-                       stats::percentile(run_seconds, 0.5), peak_rss_kb()});
+                       wall.p50() / 1e9, wall.p50_us(), peak_rss_kb()});
 
     if (n == 2048) {  // exact oracle check at the smallest size
       auto oracle = knn::brute_force_parallel<D>(pool, span, k);
@@ -113,6 +123,9 @@ int main(int argc, char** argv) {
   cli.flag("max_n", "131072", "largest point count")
       .flag("k", "1", "neighbors")
       .flag("seed", "6", "seed")
+      .flag("trace", "",
+            "write Chrome-trace JSON of engine build-phase spans (empty "
+            "to disable; open in chrome://tracing or Perfetto)")
       .flag("json", "BENCH_parallel_nn.json",
             "machine-readable results file (empty to disable)");
   if (!cli.parse(argc, argv)) return 0;
@@ -125,18 +138,29 @@ int main(int argc, char** argv) {
   const auto max_n = static_cast<std::size_t>(cli.get_int("max_n"));
   const auto k = static_cast<std::size_t>(cli.get_int("k"));
 
+  std::optional<metrics::TraceRecorder> trace;
+  if (!cli.get("trace").empty()) trace.emplace();
+  metrics::TraceRecorder* tr = trace ? &*trace : nullptr;
+
   Table table({"d", "workload", "n", "depth", "depth/log n", "work/nlogn",
                "punts", "aborts", "peak march frac", "attempts/node"});
   std::vector<BenchRecord> records;
   sweep_dimension<2>(workload::Kind::UniformCube, max_n, k, rng, table,
-                     records);
+                     records, tr);
   sweep_dimension<2>(workload::Kind::GaussianClusters, max_n, k, rng, table,
-                     records);
+                     records, tr);
   sweep_dimension<2>(workload::Kind::AdversarialSlab, max_n, k, rng, table,
-                     records);
+                     records, tr);
   sweep_dimension<3>(workload::Kind::UniformCube, max_n / 2, k, rng, table,
-                     records);
+                     records, tr);
   table.print(std::cout);
+
+  if (std::string path = cli.get("trace"); !path.empty() && trace) {
+    std::ofstream out(path);
+    trace->write_chrome_trace(out);
+    std::printf("wrote %zu trace events to %s\n", trace->event_count(),
+                path.c_str());
+  }
 
   if (std::string path = cli.get("json"); !path.empty()) {
     std::ofstream json(path);
@@ -147,6 +171,7 @@ int main(int argc, char** argv) {
            << "\", \"n\": " << r.n << ", \"k\": " << r.k
            << ", \"model_depth\": " << r.model_depth
            << ", \"wall_seconds\": " << r.wall_seconds
+           << ", \"wall_p50_us\": " << r.wall_p50_us
            << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
            << (i + 1 < records.size() ? "," : "") << "\n";
     }

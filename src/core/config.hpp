@@ -13,6 +13,10 @@
 
 #include "pvm/cost.hpp"
 
+namespace sepdc::metrics {
+class TraceRecorder;
+}  // namespace sepdc::metrics
+
 namespace sepdc::core {
 
 // Thrown by Config::validate() for configurations that cannot produce a
@@ -92,6 +96,12 @@ struct Config {
 
   pvm::CostConfig cost;
   std::uint64_t seed = 1992;
+
+  // Optional phase tracing (support/trace.hpp): when set, the engine's
+  // build phases emit spans via the run's RunContext. Null = off. Not a
+  // validated knob — any value (including null) is fine; the recorder
+  // must outlive the run.
+  metrics::TraceRecorder* trace = nullptr;
 
   // Rejects configurations that cannot produce a correct or terminating
   // run; called by the engine before starting. Throws ConfigError naming

@@ -50,6 +50,7 @@
 #include "separator/mttv.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 namespace sepdc::core {
 
@@ -82,7 +83,7 @@ class NearestNeighborEngine {
         result_(knn::KnnResult::empty(points.size(), cfg.k)),
         perm_(points.size()),
         forest_(PartitionForest<D>::for_points(points.size())),
-        ctx_(cfg.seed) {
+        ctx_(cfg.seed, cfg.trace) {
     for (std::size_t i = 0; i < n_; ++i)
       perm_[i] = static_cast<std::uint32_t>(i);
     base_size_ = std::max({cfg_.base_case_floor,
@@ -129,7 +130,21 @@ class NearestNeighborEngine {
     Rng rng = ctx_.stream(key);
     pvm::Ledger ledger;
 
+    // Spawn pool tasks only for large subproblems: small ones run inline.
+    // This keeps the task count O(n / grain), which bounds the depth of
+    // helping-wait chains (a waiting thread executes other queued tasks,
+    // so thousands of tiny tasks could otherwise nest on one stack). The
+    // model cost is charged as parallel either way — the recursion is
+    // logically parallel; inlining is an execution-engine choice.
+    constexpr std::size_t kSpawnGrain = 8192;
+    // Trace only the nodes big enough to spawn: the same grain that
+    // bounds the task count bounds the span count, so a trace stays a
+    // few hundred readable events instead of one per recursion node.
+    metrics::TraceRecorder* tr = m >= kSpawnGrain ? ctx_.trace() : nullptr;
+
+    metrics::TraceSpan sep_span(tr, "separator_search", "engine");
     auto shape = choose_separator(begin, end, rng, depth, ledger);
+    sep_span.end();
     if (!shape) {
       // Unsplittable node (e.g. all points identical): solve directly.
       SolveResult base = solve_base(begin, end);
@@ -139,7 +154,9 @@ class NearestNeighborEngine {
     }
     RunContext::add(ctx_.nodes, 1);
 
+    metrics::TraceSpan split_span(tr, "split", "engine");
     std::uint32_t mid = partition_range(begin, end, *shape);
+    split_span.end();
     ledger.charge(pvm::pack_cost(m, cfg_.cost));
     SEPDC_ASSERT(mid > begin && mid < end);
 
@@ -148,13 +165,6 @@ class NearestNeighborEngine {
     SolveResult inner, outer;
     const std::uint64_t inner_key = RunContext::child_key(key, 0);
     const std::uint64_t outer_key = RunContext::child_key(key, 1);
-    // Spawn pool tasks only for large subproblems: small ones run inline.
-    // This keeps the task count O(n / grain), which bounds the depth of
-    // helping-wait chains (a waiting thread executes other queued tasks,
-    // so thousands of tiny tasks could otherwise nest on one stack). The
-    // model cost is charged as parallel either way — the recursion is
-    // logically parallel; inlining is an execution-engine choice.
-    constexpr std::size_t kSpawnGrain = 8192;
     if (m >= kSpawnGrain) {
       par::parallel_invoke(
           pool_,
@@ -167,8 +177,10 @@ class NearestNeighborEngine {
     ledger.charge_parallel(inner.cost, outer.cost);
 
     Rng correction_rng = rng.split();
+    metrics::TraceSpan corr_span(tr, "correction", "engine");
     correct(begin, mid, end, *shape, inner.node, outer.node, correction_rng,
             depth, ledger);
+    corr_span.end();
 
     ForestNode<D>& node = forest_.node(id);
     node.begin = begin;
@@ -512,8 +524,12 @@ class NearestNeighborEngine {
     params.max_attempts = cfg_.max_separator_attempts;
     params.cost = cfg_.cost;
 
+    // Punts are rare by design, so every query-tree build is traced.
+    metrics::TraceSpan build_span(ctx_.trace(), "query_tree_build",
+                                  "engine");
     NeighborhoodQueryTree<D> qt(std::move(balls), params, rng.split(),
                                 pool_);
+    build_span.end();
     ledger.charge(qt.stats().cost);
     RunContext::add(ctx_.query_builds, 1);
     RunContext::bump_max(ctx_.query_build_height, qt.height());

@@ -33,6 +33,10 @@
 #include "support/rng.hpp"
 #include "support/thread_annotations.hpp"
 
+namespace sepdc::metrics {
+class TraceRecorder;
+}  // namespace sepdc::metrics
+
 namespace sepdc::core {
 
 // What a run hands back besides the k-NN rows: the model cost, the final
@@ -49,7 +53,13 @@ struct RunReport {
 
 class RunContext {
  public:
-  explicit RunContext(std::uint64_t seed) : seed_(seed) {}
+  explicit RunContext(std::uint64_t seed,
+                      metrics::TraceRecorder* trace = nullptr)
+      : seed_(seed), trace_(trace) {}
+
+  // Null unless the run opted into phase tracing (Config::trace). Spans
+  // constructed on a null recorder are free, so call sites don't branch.
+  metrics::TraceRecorder* trace() const { return trace_; }
 
   // ------------------------------------------------- per-node randomness
 
@@ -158,6 +168,7 @@ class RunContext {
 
  private:
   std::uint64_t seed_;
+  metrics::TraceRecorder* trace_ = nullptr;
   // level_mu_ guards the per-level histograms only; every counter above
   // is a relaxed atomic and never needs it.
   mutable Mutex level_mu_;

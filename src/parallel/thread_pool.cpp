@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -108,11 +109,47 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::enqueue(Task task) {
+  task.enqueued = Clock::now();
   {
     LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+}
+
+namespace {
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(b - a);
+  return d.count() > 0 ? static_cast<std::uint64_t>(d.count()) : 0;
+}
+}  // namespace
+
+void ThreadPool::run_task(Task task) {
+  Clock::time_point start = Clock::now();
+  task_wait_.record(ns_between(task.enqueued, start));
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->record_error(std::current_exception());
+  }
+  std::uint64_t run_ns = ns_between(start, Clock::now());
+  task_run_.record(run_ns);
+  busy_ns_.fetch_add(run_ns, std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task_done_.notify_all();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.lifetime_ns = ns_between(created_, Clock::now());
+  s.concurrency = concurrency();
+  s.task_wait = task_wait_.snapshot();
+  s.task_run = task_run_.snapshot();
+  return s;
 }
 
 bool ThreadPool::try_run_one() {
@@ -123,13 +160,7 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  try {
-    task.fn();
-  } catch (...) {
-    task.group->record_error(std::current_exception());
-  }
-  task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
-  task_done_.notify_all();
+  run_task(std::move(task));
   return true;
 }
 
@@ -143,13 +174,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    try {
-      task.fn();
-    } catch (...) {
-      task.group->record_error(std::current_exception());
-    }
-    task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
-    task_done_.notify_all();
+    run_task(std::move(task));
   }
 }
 

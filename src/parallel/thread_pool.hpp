@@ -11,7 +11,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -19,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -77,6 +80,28 @@ class Waitable {
   std::unique_ptr<TaskGroup> group_;
 };
 
+// Plain-value snapshot of a pool's execution counters. Tasks that ran
+// via a helping wait count too — the helping thread is doing the pool's
+// work, just on a caller's stack.
+struct ThreadPoolStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t busy_ns = 0;      // total wall time inside task bodies
+  std::uint64_t lifetime_ns = 0;  // pool age at snapshot time
+  unsigned concurrency = 0;
+  metrics::HistogramSnapshot task_wait;  // ns, enqueue -> start
+  metrics::HistogramSnapshot task_run;   // ns, task body duration
+
+  // Fraction of the pool's capacity (concurrency x lifetime) spent
+  // executing task bodies. A pure fork-join phase approaches 1; an idle
+  // service pool sits near 0.
+  double utilization() const {
+    if (lifetime_ns == 0 || concurrency == 0) return 0.0;
+    return static_cast<double>(busy_ns) /
+           (static_cast<double>(concurrency) *
+            static_cast<double>(lifetime_ns));
+  }
+};
+
 class ThreadPool {
  public:
   // threads == 0 selects std::thread::hardware_concurrency().
@@ -88,6 +113,10 @@ class ThreadPool {
 
   // Worker threads plus the caller; the natural fan-out for parallel_for.
   unsigned concurrency() const { return workers_ + 1; }
+
+  // Execution counters since construction; exact at quiescence (same
+  // relaxed-atomic discipline as ServiceStats).
+  ThreadPoolStats stats() const;
 
   // Detached-until-waited submission: schedules fn like a one-task group
   // and returns a handle any thread may later wait on. This is what a
@@ -102,9 +131,12 @@ class ThreadPool {
  private:
   friend class TaskGroup;
 
+  using Clock = std::chrono::steady_clock;
+
   struct Task {
     std::function<void()> fn;
     TaskGroup* group;
+    Clock::time_point enqueued{};
   };
 
   // Resolves the worker-thread count for a requested pool size (0 = use
@@ -117,6 +149,9 @@ class ThreadPool {
   void worker_loop() SEPDC_EXCLUDES(mutex_);
   // Helping wait used by TaskGroup::wait.
   void wait_for(TaskGroup& group) SEPDC_EXCLUDES(mutex_);
+  // Runs one dequeued task: records wait/run latency, settles the
+  // group's pending count, wakes helping waiters.
+  void run_task(Task task);
 
   // Lock protocol: mutex_ guards the task queue and the shutdown flag.
   // workers_ is immutable after construction (hence readable anywhere,
@@ -131,6 +166,13 @@ class ThreadPool {
   CondVar task_done_;
   std::deque<Task> queue_ SEPDC_GUARDED_BY(mutex_);
   bool stopping_ SEPDC_GUARDED_BY(mutex_) = false;
+
+  // Observability (lock-free; see ThreadPoolStats).
+  const Clock::time_point created_ = Clock::now();
+  metrics::Histogram task_wait_;
+  metrics::Histogram task_run_;
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 }  // namespace sepdc::par

@@ -35,9 +35,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <exception>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -47,11 +50,33 @@
 #include "service/service_stats.hpp"
 #include "service/snapshot.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace sepdc::service {
+
+// Thrown at submission for query parameters the service cannot answer
+// meaningfully (k == 0, negative/NaN radius). Mirrors core::ConfigError:
+// carries the offending field so callers can point at the exact
+// parameter. Validation happens *before* the request is accounted or
+// enqueued — an invalid query never reaches a batch (where e.g. a NaN
+// radius would poison the ==-keyed radius grouping) and never skews the
+// outcome counters.
+class QueryError : public std::invalid_argument {
+ public:
+  QueryError(std::string field, const std::string& message)
+      : std::invalid_argument("query parameter '" + field +
+                              "': " + message),
+        field_(std::move(field)) {}
+
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
 
 struct BrokerConfig {
   // Flush the pending queue as soon as it holds this many queries.
@@ -61,6 +86,10 @@ struct BrokerConfig {
   // Build configuration for every snapshot generation (the seed is
   // perturbed per generation so rebuilds decorrelate).
   core::SeparatorIndexConfig index;
+  // Optional phase tracing (see support/trace.hpp): when set, flushes,
+  // batch kernels, punts, and snapshot builds emit spans. Null = off,
+  // zero overhead. The recorder must outlive the broker.
+  metrics::TraceRecorder* trace = nullptr;
 };
 
 template <int D>
@@ -208,6 +237,7 @@ class QueryBroker {
     double radius = 0.0;
     bool has_deadline = false;
     typename Clock::time_point deadline{};
+    typename Clock::time_point enqueued{};  // stamps queue_wait
     std::vector<KnnRow>* knn_out = nullptr;
     std::vector<RadiusRow>* radius_out = nullptr;
     bool done = false;
@@ -226,11 +256,13 @@ class QueryBroker {
 
   std::uint64_t rebuild_locked_free(
       std::span<const geo::Point<D>> points) {
+    metrics::TraceSpan span(cfg_.trace, "rebuild", "service");
     ServiceStats::add(stats_.rebuilds, 1);
     std::uint64_t version = store_.claim_version();
     core::SeparatorIndexConfig icfg = cfg_.index;
     icfg.seed += version;  // decorrelate generations
-    store_.publish(SnapshotStore<D>::build(points, icfg, pool_, version),
+    store_.publish(SnapshotStore<D>::build(points, icfg, pool_, version,
+                                           cfg_.trace),
                    &stats_);
     return version;
   }
@@ -278,6 +310,9 @@ class QueryBroker {
                               std::span<const std::uint32_t> exclude) {
     SEPDC_CHECK_MSG(exclude.empty() || exclude.size() == queries.size(),
                     "broker knn: exclude must be empty or per-query");
+    // Validate before any accounting: an invalid query is rejected at
+    // the door, never counted as submitted, never enqueued.
+    if (k == 0) throw QueryError("k", "k-NN requires k >= 1");
     std::vector<KnnRow> out(queries.size());
     if (queries.empty()) return out;
     ServiceStats::add(stats_.submitted, queries.size());
@@ -287,12 +322,16 @@ class QueryBroker {
     auto deadline =
         has_deadline ? now + budget : Clock::time_point::max();
     if (has_deadline && should_punt(now, deadline, queries.size())) {
+      metrics::TraceSpan span(cfg_.trace, "punt_knn", "service");
+      Timer punt_timer;
       SnapshotPtr snap = store_.current();
       for (std::size_t i = 0; i < queries.size(); ++i)
         out[i] = snap->fallback
                      ->query(queries[i], k,
                              exclude.empty() ? kNoExclude : exclude[i])
                      .take_sorted();
+      stats_.punt_latency.record_seconds(punt_timer.seconds(),
+                                         queries.size());
       account_answered(queries.size(), /*punted=*/true, has_deadline,
                        deadline);
       return out;
@@ -313,6 +352,12 @@ class QueryBroker {
   std::vector<RadiusRow> run_radius(
       std::span<const geo::Point<D>> queries, double r,
       std::chrono::microseconds budget) {
+    // Validate before any accounting. The finite check is load-bearing:
+    // execute() groups radius requests by == on the double, and NaN
+    // compares unequal to everything — a NaN request would never join a
+    // group (including its own) and would silently return garbage.
+    if (!(std::isfinite(r) && r >= 0.0))
+      throw QueryError("radius", "must be finite and >= 0");
     std::vector<RadiusRow> out(queries.size());
     if (queries.empty()) return out;
     ServiceStats::add(stats_.submitted, queries.size());
@@ -322,6 +367,8 @@ class QueryBroker {
     auto deadline =
         has_deadline ? now + budget : Clock::time_point::max();
     if (has_deadline && should_punt(now, deadline, queries.size())) {
+      metrics::TraceSpan span(cfg_.trace, "punt_radius", "service");
+      Timer punt_timer;
       SnapshotPtr snap = store_.current();
       for (std::size_t i = 0; i < queries.size(); ++i) {
         snap->index->for_each_in_ball(
@@ -330,6 +377,8 @@ class QueryBroker {
             });
         sort_radius_row(out[i]);
       }
+      stats_.punt_latency.record_seconds(punt_timer.seconds(),
+                                         queries.size());
       account_answered(queries.size(), /*punted=*/true, has_deadline,
                        deadline);
       return out;
@@ -352,7 +401,8 @@ class QueryBroker {
   void enqueue_and_wait(Pending& req) SEPDC_EXCLUDES(mu_) {
     UniqueLock lock(mu_);
     SEPDC_CHECK_MSG(!stopping_, "query submitted to a stopped broker");
-    if (queue_.empty()) oldest_enqueue_ = Clock::now();
+    req.enqueued = Clock::now();
+    if (queue_.empty()) oldest_enqueue_ = req.enqueued;
     queue_.push_back(&req);
     pending_queries_.fetch_add(req.queries.size(),
                                std::memory_order_relaxed);
@@ -411,7 +461,22 @@ class QueryBroker {
   // place. Called with mu_ released — clients are blocked on done_cv_,
   // so every Pending and its output vector stays alive.
   void execute(std::vector<Pending*>& batch) SEPDC_EXCLUDES(mu_) {
+    metrics::TraceSpan flush_span(cfg_.trace, "flush", "service");
     Timer timer;
+    // Queue wait is enqueue -> flush swap, recorded here (the swap
+    // happened moments ago in flusher_loop) weighted per query so the
+    // histogram count reconciles with the `batched` counter. flush_size
+    // counts *all* queries in the batch — errored requests included, to
+    // match account_answered below, which also counts them.
+    auto swap_now = Clock::now();
+    std::size_t batch_queries = 0;
+    for (Pending* r : batch) {
+      stats_.queue_wait.record_seconds(
+          std::chrono::duration<double>(swap_now - r->enqueued).count(),
+          r->queries.size());
+      batch_queries += r->queries.size();
+    }
+    stats_.flush_size.record(batch_queries);
     SnapshotPtr snap = store_.current();
     std::size_t total = 0;
     try {
@@ -441,6 +506,7 @@ class QueryBroker {
       }
 
       for (auto& [k, reqs] : kgroups) {
+        metrics::TraceSpan span(cfg_.trace, "batch_knn", "service");
         std::size_t count = 0;
         bool any_exclude = false;
         for (Pending* r : reqs) {
@@ -477,6 +543,7 @@ class QueryBroker {
 
       // --- radius groups, keyed by the radius value.
       for (auto& [radius, reqs] : rgroups) {
+        metrics::TraceSpan span(cfg_.trace, "batch_radius", "service");
         std::vector<geo::Point<D>> flat;
         for (Pending* r : reqs)
           flat.insert(flat.end(), r->queries.begin(), r->queries.end());
@@ -503,6 +570,7 @@ class QueryBroker {
       account_answered(r->queries.size(), /*punted=*/false,
                        r->has_deadline, r->deadline);
     ServiceStats::bump_max(stats_.max_flush_queries, total);
+    stats_.batch_execute.record_seconds(timer.seconds());
     if (total > 0)
       stats_.observe_batch_cost(timer.seconds() * 1e6 /
                                 static_cast<double>(total));

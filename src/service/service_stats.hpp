@@ -16,10 +16,27 @@
 //   expired       — the answer was produced after its deadline (still
 //                    exact; the service degrades latency, never results),
 //   rebuilt_under — answered while a snapshot rebuild was in flight.
+//
+// Latency histograms (metrics::Histogram, lock-free log-bucket): the
+// counters say *what* happened, the histograms say *where the time
+// went*. Recording conventions, and the reconciliation invariants the
+// service tests assert at quiescence:
+//   queue_wait    — per batched query: enqueue -> flush swap (ns);
+//                   count == batched.
+//   batch_execute — per flush: whole execute() duration (ns);
+//                   count == flushes.
+//   punt_latency  — per punted query: whole fallback answer time (ns);
+//                   count == punted.
+//   flush_size    — per flush: total queries in the micro-batch;
+//                   count == flushes, sum == batched (sums are exact,
+//                   so this reconciles the histogram against the
+//                   outcome counters with no bucket error).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+
+#include "support/metrics.hpp"
 
 namespace sepdc::service {
 
@@ -39,6 +56,10 @@ struct ServiceStatsSnapshot {
   std::size_t snapshots_published = 0;  // generations that won publication
   std::size_t snapshots_discarded = 0;  // stale builds beaten by a newer one
   double est_batch_us_per_query = 0.0;  // EWMA batch service cost
+  metrics::HistogramSnapshot queue_wait;     // ns per batched query
+  metrics::HistogramSnapshot batch_execute;  // ns per flush
+  metrics::HistogramSnapshot punt_latency;   // ns per punted query
+  metrics::HistogramSnapshot flush_size;     // queries per flush
 };
 
 class ServiceStats {
@@ -61,6 +82,13 @@ class ServiceStats {
   // takes the direct fallback instead).
   std::atomic<double> est_batch_us_per_query{0.0};
 
+  // Latency / distribution histograms; see the recording conventions at
+  // the top of this file.
+  metrics::Histogram queue_wait;
+  metrics::Histogram batch_execute;
+  metrics::Histogram punt_latency;
+  metrics::Histogram flush_size;
+
   static void add(std::atomic<std::size_t>& counter, std::size_t v) {
     counter.fetch_add(v, std::memory_order_relaxed);
   }
@@ -72,12 +100,21 @@ class ServiceStats {
     }
   }
 
+  // CAS loop, not load+store: the flusher is the sole writer today, but
+  // the estimator must stay safe as callers grow (multiple broker
+  // shards, a warmup prober). The loop guarantees every update applies
+  // the EWMA step to the value it actually replaced, so the estimate
+  // always stays inside the convex hull of the observations — the
+  // invariant the multi-writer stress test pins.
   void observe_batch_cost(double us_per_query) {
     constexpr double kAlpha = 0.25;
     double cur = est_batch_us_per_query.load(std::memory_order_relaxed);
-    double next = cur == 0.0 ? us_per_query
-                             : cur + kAlpha * (us_per_query - cur);
-    est_batch_us_per_query.store(next, std::memory_order_relaxed);
+    double next;
+    do {
+      next = cur == 0.0 ? us_per_query
+                        : cur + kAlpha * (us_per_query - cur);
+    } while (!est_batch_us_per_query.compare_exchange_weak(
+        cur, next, std::memory_order_relaxed));
   }
 
   ServiceStatsSnapshot snapshot() const {
@@ -100,6 +137,10 @@ class ServiceStats {
         snapshots_discarded.load(std::memory_order_relaxed);
     s.est_batch_us_per_query =
         est_batch_us_per_query.load(std::memory_order_relaxed);
+    s.queue_wait = queue_wait.snapshot();
+    s.batch_execute = batch_execute.snapshot();
+    s.punt_latency = punt_latency.snapshot();
+    s.flush_size = flush_size.snapshot();
     return s;
   }
 };

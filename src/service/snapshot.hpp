@@ -41,6 +41,7 @@
 #include "service/service_stats.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace sepdc::service {
 
@@ -67,16 +68,25 @@ class SnapshotStore {
   using Ptr = std::shared_ptr<const Snapshot>;
 
   // Builds generation `version` (both structures) without publishing it.
+  // With a trace recorder, the two structure builds emit "index_build"
+  // and "fallback_build" spans.
   static Ptr build(std::span<const geo::Point<D>> points,
                    const core::SeparatorIndexConfig& cfg,
-                   par::ThreadPool& pool, std::uint64_t version) {
+                   par::ThreadPool& pool, std::uint64_t version,
+                   metrics::TraceRecorder* trace = nullptr) {
     SEPDC_CHECK_MSG(!points.empty(), "snapshot over empty point set");
     Timer timer;
     auto snap = std::make_shared<Snapshot>();
     snap->version = version;
-    snap->index =
-        std::make_shared<const core::SeparatorIndex<D>>(points, cfg, pool);
-    snap->fallback = std::make_shared<const knn::KdTree<D>>(points);
+    {
+      metrics::TraceSpan span(trace, "index_build", "snapshot");
+      snap->index = std::make_shared<const core::SeparatorIndex<D>>(
+          points, cfg, pool);
+    }
+    {
+      metrics::TraceSpan span(trace, "fallback_build", "snapshot");
+      snap->fallback = std::make_shared<const knn::KdTree<D>>(points);
+    }
     snap->point_count = points.size();
     snap->build_seconds = timer.seconds();
     return snap;

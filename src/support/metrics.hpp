@@ -1,0 +1,223 @@
+// Lock-free fixed-bucket latency histograms.
+//
+// Same design discipline as core::RunContext / service::ServiceStats:
+// one Histogram is shared by every thread on a hot path, every mutation
+// is a relaxed atomic add or a CAS max/min bump, and a snapshot taken at
+// quiescence is *exact* — no sampling, no dropped updates, and the final
+// counts are independent of the interleaving because every bucket is a
+// sum. That is what lets the service leave the histograms on in
+// production: recording is a handful of relaxed atomic ops, with no lock
+// and no allocation.
+//
+// Bucket layout (HDR-histogram style, log-spaced with linear
+// sub-buckets): values in [0, 2*kSubBuckets) get exact unit-width
+// buckets; every later octave e >= 1 covers [kSubBuckets << e,
+// kSubBuckets << (e+1)) with kSubBuckets buckets of width 2^e. With
+// kSubBucketBits = 5 (32 sub-buckets per octave) the relative
+// quantization error of any reported quantile is at most 1/32 ≈ 3.1%,
+// and the whole table is 1344 buckets ≈ 10.5 KiB. Values are plain
+// uint64 "units" — the service records nanoseconds, the flush-size
+// distribution records query counts; the math is unit-agnostic.
+//
+// Snapshots are plain values and merge associatively and commutatively
+// (bucket-wise sums, min/max hull), so per-shard histograms can be
+// combined into a fleet view without coordination.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sepdc::metrics {
+
+// Plain-value copy of a Histogram, safe to serialize, compare, merge.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() = default;
+  HistogramSnapshot(std::vector<std::uint64_t> counts, std::uint64_t sum,
+                    std::uint64_t min_v, std::uint64_t max_v)
+      : counts_(std::move(counts)), sum_(sum), min_(min_v), max_(max_v) {
+    for (std::uint64_t c : counts_) count_ += c;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  // Quantile in recorded units (q in [0, 1]), linearly interpolated
+  // inside the landing bucket and clamped to the observed [min, max]
+  // hull so exact extremes stay exact. Returns 0 on an empty snapshot.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+  // For histograms recording nanoseconds.
+  double quantile_us(double q) const { return quantile(q) / 1e3; }
+  double p50_us() const { return quantile_us(0.50); }
+  double p90_us() const { return quantile_us(0.90); }
+  double p99_us() const { return quantile_us(0.99); }
+
+  // Bucket-wise sum; associative and commutative. Merging an empty
+  // snapshot is the identity.
+  HistogramSnapshot& merge(const HistogramSnapshot& other);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+class Histogram {
+ public:
+  // 32 linear sub-buckets per octave: quantile quantization <= 1/32.
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1}
+                                               << kSubBucketBits;
+  // Octaves past the linear region; the last bucket tops out at
+  // 2 * kSubBuckets << kOctaves units (≈ 19.5 hours at 1 unit = 1 ns);
+  // anything larger clamps into it.
+  static constexpr unsigned kOctaves = 40;
+  static constexpr std::size_t kBuckets =
+      2 * kSubBuckets + kOctaves * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // ------------------------------------------------- bucket geometry
+  // Exposed so tests can pin the boundaries instead of trusting them.
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < 2 * kSubBuckets) return static_cast<std::size_t>(v);
+    unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+    unsigned octave = msb - kSubBucketBits;  // >= 1
+    std::size_t sub = static_cast<std::size_t>((v >> octave) - kSubBuckets);
+    std::size_t idx = 2 * kSubBuckets +
+                      static_cast<std::size_t>(octave - 1) * kSubBuckets +
+                      sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  // Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lower(std::size_t i) {
+    if (i < 2 * kSubBuckets) return i;
+    std::size_t octave = (i - 2 * kSubBuckets) / kSubBuckets + 1;
+    std::size_t sub = (i - 2 * kSubBuckets) % kSubBuckets;
+    return (kSubBuckets + sub) << octave;
+  }
+
+  // Exclusive upper bound of bucket i (the next bucket's lower bound).
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i < 2 * kSubBuckets) return i + 1;
+    std::size_t octave = (i - 2 * kSubBuckets) / kSubBuckets + 1;
+    return bucket_lower(i) + (std::uint64_t{1} << octave);
+  }
+
+  // -------------------------------------------------------- recording
+
+  // Adds `weight` observations of `value`. Relaxed atomics only: safe
+  // from any number of threads, exact at quiescence.
+  void record(std::uint64_t value, std::uint64_t weight = 1) {
+    if (weight == 0) return;
+    counts_[bucket_index(value)].fetch_add(weight,
+                                           std::memory_order_relaxed);
+    sum_.fetch_add(value * weight, std::memory_order_relaxed);
+    bump_min(min_, value);
+    bump_max(max_, value);
+  }
+
+  // Latency convenience: seconds -> integer nanoseconds.
+  void record_seconds(double seconds, std::uint64_t weight = 1) {
+    double ns = seconds * 1e9;
+    record(ns <= 0.0 ? 0 : static_cast<std::uint64_t>(ns), weight);
+  }
+
+  // ------------------------------------------------------- observation
+
+  HistogramSnapshot snapshot() const {
+    std::vector<std::uint64_t> counts(kBuckets);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return HistogramSnapshot(std::move(counts),
+                             sum_.load(std::memory_order_relaxed),
+                             min_.load(std::memory_order_relaxed),
+                             max_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static void bump_min(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (cur > v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void bump_max(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+inline double HistogramSnapshot::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target order statistic, 1-based; q = 0 means the first.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      double lo = static_cast<double>(Histogram::bucket_lower(i));
+      double hi = static_cast<double>(Histogram::bucket_upper(i));
+      // Interpolate from the lower edge: the first rank in the bucket
+      // reports lo (exact for unit-width buckets), the last stays
+      // strictly below hi.
+      double frac = static_cast<double>(rank - seen - 1) /
+                    static_cast<double>(c);
+      double v = lo + (hi - lo) * frac;
+      // Clamp to the observed hull: min/max are recorded exactly.
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      return v;
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_);
+}
+
+inline HistogramSnapshot& HistogramSnapshot::merge(
+    const HistogramSnapshot& other) {
+  if (other.count_ == 0) return *this;
+  if (counts_.empty()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  return *this;
+}
+
+}  // namespace sepdc::metrics

@@ -1,0 +1,216 @@
+// Phase tracing: RAII spans collected per thread, exported as Chrome
+// trace-event JSON.
+//
+// A TraceRecorder owns one event buffer per participating thread. A
+// TraceSpan stamps a start time at construction and appends one complete
+// event (name, category, start, duration) to its thread's buffer when it
+// ends — either at destruction or at an explicit end(). Every recorder
+// pointer in the tree is nullable: with a null recorder a span is two
+// pointer stores and no clock read, so tracing costs nothing unless a
+// run opts in (e.g. `bench_service --trace out.json`).
+//
+// Buffers are thread-local to the recorder, so recording takes only the
+// owning buffer's (uncontended) mutex; the recorder's own mutex is taken
+// once per thread at registration and once per export. Thread-local
+// lookup is keyed by a process-unique recorder id, never by address, so
+// a recorder allocated where a destroyed one used to live cannot inherit
+// stale buffers.
+//
+// Export writes the Chrome trace_event format ("X" complete events, ts
+// and dur in microseconds), which opens directly in chrome://tracing or
+// https://ui.perfetto.dev. Span names and categories must be string
+// literals (or otherwise outlive the recorder): events store the
+// pointers, not copies.
+//
+// Concurrency note for the lint allowlist: the only atomic here is the
+// process-wide recorder id counter (monotone fetch_add, no ordering
+// requirements beyond uniqueness); all mutable event state is behind
+// annotated sepdc::Mutex wrappers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc::metrics {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_trace_recorder_ids{0};
+}  // namespace detail
+
+// One completed span. `name` and `category` must have static storage.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t start_ns = 0;  // relative to the recorder's epoch
+  std::uint64_t dur_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder()
+      : id_(detail::g_trace_recorder_ids.fetch_add(
+            1, std::memory_order_relaxed) +
+            1),
+        epoch_(Clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Nanoseconds since this recorder was created.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch_)
+            .count());
+  }
+
+  // Appends one completed event to the calling thread's buffer.
+  void record(const char* name, const char* category, std::uint64_t start_ns,
+              std::uint64_t dur_ns) {
+    ThreadLog& log = local_log();
+    LockGuard lock(log.mu);
+    log.events.push_back(TraceEvent{name, category, start_ns, dur_ns});
+  }
+
+  // Total events recorded so far (drains nothing).
+  std::size_t event_count() const SEPDC_EXCLUDES(mu_) {
+    std::size_t total = 0;
+    LockGuard lock(mu_);
+    for (const auto& log : logs_) {
+      LockGuard inner(log->mu);
+      total += log->events.size();
+    }
+    return total;
+  }
+
+  // All events with their recorder-assigned thread ids, in per-thread
+  // order (non-destructive).
+  std::vector<std::pair<int, TraceEvent>> events() const
+      SEPDC_EXCLUDES(mu_) {
+    std::vector<std::pair<int, TraceEvent>> out;
+    LockGuard lock(mu_);
+    for (const auto& log : logs_) {
+      LockGuard inner(log->mu);
+      for (const TraceEvent& e : log->events) out.emplace_back(log->tid, e);
+    }
+    return out;
+  }
+
+  // Chrome trace_event JSON ("X" complete events, ts/dur in
+  // microseconds). Loadable in chrome://tracing and Perfetto.
+  void write_chrome_trace(std::ostream& os) const {
+    auto all = events();
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& [tid, e] = all[i];
+      char buf[64];
+      os << "  {\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid;
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.start_ns) / 1e3);
+      os << ", \"ts\": " << buf;
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      os << ", \"dur\": " << buf << "}" << (i + 1 < all.size() ? "," : "")
+         << "\n";
+    }
+    os << "]}\n";
+  }
+
+ private:
+  struct ThreadLog {
+    int tid = 0;  // assigned at registration, stable thereafter
+    mutable Mutex mu;
+    std::vector<TraceEvent> events SEPDC_GUARDED_BY(mu);
+  };
+
+  // The calling thread's buffer, registering it on first use. The cache
+  // is keyed by recorder id (process-unique), so entries left behind by
+  // destroyed recorders can never be looked up again.
+  ThreadLog& local_log() SEPDC_EXCLUDES(mu_) {
+    struct CacheEntry {
+      std::uint64_t id;
+      ThreadLog* log;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const CacheEntry& e : cache)
+      if (e.id == id_) return *e.log;
+    auto owned = std::make_unique<ThreadLog>();
+    ThreadLog* log = owned.get();
+    {
+      LockGuard lock(mu_);
+      log->tid = static_cast<int>(logs_.size()) + 1;
+      logs_.push_back(std::move(owned));
+    }
+    cache.push_back(CacheEntry{id_, log});
+    return *log;
+  }
+
+  std::uint64_t id_;
+  Clock::time_point epoch_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_ SEPDC_GUARDED_BY(mu_);
+};
+
+// RAII phase span. Records one complete event on end()/destruction;
+// no-op (and clock-free) when constructed with a null recorder.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(recorder),
+        name_(name),
+        category_(category),
+        start_ns_(recorder ? recorder->now_ns() : 0) {}
+
+  TraceSpan(TraceSpan&& other) noexcept
+      : recorder_(other.recorder_),
+        name_(other.name_),
+        category_(other.category_),
+        start_ns_(other.start_ns_) {
+    other.recorder_ = nullptr;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      end();
+      recorder_ = other.recorder_;
+      name_ = other.name_;
+      category_ = other.category_;
+      start_ns_ = other.start_ns_;
+      other.recorder_ = nullptr;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Ends the span now (idempotent); the destructor calls it.
+  void end() {
+    if (!recorder_) return;
+    std::uint64_t now = recorder_->now_ns();
+    recorder_->record(name_, category_, start_ns_,
+                      now >= start_ns_ ? now - start_ns_ : 0);
+    recorder_ = nullptr;
+  }
+
+  ~TraceSpan() { end(); }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace sepdc::metrics

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -50,6 +51,37 @@ TEST(ThreadPool, ExceptionPropagatesFromWait) {
   TaskGroup group(pool);
   group.run([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, StatsCountEveryTaskExactly) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 200;
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < kTasks; ++i)
+    group.run([&] { counter.fetch_add(1); });
+  group.wait();
+
+  auto s = pool.stats();
+  EXPECT_EQ(s.tasks_executed, static_cast<std::uint64_t>(kTasks));
+  // Each executed task contributes one wait and one run observation.
+  EXPECT_EQ(s.task_wait.count(), static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(s.task_run.count(), static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(s.concurrency, pool.concurrency());
+  EXPECT_GT(s.lifetime_ns, 0u);
+  // busy_ns is the sum of task-body durations, so it can never exceed
+  // concurrency * lifetime — utilization is a fraction.
+  EXPECT_GE(s.utilization(), 0.0);
+  EXPECT_LE(s.utilization(), 1.0);
+  EXPECT_EQ(s.busy_ns, s.task_run.sum());
+}
+
+TEST(ThreadPool, StatsCountHelpedTasksToo) {
+  ThreadPool pool(1);  // zero workers: every task runs via helping waits
+  TaskGroup group(pool);
+  for (int i = 0; i < 25; ++i) group.run([] {});
+  group.wait();
+  EXPECT_EQ(pool.stats().tasks_executed, 25u);
 }
 
 TEST(ThreadPool, WaitOnEmptyGroupReturnsImmediately) {

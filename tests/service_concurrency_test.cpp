@@ -155,6 +155,15 @@ TEST(ServiceConcurrency, ReadersSeeExactAnswersUnderContinuousRebuild) {
   EXPECT_EQ(s.snapshots_published + s.snapshots_discarded, total_builds);
   EXPECT_EQ(s.batched + s.punted, s.submitted);
   EXPECT_GT(s.punted, 0u);  // the 1us-deadline readers punted
+  // Histogram reconciliation at quiescence: after every reader and
+  // writer has joined, the histograms recorded under full contention
+  // must agree exactly with the outcome counters (relaxed atomics drop
+  // nothing).
+  EXPECT_EQ(s.queue_wait.count(), s.batched);
+  EXPECT_EQ(s.punt_latency.count(), s.punted);
+  EXPECT_EQ(s.batch_execute.count(), s.flushes);
+  EXPECT_EQ(s.flush_size.count(), s.flushes);
+  EXPECT_EQ(s.flush_size.sum(), s.batched);
 }
 
 // Torn-read hunt on the snapshot store itself: hammer publish/current

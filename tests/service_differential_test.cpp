@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <thread>
 
@@ -114,6 +115,16 @@ TEST_P(ServiceDifferential, AllKnnEqualsBruteForceAcrossConfigs) {
     if (v.budget == microseconds(0)) {
       EXPECT_EQ(s.punted, 0u) << v.name;  // no deadline never punts
     }
+    // Histogram reconciliation at quiescence (the invariants documented
+    // in service_stats.hpp): histogram counts equal the outcome
+    // counters, and the flush-size *sum* — exact, no bucket error —
+    // equals the batched count.
+    EXPECT_EQ(s.queue_wait.count(), s.batched) << v.name;
+    EXPECT_EQ(s.punt_latency.count(), s.punted) << v.name;
+    EXPECT_EQ(s.batch_execute.count(), s.flushes) << v.name;
+    EXPECT_EQ(s.flush_size.count(), s.flushes) << v.name;
+    EXPECT_EQ(s.flush_size.sum(), s.batched) << v.name;
+    EXPECT_EQ(s.flush_size.max(), s.max_flush_queries) << v.name;
   }
 }
 
@@ -218,6 +229,129 @@ TEST(ServiceDifferentialCoalescing, TwoClientsShareBatches) {
   // if each flushed alone... at minimum the flush machinery ran.
   EXPECT_GT(s.flushes, 0u);
   EXPECT_GE(s.max_flush_queries, 23u);
+}
+
+// Invalid query parameters are rejected at submission with a typed
+// error naming the field (mirroring core::ConfigError) — and rejected
+// *before* accounting, so the outcome counters never see them.
+TEST(ServiceValidation, RejectsInvalidParametersWithoutAccounting) {
+  const std::size_t n = 100;
+  Rng rng(1500);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const Pt> span(points);
+
+  BrokerConfig cfg;
+  cfg.index.seed = rng.next();
+  QueryBroker<2> broker(span, cfg, par::ThreadPool::global());
+
+  const Pt q{{0.5, 0.5}};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_THROW(broker.knn(q, 0), QueryError);
+  EXPECT_THROW(broker.bulk_knn(span.subspan(0, 10), 0), QueryError);
+  EXPECT_THROW(broker.radius(q, -0.1), QueryError);
+  EXPECT_THROW(broker.radius(q, nan), QueryError);
+  EXPECT_THROW(broker.radius(q, inf), QueryError);
+  EXPECT_THROW(broker.bulk_radius(span.subspan(0, 10), nan), QueryError);
+
+  try {
+    broker.knn(q, 0);
+    FAIL() << "k == 0 must throw";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.field(), "k");
+  }
+  try {
+    broker.radius(q, nan);
+    FAIL() << "NaN radius must throw";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.field(), "radius");
+  }
+
+  // Rejected queries were never accounted, and the broker still serves.
+  auto s = broker.stats();
+  EXPECT_EQ(s.submitted, 0u);
+  EXPECT_FALSE(broker.knn(q, 3).empty());
+  EXPECT_EQ(broker.stats().submitted, 1u);
+}
+
+// Differential check around the NaN grouping hazard: a valid radius
+// request sharing a broker with rejected NaN submissions still gets
+// oracle-exact answers (the NaN never reaches execute()'s ==-keyed
+// grouping, where it would match no group including its own).
+TEST(ServiceValidation, NanRejectionsDoNotPerturbValidAnswers) {
+  const std::size_t n = 300;
+  Rng rng(1600);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const Pt> span(points);
+  const double radius = 0.2;
+  const Pt q{{0.4, 0.6}};
+
+  std::vector<std::pair<std::uint32_t, double>> expected;
+  for (std::size_t j = 0; j < n; ++j) {
+    double d2 = geo::distance2(points[j], q);
+    if (d2 <= radius * radius)
+      expected.emplace_back(static_cast<std::uint32_t>(j), d2);
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+
+  BrokerConfig cfg;
+  cfg.index.seed = rng.next();
+  QueryBroker<2> broker(span, cfg, par::ThreadPool::global());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(
+        broker.radius(q, std::numeric_limits<double>::quiet_NaN()),
+        QueryError);
+    EXPECT_EQ(broker.radius(q, radius), expected);
+  }
+}
+
+// Deterministic punting: a budget shorter than the flush interval can
+// never survive the batch path (the punt decision adds the full flush
+// interval to its ETA), so every request takes the fallback. This is
+// the test that keeps the Punting-Lemma path — and its histogram — from
+// silently regressing to dead code.
+TEST(ServicePunting, BudgetBelowFlushIntervalPuntsEverything) {
+  const std::size_t n = 400, k = 4;
+  Rng rng(1700);
+  auto points = workload::uniform_cube<2>(n, rng);
+  std::span<const Pt> span(points);
+  auto oracle = knn::brute_force<2>(span, k);
+
+  BrokerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.flush_interval = microseconds(100000);  // 100ms >> any budget here
+  cfg.index.seed = rng.next();
+  QueryBroker<2> broker(span, cfg, par::ThreadPool::global());
+
+  std::vector<std::uint32_t> identity(n);
+  std::iota(identity.begin(), identity.end(), 0u);
+  std::vector<std::vector<knn::TopK::Entry>> rows(n);
+  std::size_t q = 0;
+  while (q < n) {
+    std::size_t len = std::min<std::size_t>(37, n - q);
+    auto chunk = broker.bulk_knn(
+        span.subspan(q, len), k, microseconds(50),
+        std::span<const std::uint32_t>(identity).subspan(q, len));
+    for (std::size_t i = 0; i < len; ++i) rows[q + i] = std::move(chunk[i]);
+    q += len;
+  }
+  // Punted answers are exact too (the kd-tree fallback shares the
+  // (dist2, id) tie-break).
+  expect_matches_brute_force(rows, oracle, workload::Kind::UniformCube);
+
+  auto s = broker.stats();
+  EXPECT_EQ(s.submitted, n);
+  EXPECT_EQ(s.punted, n);
+  EXPECT_EQ(s.batched, 0u);
+  EXPECT_EQ(s.punt_latency.count(), n);
+  EXPECT_GT(s.punt_latency.max(), 0u);
+  EXPECT_EQ(s.queue_wait.count(), 0u);
+  EXPECT_EQ(s.flush_size.count(), s.flushes);
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+// Tests for service/service_stats.hpp, pinning the CAS-loop EWMA
+// estimator (observe_batch_cost) and the histogram snapshot plumbing.
+#include "service/service_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using sepdc::service::ServiceStats;
+
+TEST(ServiceStats, EwmaSingleWriterSequence) {
+  ServiceStats stats;
+  stats.observe_batch_cost(10.0);  // first observation seeds the estimate
+  EXPECT_DOUBLE_EQ(stats.est_batch_us_per_query.load(), 10.0);
+  stats.observe_batch_cost(20.0);  // 10 + 0.25 * (20 - 10)
+  EXPECT_DOUBLE_EQ(stats.est_batch_us_per_query.load(), 12.5);
+  stats.observe_batch_cost(12.5);  // at the estimate: no movement
+  EXPECT_DOUBLE_EQ(stats.est_batch_us_per_query.load(), 12.5);
+}
+
+// The invariant the CAS loop buys: with any number of concurrent
+// writers, every update applies the EWMA step to the value it actually
+// replaced, so the estimate can never escape the convex hull of the
+// observations. A torn read-modify-write (the old load+store version)
+// loses updates and can land outside the hull under enough contention.
+TEST(ServiceStats, EwmaMultiWriterStaysInHull) {
+  ServiceStats stats;
+  constexpr double kLo = 50.0;
+  constexpr double kHi = 150.0;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deterministic values spanning [kLo, kHi].
+        double v = kLo + (kHi - kLo) *
+                             static_cast<double>((t * 31 + i) % 101) / 100.0;
+        stats.observe_batch_cost(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double est = stats.est_batch_us_per_query.load();
+  EXPECT_GE(est, kLo);
+  EXPECT_LE(est, kHi);
+}
+
+TEST(ServiceStats, SnapshotCarriesHistograms) {
+  ServiceStats stats;
+  stats.queue_wait.record(1000, 4);
+  stats.batch_execute.record(5000);
+  stats.punt_latency.record(200, 2);
+  stats.flush_size.record(4);
+  auto s = stats.snapshot();
+  EXPECT_EQ(s.queue_wait.count(), 4u);
+  EXPECT_EQ(s.batch_execute.count(), 1u);
+  EXPECT_EQ(s.punt_latency.count(), 2u);
+  EXPECT_EQ(s.flush_size.count(), 1u);
+  EXPECT_EQ(s.flush_size.sum(), 4u);
+}
+
+}  // namespace

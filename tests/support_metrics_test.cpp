@@ -1,0 +1,332 @@
+// Tests for support/metrics.hpp (lock-free histogram) and
+// support/trace.hpp (phase spans + Chrome-trace export).
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using sepdc::metrics::Histogram;
+using sepdc::metrics::HistogramSnapshot;
+using sepdc::metrics::TraceRecorder;
+using sepdc::metrics::TraceSpan;
+
+// ----------------------------------------------------------- geometry
+
+TEST(HistogramGeometry, LinearRegionIsExact) {
+  // Values below 2 * kSubBuckets get unit-width buckets: index == value.
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v + 1);
+  }
+}
+
+TEST(HistogramGeometry, BucketsPartitionTheAxis) {
+  // Consecutive buckets tile the axis with no gaps or overlaps.
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_lower(i), Histogram::bucket_upper(i));
+    EXPECT_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1));
+  }
+}
+
+TEST(HistogramGeometry, IndexInvertsBounds) {
+  // Every bucket's lower bound and last value map back to the bucket.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    if (i + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i) - 1), i);
+    }
+  }
+}
+
+TEST(HistogramGeometry, RelativeErrorBound) {
+  // Bucket width / lower bound <= 1/kSubBuckets outside the (exact)
+  // linear region: the quantization-error guarantee quantiles rely on.
+  for (std::size_t i = 2 * Histogram::kSubBuckets;
+       i + 1 < Histogram::kBuckets; ++i) {
+    double lo = static_cast<double>(Histogram::bucket_lower(i));
+    double width =
+        static_cast<double>(Histogram::bucket_upper(i)) - lo;
+    EXPECT_LE(width / lo,
+              1.0 / static_cast<double>(Histogram::kSubBuckets));
+  }
+}
+
+TEST(HistogramGeometry, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+}
+
+// ----------------------------------------------------------- recording
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(5, 3);  // weighted: three observations of 5
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.sum(), 10u + 20u + 3u * 5u);
+  EXPECT_EQ(s.min(), 5u);
+  EXPECT_EQ(s.max(), 20u);
+  EXPECT_DOUBLE_EQ(s.mean(), 45.0 / 5.0);
+}
+
+TEST(Histogram, ZeroWeightIsNoOp) {
+  Histogram h;
+  h.record(10, 0);
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+}
+
+TEST(Histogram, RecordSecondsConvertsToNanoseconds) {
+  Histogram h;
+  h.record_seconds(1e-6);   // 1000 ns, exact in no bucket but in range
+  h.record_seconds(-1.0);   // clamps to 0
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 1000u);
+}
+
+// ----------------------------------------------------------- quantiles
+
+TEST(Histogram, QuantilesExactInLinearRegion) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v);
+  auto s = h.snapshot();
+  // Values < 64 land in exact unit buckets; interpolation stays within
+  // the bucket, so quantiles are within 1 of the true order statistic.
+  EXPECT_NEAR(s.p50(), 25.5, 1.0);
+  EXPECT_NEAR(s.p90(), 45.1, 1.0);
+  EXPECT_NEAR(s.p99(), 49.5, 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+}
+
+TEST(Histogram, QuantileRelativeErrorInLogRegion) {
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t v = 100;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(v);
+    h.record(v);
+    v = v * 1009 % 99991 + 64;  // deterministic spread across octaves
+  }
+  std::sort(values.begin(), values.end());
+  auto s = h.snapshot();
+  for (double q : {0.5, 0.9, 0.99}) {
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    double exact = static_cast<double>(values[rank]);
+    // One bucket of slack on top of the 1/32 relative width.
+    EXPECT_NEAR(s.quantile(q), exact, exact / 16.0 + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram h;
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValueQuantilesAreThatValue) {
+  Histogram h;
+  h.record(12345);
+  auto s = h.snapshot();
+  // min/max clamping makes single-value quantiles exact even though
+  // 12345 lands in a wide bucket.
+  EXPECT_DOUBLE_EQ(s.p50(), 12345.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 12345.0);
+}
+
+// --------------------------------------------------------------- merge
+
+HistogramSnapshot snap_of(std::initializer_list<std::uint64_t> values) {
+  Histogram h;
+  for (std::uint64_t v : values) h.record(v);
+  return h.snapshot();
+}
+
+void expect_equal(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.counts(), b.counts());
+}
+
+TEST(HistogramMerge, MatchesSingleHistogram) {
+  auto ab = snap_of({1, 2});
+  ab.merge(snap_of({100, 200000}));
+  expect_equal(ab, snap_of({1, 2, 100, 200000}));
+}
+
+TEST(HistogramMerge, AssociativeAndCommutative) {
+  auto a = [] { return snap_of({5, 10}); };
+  auto b = [] { return snap_of({1000}); };
+  auto c = [] { return snap_of({7, 1u << 20}); };
+
+  auto left = a();
+  left.merge(b()).merge(c());  // (a + b) + c
+  auto bc = b();
+  bc.merge(c());
+  auto right = a();
+  right.merge(bc);  // a + (b + c)
+  expect_equal(left, right);
+
+  auto ba = b();
+  ba.merge(a());
+  auto ab = a();
+  ab.merge(b());
+  expect_equal(ab, ba);
+}
+
+TEST(HistogramMerge, EmptyIsIdentity) {
+  auto a = snap_of({3, 9, 400});
+  auto before = a;
+  a.merge(HistogramSnapshot{});
+  expect_equal(a, before);
+
+  HistogramSnapshot empty;
+  empty.merge(before);
+  expect_equal(empty, before);
+}
+
+// --------------------------------------------------- concurrent writers
+
+// Exactness under concurrency: relaxed atomics drop nothing, so after
+// the writers join, counts and sums are exactly what was recorded. Run
+// under TSan in CI.
+TEST(Histogram, ConcurrentWritersAreExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t) * 1000 + i % 97);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      expected_sum += static_cast<std::uint64_t>(t) * 1000 + i % 97;
+  EXPECT_EQ(s.sum(), expected_sum);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), (kThreads - 1) * 1000 + 96u);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, SpansAreRecorded) {
+  TraceRecorder rec;
+  {
+    TraceSpan outer(&rec, "outer", "test");
+    TraceSpan inner(&rec, "inner", "test");
+  }
+  EXPECT_EQ(rec.event_count(), 2u);
+  auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner ends first (reverse destruction order).
+  EXPECT_STREQ(events[0].second.name, "inner");
+  EXPECT_STREQ(events[1].second.name, "outer");
+  EXPECT_GE(events[1].second.start_ns + events[1].second.dur_ns,
+            events[0].second.start_ns + events[0].second.dur_ns);
+}
+
+TEST(Trace, NullRecorderIsNoOp) {
+  TraceSpan span(nullptr, "ghost", "test");
+  span.end();  // must not crash
+}
+
+TEST(Trace, ExplicitEndIsIdempotent) {
+  TraceRecorder rec;
+  TraceSpan span(&rec, "once", "test");
+  span.end();
+  span.end();
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(Trace, MoveTransfersOwnership) {
+  TraceRecorder rec;
+  {
+    TraceSpan a(&rec, "moved", "test");
+    TraceSpan b(std::move(a));
+    // a must not record a second event at destruction.
+  }
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(Trace, ThreadsGetDistinctTids) {
+  TraceRecorder rec;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec] {
+      TraceSpan span(&rec, "worker", "test");
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  std::vector<int> tids;
+  for (const auto& [tid, e] : events) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(tids, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Trace, ChromeTraceJsonShape) {
+  TraceRecorder rec;
+  { TraceSpan span(&rec, "phase_a", "cat_x"); }
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"cat_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  // Balanced brackets: the exporter must emit valid JSON even with no
+  // JSON library to lean on.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, FreshRecorderDoesNotInheritThreadCaches) {
+  // The thread-local buffer cache is keyed by recorder id: a second
+  // recorder used from the same thread must start empty.
+  {
+    TraceRecorder first;
+    TraceSpan span(&first, "one", "test");
+  }
+  TraceRecorder second;
+  EXPECT_EQ(second.event_count(), 0u);
+  { TraceSpan span(&second, "two", "test"); }
+  EXPECT_EQ(second.event_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,17 @@
+// lint-fixture: src/support/metrics.hpp
+//
+// The histogram's relaxed bucket counters are an audited ownership site:
+// multi-writer fetch_adds that are only read for exactness at quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sepdc::metrics {
+
+struct BucketFixture {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+}  // namespace sepdc::metrics

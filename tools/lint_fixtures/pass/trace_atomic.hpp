@@ -1,0 +1,14 @@
+// lint-fixture: src/support/trace.hpp
+//
+// The recorder's process-unique id counter is an audited ownership site:
+// a monotone fetch_add keying the per-thread buffer caches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sepdc::metrics {
+
+inline std::atomic<std::uint64_t> g_recorder_ids_fixture{0};
+
+}  // namespace sepdc::metrics

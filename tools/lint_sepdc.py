@@ -58,6 +58,8 @@ RAW_SYNC_ALLOWLIST = {
 }
 
 ATOMIC_ALLOWLIST = {
+    "src/support/metrics.hpp",
+    "src/support/trace.hpp",
     "src/service/service_stats.hpp",
     "src/service/snapshot.hpp",
     "src/service/query_broker.hpp",
