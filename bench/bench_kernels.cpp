@@ -1,0 +1,278 @@
+// BENCH_kernels — SoA distance-kernel throughput and end-to-end k-NN
+// deltas (docs/kernels.md).
+//
+// Three leaf-scan variants over identical points and queries, per
+// dimension, each running a full k-NN TopK scan per query (the operation
+// the kernels replaced):
+//   aos              the pre-PR kd-tree leaf loop: a shuffled id
+//                    permutation indirecting into the AoS point array,
+//                    exclude branch + TopK::offer per point;
+//   block_scalar     PointBlockStore::scan + TopK::offer_block with
+//                    dispatch pinned to the scalar kernel;
+//   block_dispatched the same with runtime dispatch (AVX2 where compiled
+//                    in and the CPU supports it).
+// Throughput is median Mdist/s over --reps repetitions, with a checksum
+// over the k result distances defeating dead-code elimination; by the
+// bit-identity contract the scalar and dispatched checksums must agree
+// exactly. On top the bench times KdTree::all_knn end to end
+// (forced-scalar vs. dispatched) and reports the leaf-scan-size histogram
+// that explains how many lanes each kernel call actually covers.
+#include "experiment_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "knn/block_store.hpp"
+#include "knn/kernels.hpp"
+#include "knn/topk.hpp"
+#include "support/metrics.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sepdc;
+
+struct ThroughputRecord {
+  int d = 0;
+  std::string variant;
+  double mdist_per_s = 0.0;
+  double speedup_vs_aos = 0.0;
+  double checksum = 0.0;
+};
+
+struct AllKnnRecord {
+  int d = 0;
+  std::string variant;
+  double wall_seconds = 0.0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Fisher–Yates off the bench Rng: the AoS baseline walks the points in a
+// permuted id order, reproducing the ids_[] indirection the pre-PR
+// kd-tree leaf scan paid per distance.
+std::vector<std::uint32_t> shuffled_ids(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(ids[i - 1], ids[rng.next() % i]);
+  return ids;
+}
+
+template <int D>
+void sweep_dimension(std::size_t n, std::size_t queries, std::size_t k,
+                     int reps, Rng& rng, Table& table,
+                     std::vector<ThroughputRecord>& records) {
+  auto points = workload::uniform_cube<D>(n, rng);
+  std::span<const geo::Point<D>> span(points);
+  auto ids = shuffled_ids(n, rng);
+  knn::PointBlockStore<D> store(span);
+
+  std::vector<geo::Point<D>> qs(queries);
+  for (auto& q : qs)
+    for (int d = 0; d < D; ++d) q[d] = rng.uniform();
+
+  const double dists = static_cast<double>(n) * static_cast<double>(queries);
+
+  // Each variant performs a full k-NN TopK scan per query — the actual
+  // leaf-scan operation the kernels replaced, not a bare distance sum (a
+  // bare sum is free to consume for the AoS loop and store+reload for
+  // the block paths, so it measures the harness, not the kernels). The
+  // checksum folds the k result distances, defeating dead-code
+  // elimination; scalar and dispatched checksums must agree bitwise.
+  auto run = [&](const std::string& variant, auto&& body) {
+    std::vector<double> secs;
+    double checksum = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      checksum = 0.0;
+      Timer timer;
+      for (const auto& q : qs) checksum += body(q);
+      secs.push_back(timer.seconds());
+    }
+    double mdist = dists / median(secs) / 1e6;
+    records.push_back({D, variant, mdist, 0.0, checksum});
+    return mdist;
+  };
+
+  double aos = run("aos", [&](const geo::Point<D>& q) {
+    // The pre-PR kd-tree leaf loop, verbatim shape: id indirection into
+    // the AoS point array, the never-taken exclude branch, one offer per
+    // point.
+    knn::TopK best(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t id = ids[i];
+      if (id == 0xffffffffu) continue;
+      best.offer(geo::distance2(points[id], q), id);
+    }
+    double sum = 0.0;
+    for (const auto& e : best.take_sorted()) sum += e.dist2;
+    return sum;
+  });
+
+  auto blocks = [&](const geo::Point<D>& q) {
+    knn::TopK best(k);
+    store.scan(store.all(), q,
+               [&](const double* dist2s, const std::uint32_t* bids,
+                   std::size_t lanes) {
+                 best.offer_block(dist2s, bids, lanes);
+               });
+    double sum = 0.0;
+    for (const auto& e : best.take_sorted()) sum += e.dist2;
+    return sum;
+  };
+  knn::kernels::force_isa(knn::kernels::Isa::Scalar);
+  double scalar = run("block_scalar", blocks);
+  knn::kernels::clear_forced_isa();
+  double dispatched = run("block_dispatched", blocks);
+
+  for (auto it = records.end() - 3; it != records.end(); ++it)
+    it->speedup_vs_aos = it->mdist_per_s / aos;
+
+  // Bit-identity sanity: summed distances from the scalar and dispatched
+  // kernels must agree exactly (same values, same summation order).
+  const auto& sc = *(records.end() - 2);
+  const auto& di = *(records.end() - 1);
+  if (std::memcmp(&sc.checksum, &di.checksum, sizeof(double)) != 0)
+    std::printf("WARNING: D=%d scalar/dispatched checksum mismatch!\n", D);
+
+  table.new_row()
+      .cell(D)
+      .cell(n)
+      .cell(aos, 1)
+      .cell(scalar, 1)
+      .cell(dispatched, 1)
+      .cell(scalar / aos, 2)
+      .cell(dispatched / aos, 2);
+  std::printf("D=%d: block_scalar %.2fx vs aos, block_dispatched %.2fx vs "
+              "aos (%s)\n",
+              D, scalar / aos, dispatched / aos,
+              knn::kernels::isa_name(knn::kernels::active_isa()));
+}
+
+template <int D>
+void all_knn_delta(std::size_t n, std::size_t k, int reps, Rng& rng,
+                   std::vector<AllKnnRecord>& records,
+                   metrics::HistogramSnapshot* leaf_hist) {
+  auto points = workload::uniform_cube<D>(n, rng);
+  std::span<const geo::Point<D>> span(points);
+  auto& pool = par::ThreadPool::global();
+  // Leaf size 32: the tier-1 suites use tiny leaves to stress traversal;
+  // for the kernel bench the leaves are where the vector math lives, so
+  // give each scan a few full blocks (the histogram below reports the
+  // resulting scan sizes).
+  knn::KdTree<D> tree(span, 32);
+
+  auto run = [&](const std::string& variant) {
+    std::vector<double> secs;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      auto out = tree.all_knn(pool, k);
+      secs.push_back(timer.seconds());
+      if (out.n != n) std::abort();  // anti-DCE + sanity
+    }
+    records.push_back({D, variant, median(secs)});
+  };
+  knn::kernels::force_isa(knn::kernels::Isa::Scalar);
+  run("forced_scalar");
+  knn::kernels::clear_forced_isa();
+  run("dispatched");
+
+  double sc = records[records.size() - 2].wall_seconds;
+  double di = records.back().wall_seconds;
+  std::printf("all_knn D=%d n=%zu k=%zu: forced_scalar %.4fs, dispatched "
+              "%.4fs (%.2fx)\n",
+              D, n, k, sc, di, sc / di);
+
+  // Untimed instrumented pass: how many lanes does each leaf scan cover?
+  if (leaf_hist) {
+    metrics::Histogram hist;
+    tree.set_scan_histogram(&hist);
+    (void)tree.all_knn(pool, k);
+    tree.set_scan_histogram(nullptr);
+    *leaf_hist = hist.snapshot();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepdc;
+  Cli cli;
+  cli.flag("n", "20000", "points per dimension sweep")
+      .flag("queries", "200", "query points per throughput measurement")
+      .flag("k", "8", "neighbors for the end-to-end all_knn runs")
+      .flag("reps", "5", "repetitions per variant (median reported)")
+      .flag("seed", "1234", "rng seed")
+      .flag("json", "BENCH_kernels.json", "results file ('' disables)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::banner("BENCH_kernels",
+                "SoA block kernels beat the AoS leaf scan without changing "
+                "a single bit of any distance (docs/kernels.md)");
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto queries = static_cast<std::size_t>(cli.get_int("queries"));
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::printf("dispatch: avx2_compiled=%d avx2_usable=%d active=%s\n",
+              knn::kernels::avx2_compiled() ? 1 : 0,
+              knn::kernels::avx2_usable() ? 1 : 0,
+              knn::kernels::isa_name(knn::kernels::active_isa()));
+
+  Table table({"d", "n", "aos Md/s", "scalar Md/s", "dispatch Md/s",
+               "scalar/aos", "dispatch/aos"});
+  std::vector<ThroughputRecord> tp;
+  sweep_dimension<2>(n, queries, k, reps, rng, table, tp);
+  sweep_dimension<3>(n, queries, k, reps, rng, table, tp);
+  sweep_dimension<4>(n, queries, k, reps, rng, table, tp);
+  table.print(std::cout);
+
+  std::vector<AllKnnRecord> e2e;
+  metrics::HistogramSnapshot leaf_hist;
+  all_knn_delta<2>(n, k, reps, rng, e2e, &leaf_hist);
+  all_knn_delta<3>(n, k, reps, rng, e2e, nullptr);
+  std::printf("leaf scan sizes (D=2 all_knn): count=%llu mean=%.1f p50=%.0f "
+              "p90=%.0f p99=%.0f\n",
+              static_cast<unsigned long long>(leaf_hist.count()),
+              leaf_hist.mean(), leaf_hist.p50(), leaf_hist.p90(),
+              leaf_hist.p99());
+
+  if (std::string path = cli.get("json"); !path.empty()) {
+    std::ofstream json(path);
+    json << "[\n";
+    json << "  {\"kind\": \"dispatch\", \"avx2_compiled\": "
+         << (knn::kernels::avx2_compiled() ? "true" : "false")
+         << ", \"avx2_usable\": "
+         << (knn::kernels::avx2_usable() ? "true" : "false")
+         << ", \"active_isa\": \""
+         << knn::kernels::isa_name(knn::kernels::active_isa()) << "\", \"n\": "
+         << n << ", \"queries\": " << queries << ", \"reps\": " << reps
+         << "},\n";
+    for (const auto& r : tp)
+      json << "  {\"kind\": \"kernel_throughput\", \"d\": " << r.d
+           << ", \"variant\": \"" << r.variant << "\", \"mdist_per_s\": "
+           << r.mdist_per_s << ", \"speedup_vs_aos\": " << r.speedup_vs_aos
+           << "},\n";
+    for (const auto& r : e2e)
+      json << "  {\"kind\": \"all_knn\", \"d\": " << r.d << ", \"k\": " << k
+           << ", \"variant\": \"" << r.variant << "\", \"wall_seconds\": "
+           << r.wall_seconds << "},\n";
+    json << "  {\"kind\": \"leaf_scan_hist\", \"d\": 2, \"count\": "
+         << leaf_hist.count() << ", \"mean\": " << leaf_hist.mean()
+         << ", \"p50\": " << leaf_hist.p50() << ", \"p90\": "
+         << leaf_hist.p90() << ", \"p99\": " << leaf_hist.p99() << "}\n";
+    json << "]\n";
+    std::printf("wrote %zu records to %s\n", tp.size() + e2e.size() + 2,
+                cli.get("json").c_str());
+  }
+  return 0;
+}

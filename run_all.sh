@@ -6,6 +6,11 @@ set -eu
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+# Kernel-dispatch smoke (docs/kernels.md): a tiny forced-scalar run and a
+# tiny dispatched run must both complete before the full-size benches.
+SEPDC_FORCE_SCALAR_KERNELS=1 ./build/bench/bench_kernels \
+  --n=4000 --queries=32 --reps=2 --json=''
+./build/bench/bench_kernels --n=4000 --queries=32 --reps=2 --json=''
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

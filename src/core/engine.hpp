@@ -28,6 +28,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -41,6 +42,8 @@
 #include "geometry/constants.hpp"
 #include "geometry/point.hpp"
 #include "geometry/separator_shape.hpp"
+#include "knn/block_store.hpp"
+#include "knn/kernels.hpp"
 #include "knn/result.hpp"
 #include "knn/topk.hpp"
 #include "parallel/parallel_for.hpp"
@@ -83,6 +86,7 @@ class NearestNeighborEngine {
         result_(knn::KnnResult::empty(points.size(), cfg.k)),
         perm_(points.size()),
         forest_(PartitionForest<D>::for_points(points.size())),
+        leaf_blocks_(2 * points.size()),
         ctx_(cfg.seed, cfg.trace) {
     for (std::size_t i = 0; i < n_; ++i)
       perm_[i] = static_cast<std::uint32_t>(i);
@@ -204,6 +208,20 @@ class NearestNeighborEngine {
     ForestNode<D>& node = forest_.node(id);
     node.begin = begin;
     node.end = end;
+
+    // Pack this leaf's payload as SoA blocks for the Fast-Correction
+    // merge scans. Safe without synchronization: the slot is indexed by
+    // the freshly allocated forest id (unique to this task), and a
+    // correction only marches a subtree after parallel_invoke joined the
+    // task that built it — by which point perm_[begin, end) is final.
+    auto blocks = std::make_unique<knn::PointBlockStore<D>>();
+    blocks->append_range(
+        m,
+        [&](std::size_t j) -> const geo::Point<D>& {
+          return points_[perm_[begin + j]];
+        },
+        [&](std::size_t j) { return perm_[begin + j]; });
+    leaf_blocks_[id] = std::move(blocks);
 
     auto box = geo::Aabb<D>::empty();
     for (std::uint32_t i = begin; i < end; ++i)
@@ -476,13 +494,20 @@ class NearestNeighborEngine {
           seed_from_row(self, merged);
           std::uint64_t scans = 0;
           for (std::uint32_t leaf_id : leaves[b]) {
-            const ForestNode<D>& leaf = forest_.node(leaf_id);
-            for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
-              std::uint32_t other = perm_[i];
-              double d2 = geo::distance2(points_[self], points_[other]);
-              ++scans;
-              if (d2 <= radius2[b]) merged.offer(d2, other);
-            }
+            // Blockwise closed-ball merge over the leaf's SoA payload
+            // (packed in solve_base): one kernel call per block chunk
+            // instead of one geo::distance2 per point.
+            const knn::PointBlockStore<D>& lb = *leaf_blocks_[leaf_id];
+            lb.scan(lb.all(), points_[self],
+                    [&](const double* dist2s, const std::uint32_t* ids,
+                        std::size_t lanes) {
+                      scans += lanes;
+                      knn::kernels::filter_closed_ball(
+                          dist2s, ids, lanes, radius2[b],
+                          [&](std::uint32_t other, double d2) {
+                            merged.offer(d2, other);
+                          });
+                    });
           }
           scan_work.fetch_add(scans, std::memory_order_relaxed);
           if (rewrite_row(self, merged)) changed.fetch_add(1);
@@ -613,6 +638,12 @@ class NearestNeighborEngine {
   knn::KnnResult result_;
   std::vector<std::uint32_t> perm_;
   PartitionForest<D> forest_;
+  // SoA leaf payloads for Fast Correction, indexed by forest node id
+  // (slots for the forest's full 2n-1 arena). Each slot is written once
+  // by the task that allocates the leaf in solve_base and read only after
+  // that subtree's parallel_invoke joined — publication rides the same
+  // join edge that publishes perm_ and the forest node itself.
+  std::vector<std::unique_ptr<knn::PointBlockStore<D>>> leaf_blocks_;
   RunContext ctx_;
   std::size_t base_size_ = 0;
 };

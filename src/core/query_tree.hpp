@@ -194,6 +194,13 @@ class NeighborhoodQueryTree {
     return matches(b, d2, mode);
   }
   static bool matches(const geo::Ball<D>& b, double d2, Containment mode) {
+    // Closed mode is the shared radius-boundary contract
+    // (docs/kernels.md): the threshold is radius * radius compared with
+    // <=, the exact computation KdTree, SeparatorIndex, and
+    // kernels::filter_closed_ball perform — so a punt routed through
+    // this structure keeps boundary points bit-for-bit. Interior (< r2)
+    // exists only for the §6 correction, where a ball's own boundary
+    // point is its current k-th neighbor and must not re-match itself.
     double r2 = b.radius * b.radius;
     return mode == Containment::Interior ? d2 < r2 : d2 <= r2;
   }

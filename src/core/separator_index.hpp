@@ -34,6 +34,8 @@
 #include "geometry/aabb.hpp"
 #include "geometry/ball.hpp"
 #include "geometry/point.hpp"
+#include "knn/block_store.hpp"
+#include "knn/kernels.hpp"
 #include "knn/topk.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -73,6 +75,7 @@ class SeparatorIndex {
         build(0, static_cast<std::uint32_t>(points.size()), rng, 0, pool);
     forest_.set_root(root);
     forest_.finalize();
+    pack_leaf_blocks();
   }
 
   // Sentinel for "exclude nothing" in knn / batch_knn.
@@ -91,16 +94,24 @@ class SeparatorIndex {
   const SeparatorIndexConfig& config() const { return cfg_; }
 
   // Invokes fn(id, dist2) for every indexed point with
-  // distance(point, center) <= radius (closed ball).
+  // distance(point, center) <= radius (closed ball). This is the shared
+  // radius-boundary contract (docs/kernels.md): knn::KdTree — the
+  // service's punt fallback — implements the identical closed-ball
+  // semantics via the same kernels::filter_closed_ball, so boundary
+  // points can never differ between the batched and punted paths.
   template <class Fn>
   void for_each_in_ball(const geo::Point<D>& center, double radius,
                         Fn fn) const {
     if (radius < 0.0) return;
     geo::Ball<D> ball{center, radius};
-    double r2 = radius * radius;
-    march(ball, [&](std::uint32_t id) {
-      double d2 = geo::distance2(points_[id], center);
-      if (d2 <= r2) fn(id, d2);
+    const double r2 = radius * radius;
+    march(ball, [&](std::uint32_t leaf_id) {
+      blocks_.scan(leaf_blocks_[leaf_id], center,
+                   [&](const double* dist2s, const std::uint32_t* ids,
+                       std::size_t lanes) {
+                     knn::kernels::filter_closed_ball(dist2s, ids, lanes,
+                                                      r2, fn);
+                   });
     });
   }
 
@@ -226,12 +237,16 @@ class SeparatorIndex {
         pool, 0, queries.size(),
         [&](std::size_t q) {
           for (std::uint32_t g = offsets[q]; g < offsets[q + 1]; ++g) {
-            const ForestNode<D>& leaf = forest_.node(grouped_leaves[g]);
-            for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
-              std::uint32_t id = perm_[i];
-              double d2 = geo::distance2(points_[id], queries[q]);
-              if (d2 <= r2) out[q].emplace_back(id, d2);
-            }
+            blocks_.scan(
+                leaf_blocks_[grouped_leaves[g]], queries[q],
+                [&](const double* dist2s, const std::uint32_t* ids,
+                    std::size_t lanes) {
+                  knn::kernels::filter_closed_ball(
+                      dist2s, ids, lanes, r2,
+                      [&](std::uint32_t id, double d2) {
+                        out[q].emplace_back(id, d2);
+                      });
+                });
           }
         },
         /*grain=*/16);
@@ -321,16 +336,38 @@ class SeparatorIndex {
     return id;
   }
 
-  // Reachability march (Lemma 6.3): visit every leaf the ball can touch.
-  // Iterative over the flat forest — no pointer chasing, no recursion.
+  // Packs every leaf's payload (perm_ order) into the SoA block store so
+  // the ball marches scan with the batched kernels. Runs once after
+  // finalize(): node ids and perm_ are final, and leaf_blocks_ is indexed
+  // by forest node id.
+  void pack_leaf_blocks() {
+    blocks_.reserve_points(points_.size());
+    leaf_blocks_.assign(forest_.node_count(), knn::BlockRange{});
+    for (std::uint32_t id = 0;
+         id < static_cast<std::uint32_t>(forest_.node_count()); ++id) {
+      const ForestNode<D>& node = forest_.node(id);
+      if (!node.is_leaf()) continue;
+      leaf_blocks_[id] = blocks_.append_range(
+          node.end - node.begin,
+          [&](std::size_t j) -> const geo::Point<D>& {
+            return points_[perm_[node.begin + j]];
+          },
+          [&](std::size_t j) { return perm_[node.begin + j]; });
+    }
+  }
+
+  // Reachability march (Lemma 6.3): invoke fn(leaf_id) for every leaf the
+  // ball can touch. Iterative over the flat forest — no pointer chasing,
+  // no recursion.
   template <class Fn>
   void march(const geo::Ball<D>& ball, Fn fn) const {
     std::vector<std::uint32_t> stack{forest_.root_id()};
     while (!stack.empty()) {
-      const ForestNode<D>& node = forest_.node(stack.back());
+      const std::uint32_t id = stack.back();
+      const ForestNode<D>& node = forest_.node(id);
       stack.pop_back();
       if (node.is_leaf()) {
-        for (std::uint32_t i = node.begin; i < node.end; ++i) fn(perm_[i]);
+        fn(id);
         continue;
       }
       geo::Region region = node.separator.classify(ball);
@@ -360,6 +397,8 @@ class SeparatorIndex {
   SeparatorIndexConfig cfg_;
   std::vector<std::uint32_t> perm_;
   PartitionForest<D> forest_;
+  knn::PointBlockStore<D> blocks_;          // leaf payloads, perm_ order
+  std::vector<knn::BlockRange> leaf_blocks_;  // indexed by forest node id
   double diameter_ = 1.0;
   geo::Point<D> bbox_center_{};
 };

@@ -1,0 +1,150 @@
+// Structure-of-arrays point blocks for the batched distance kernels.
+//
+// A PointBlockStore packs points into fixed-width blocks of
+// kernels::kBlockWidth lanes, coordinate-major within each block: lane j
+// of block b stores its dim-th coordinate at
+// coords[(b * D + dim) * kBlockWidth + j]. That is the layout
+// kernels::dist2_blocks consumes with aligned-stride vector loads — one
+// broadcast of the query coordinate against 8 contiguous candidate
+// coordinates per dimension — instead of gathering over AoS Point<D>.
+//
+// Blocks are appended in ranges (one range per kd-tree / partition-forest
+// leaf); a range's tail block is padded to full width with coordinate 0.0
+// and id kPadId. Pads are excluded by the per-block lane *count*, never by
+// their distance value: TopK::offer accepts any finite distance while the
+// heap is not yet full, so a pad that reached it would corrupt results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "knn/kernels.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::knn {
+
+// Half-open range of block indices within one store.
+struct BlockRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+template <int D>
+class PointBlockStore {
+ public:
+  static constexpr std::size_t kWidth = kernels::kBlockWidth;
+  // Pad-lane id; equals KnnResult::kInvalid so a pad that leaks anyway
+  // reads as "no neighbor" rather than aliasing a real point.
+  static constexpr std::uint32_t kPadId = 0xffffffffu;
+
+  PointBlockStore() = default;
+
+  // Packs `points` with ids 0..n-1 (the brute-force / whole-set shape).
+  explicit PointBlockStore(std::span<const geo::Point<D>> points) {
+    reserve_points(points.size());
+    append_range(
+        points.size(),
+        [&](std::size_t j) -> const geo::Point<D>& { return points[j]; },
+        [&](std::size_t j) { return static_cast<std::uint32_t>(j); });
+  }
+
+  void reserve_points(std::size_t count) {
+    std::size_t blocks = (count + kWidth - 1) / kWidth;
+    coords_.reserve(blocks * D * kWidth);
+    ids_.reserve(blocks * kWidth);
+    lanes_.reserve(blocks);
+  }
+
+  // Appends `count` points as fresh blocks (point_at(j) / id_at(j) for
+  // j in [0, count)) and returns the block range they occupy. Each call
+  // starts a new block: ranges from different calls never share a block,
+  // so a range can be scanned without touching its neighbors' lanes.
+  template <class PointAt, class IdAt>
+  BlockRange append_range(std::size_t count, PointAt&& point_at,
+                          IdAt&& id_at) {
+    BlockRange range;
+    range.begin = static_cast<std::uint32_t>(lanes_.size());
+    for (std::size_t base = 0; base < count; base += kWidth) {
+      const std::size_t lanes =
+          std::min<std::size_t>(kWidth, count - base);
+      const std::size_t coord_base = coords_.size();
+      coords_.resize(coord_base + D * kWidth, 0.0);
+      const std::size_t id_base = ids_.size();
+      ids_.resize(id_base + kWidth, kPadId);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const geo::Point<D>& p = point_at(base + j);
+        for (int dim = 0; dim < D; ++dim)
+          coords_[coord_base + static_cast<std::size_t>(dim) * kWidth + j] =
+              p[dim];
+        ids_[id_base + j] = id_at(base + j);
+      }
+      lanes_.push_back(static_cast<std::uint8_t>(lanes));
+    }
+    range.end = static_cast<std::uint32_t>(lanes_.size());
+    return range;
+  }
+
+  std::size_t size() const { return size_total(); }
+  std::size_t block_count() const { return lanes_.size(); }
+  BlockRange all() const {
+    return {0, static_cast<std::uint32_t>(lanes_.size())};
+  }
+
+  const double* block_coords(std::size_t b) const {
+    SEPDC_ASSERT(b < lanes_.size());
+    return coords_.data() + b * D * kWidth;
+  }
+  const std::uint32_t* block_ids(std::size_t b) const {
+    SEPDC_ASSERT(b < lanes_.size());
+    return ids_.data() + b * kWidth;
+  }
+  std::size_t block_lanes(std::size_t b) const {
+    SEPDC_ASSERT(b < lanes_.size());
+    return lanes_[b];
+  }
+
+  // Scans a block range against one query: computes all lane distances
+  // with the dispatched kernel (chunked so one kernel call covers up to
+  // kScanChunk contiguous blocks), then invokes
+  // consume(dist2s, ids, lane_count) once per block. Pad lanes sit past
+  // lane_count; consumers must not read them.
+  template <class Consume>
+  void scan(BlockRange range, const geo::Point<D>& query,
+            Consume&& consume) const {
+    SEPDC_ASSERT(range.end <= lanes_.size() && range.begin <= range.end);
+    const double* q = query.coords.data();
+    double dist2s[kScanChunk * kWidth];
+    std::uint32_t b = range.begin;
+    while (b < range.end) {
+      const std::uint32_t run = std::min<std::uint32_t>(
+          range.end - b, static_cast<std::uint32_t>(kScanChunk));
+      kernels::dist2_blocks(block_coords(b), run, D, q, dist2s);
+      for (std::uint32_t i = 0; i < run; ++i)
+        consume(dist2s + i * kWidth, block_ids(b + i),
+                block_lanes(b + i));
+      b += run;
+    }
+  }
+
+ private:
+  // Blocks per kernel call: amortizes the dispatch branch over 128 lanes
+  // while keeping the on-stack distance buffer at 1 KiB.
+  static constexpr std::size_t kScanChunk = 16;
+
+  std::size_t size_total() const {
+    std::size_t total = 0;
+    for (std::uint8_t l : lanes_) total += l;
+    return total;
+  }
+
+  std::vector<double> coords_;        // block-major, coordinate-major
+  std::vector<std::uint32_t> ids_;    // kWidth per block, kPadId pads
+  std::vector<std::uint8_t> lanes_;   // valid lanes per block
+};
+
+}  // namespace sepdc::knn

@@ -15,10 +15,13 @@
 
 #include "geometry/aabb.hpp"
 #include "geometry/point.hpp"
+#include "knn/block_store.hpp"
+#include "knn/kernels.hpp"
 #include "knn/result.hpp"
 #include "knn/topk.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace sepdc::knn {
 
@@ -31,10 +34,15 @@ class KdTree {
       : points_(points.begin(), points.end()),
         ids_(points.size()),
         leaf_size_(std::max<std::size_t>(leaf_size, 1)) {
+    // Ids are 32-bit with kInvalid as sentinel; a larger input would
+    // silently truncate (same guard as PartitionForest::for_points).
+    SEPDC_CHECK_MSG(points.size() < KnnResult::kInvalid,
+                    "KdTree: point count exceeds the 32-bit id space");
     std::iota(ids_.begin(), ids_.end(), 0u);
     if (!points_.empty()) {
       nodes_.reserve(2 * points_.size() / leaf_size_ + 2);
       root_ = build(0, points_.size());
+      pack_leaf_blocks();
     }
   }
 
@@ -49,13 +57,24 @@ class KdTree {
     return best;
   }
 
-  // Invokes fn(id, dist2) for every point strictly inside the given ball.
+  // Invokes fn(id, dist2) for every point inside the *closed* ball:
+  // distance(point, center) <= radius. Same contract as
+  // SeparatorIndex::for_each_in_ball (docs/kernels.md "closed-ball
+  // contract"), so a query answered by this fallback structure returns
+  // byte-identical boundary points to the batched index path. A radius of
+  // exactly 0 therefore finds points coincident with the center.
   template <class Fn>
   void for_each_in_ball(const geo::Point<D>& center, double radius,
                         Fn fn) const {
-    if (root_ == kNone || radius <= 0.0) return;
+    if (root_ == kNone || radius < 0.0) return;
     range_search(root_, center, radius * radius, fn);
   }
+
+  // Optional observability hook: when set, every leaf scan records its
+  // lane count (valid points scanned) into the histogram. The Histogram
+  // is lock-free (relaxed atomics), so concurrent all_knn queries may
+  // share one instance; the pointer must outlive the queries.
+  void set_scan_histogram(metrics::Histogram* hist) { scan_hist_ = hist; }
 
   // k-NN of every indexed point (self excluded), thread-parallel.
   KnnResult all_knn(par::ThreadPool& pool, std::size_t k) const {
@@ -84,8 +103,27 @@ class KdTree {
     std::uint32_t right = kNone;
     std::uint32_t begin = 0;  // leaf payload range in ids_
     std::uint32_t end = 0;
+    // Leaf payload as SoA blocks (see pack_leaf_blocks).
+    BlockRange blocks;
     bool is_leaf() const { return left == kNone; }
   };
+
+  // Re-packs every leaf's payload into the SoA block store so leaf scans
+  // run through the batched kernels instead of per-point AoS gathers.
+  // Runs once after build(): the recursion is over, so node payload
+  // ranges in ids_ are final.
+  void pack_leaf_blocks() {
+    blocks_.reserve_points(points_.size());
+    for (Node& node : nodes_) {
+      if (!node.is_leaf()) continue;
+      node.blocks = blocks_.append_range(
+          node.end - node.begin,
+          [&](std::size_t j) -> const geo::Point<D>& {
+            return points_[ids_[node.begin + j]];
+          },
+          [&](std::size_t j) { return ids_[node.begin + j]; });
+    }
+  }
 
   std::uint32_t build(std::size_t begin, std::size_t end) {
     Node node;
@@ -122,11 +160,12 @@ class KdTree {
     // deterministic tie-break must see it to match brute force exactly.
     if (node.box.distance2(q) > best.worst_dist2()) return;
     if (node.is_leaf()) {
-      for (std::uint32_t i = node.begin; i < node.end; ++i) {
-        std::uint32_t id = ids_[i];
-        if (id == exclude) continue;
-        best.offer(geo::distance2(points_[id], q), id);
-      }
+      if (scan_hist_) scan_hist_->record(node.end - node.begin);
+      blocks_.scan(node.blocks, q,
+                   [&](const double* dist2s, const std::uint32_t* ids,
+                       std::size_t lanes) {
+                     best.offer_block(dist2s, ids, lanes, exclude);
+                   });
       return;
     }
     // Visit the nearer child first for better pruning.
@@ -145,13 +184,17 @@ class KdTree {
   void range_search(std::uint32_t node_idx, const geo::Point<D>& center,
                     double radius2, Fn& fn) const {
     const Node& node = nodes_[node_idx];
-    if (node.box.distance2(center) >= radius2) return;
+    // Closed-ball pruning: a box at distance exactly `radius` may still
+    // hold a boundary point, so only strictly-farther boxes are skipped.
+    if (node.box.distance2(center) > radius2) return;
     if (node.is_leaf()) {
-      for (std::uint32_t i = node.begin; i < node.end; ++i) {
-        std::uint32_t id = ids_[i];
-        double d2 = geo::distance2(points_[id], center);
-        if (d2 < radius2) fn(id, d2);
-      }
+      if (scan_hist_) scan_hist_->record(node.end - node.begin);
+      blocks_.scan(node.blocks, center,
+                   [&](const double* dist2s, const std::uint32_t* ids,
+                       std::size_t lanes) {
+                     kernels::filter_closed_ball(dist2s, ids, lanes,
+                                                 radius2, fn);
+                   });
       return;
     }
     range_search(node.left, center, radius2, fn);
@@ -162,7 +205,9 @@ class KdTree {
   std::vector<std::uint32_t> ids_;
   std::size_t leaf_size_;
   std::vector<Node> nodes_;
+  PointBlockStore<D> blocks_;
   std::uint32_t root_ = kNone;
+  metrics::Histogram* scan_hist_ = nullptr;
 };
 
 }  // namespace sepdc::knn

@@ -1,0 +1,158 @@
+// Scalar distance kernel + runtime ISA dispatch (see kernels.hpp for the
+// bit-identity contract).
+//
+// Atomic ownership protocol (tools/lint_sepdc.py ATOMIC_ALLOWLIST): the
+// only atomic here is g_forced_isa, the test/bench dispatch override. It
+// is a monotonic-free plain flag — writers are tests/benches pinning a
+// path around a measurement, readers are dist2_blocks call sites; relaxed
+// ordering suffices because the override carries no data beyond its own
+// value and every kernel path computes bit-identical results anyway.
+#include "knn/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace sepdc::knn::kernels {
+
+namespace {
+
+// -1 = no override (resolve from env/CPU); otherwise a valid Isa value.
+std::atomic<int> g_forced_isa{-1};
+
+bool env_forces_scalar() {
+  const char* v = std::getenv("SEPDC_FORCE_SCALAR_KERNELS");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+Isa resolve_default() {
+  if (env_forces_scalar()) return Isa::Scalar;
+  if (avx2_usable()) return Isa::Avx2;
+  return Isa::Scalar;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Scalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool avx2_compiled() {
+#if defined(SEPDC_HAVE_AVX2_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_usable() {
+#if defined(SEPDC_HAVE_AVX2_KERNELS) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Isa active_isa() {
+  int forced = g_forced_isa.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  // The env/CPU resolution is stable for the process lifetime; cache it.
+  static const Isa resolved = resolve_default();
+  return resolved;
+}
+
+void force_isa(Isa isa) {
+  SEPDC_CHECK_MSG(isa != Isa::Avx2 || avx2_usable(),
+                  "force_isa(Avx2): AVX2 kernels not compiled in or not "
+                  "supported by this CPU");
+  g_forced_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_forced_isa() {
+  g_forced_isa.store(-1, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Compile-time-dims body: identical per-lane op order to the runtime-dims
+// loop below (subtract, square, accumulate in dimension order), but the
+// unrolled inner loop lets the compiler keep the query coordinates in
+// registers across the whole block sweep instead of reloading them per
+// lane. The geometry dimensions the library instantiates (2..5) all get a
+// specialization; anything else falls back to the runtime loop.
+template <std::size_t Dims>
+void scalar_blocks_fixed(const double* coords, std::size_t nblocks,
+                         const double* query, double* out) {
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const double* block = coords + b * Dims * kBlockWidth;
+    double* o = out + b * kBlockWidth;
+    // Dim-outer, lane-inner: each inner loop touches 8 contiguous
+    // doubles, which the baseline-ISA auto-vectorizer handles for every
+    // Dims (the lane-outer form only vectorized for some). Per lane the
+    // accumulation still runs in dimension order — the op sequence the
+    // bit-identity contract fixes — because lanes are independent.
+    double acc[kBlockWidth] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    for (std::size_t dim = 0; dim < Dims; ++dim) {
+      const double* row = block + dim * kBlockWidth;
+      const double q = query[dim];
+      for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+        double d = row[lane] - q;
+        acc[lane] += d * d;
+      }
+    }
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) o[lane] = acc[lane];
+  }
+}
+
+}  // namespace
+
+void dist2_blocks_scalar(const double* coords, std::size_t nblocks,
+                         std::size_t dims, const double* query,
+                         double* out) {
+  switch (dims) {
+    case 2:
+      return scalar_blocks_fixed<2>(coords, nblocks, query, out);
+    case 3:
+      return scalar_blocks_fixed<3>(coords, nblocks, query, out);
+    case 4:
+      return scalar_blocks_fixed<4>(coords, nblocks, query, out);
+    case 5:
+      return scalar_blocks_fixed<5>(coords, nblocks, query, out);
+    default:
+      break;
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const double* block = coords + b * dims * kBlockWidth;
+    double* o = out + b * kBlockWidth;
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      double acc = 0.0;
+      for (std::size_t dim = 0; dim < dims; ++dim) {
+        double d = block[dim * kBlockWidth + lane] - query[dim];
+        acc += d * d;
+      }
+      o[lane] = acc;
+    }
+  }
+}
+
+void dist2_blocks(const double* coords, std::size_t nblocks,
+                  std::size_t dims, const double* query, double* out) {
+#if defined(SEPDC_HAVE_AVX2_KERNELS)
+  if (active_isa() == Isa::Avx2) {
+    detail::dist2_blocks_avx2(coords, nblocks, dims, query, out);
+    return;
+  }
+#endif
+  dist2_blocks_scalar(coords, nblocks, dims, query, out);
+}
+
+}  // namespace sepdc::knn::kernels

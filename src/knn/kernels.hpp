@@ -1,0 +1,92 @@
+// Batched squared-distance kernels over SoA point blocks.
+//
+// Every hot loop in the library — kd-tree leaf scans, the brute-force
+// oracle, the §6 Fast-Correction merge, the SeparatorIndex batch march —
+// reduces to "distances from one query to a block of candidates". These
+// kernels compute that over the coordinate-major blocks laid out by
+// PointBlockStore (block_store.hpp), with runtime dispatch between a
+// scalar path (always compiled) and an AVX2 path (compiled when the
+// SEPDC_ENABLE_AVX2 CMake option is on, selected when the CPU supports
+// it).
+//
+// Bit-identity contract (docs/kernels.md): every path performs, for each
+// point, the identical double-precision operation sequence
+//
+//     acc = 0; for each dim in order: d = x[dim] - q[dim]; acc += d * d
+//
+// in IEEE round-to-nearest with no reassociation and no FMA contraction
+// (the kernel TUs and the rest of the tree build with -ffp-contract=off).
+// AVX2 vsubpd/vmulpd/vaddpd are per-lane IEEE double ops, so the vector
+// path is bit-identical to the scalar path and to geo::distance2 — which
+// is what lets forced-scalar and dispatched runs produce byte-identical
+// KnnResults, and lets the engine mix kernel-corrected rows with
+// geo::distance2-built rows in one exact-comparison result.
+//
+// This header and the kernels_*.cpp TUs are the only files in the repo
+// allowed to contain SIMD intrinsics or vectorization pragmas
+// (tools/lint_sepdc.py rule `stray-simd`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sepdc::knn::kernels {
+
+// Points per block. 8 doubles = two AVX2 registers per dimension; the
+// tail block of a range is padded up to this width (block_store.hpp).
+inline constexpr std::size_t kBlockWidth = 8;
+
+enum class Isa : int { Scalar = 0, Avx2 = 1 };
+
+const char* isa_name(Isa isa);
+
+// True when the AVX2 TU was compiled in (SEPDC_ENABLE_AVX2=ON and the
+// compiler accepted -mavx2).
+bool avx2_compiled();
+// True when the AVX2 TU is compiled in *and* this CPU executes AVX2.
+bool avx2_usable();
+
+// The path dist2_blocks currently dispatches to. Resolution order:
+// force_isa() override if set, else Scalar if the SEPDC_FORCE_SCALAR_KERNELS
+// environment variable is set non-empty/non-"0", else Avx2 when usable,
+// else Scalar.
+Isa active_isa();
+
+// Test/bench hook: pin dispatch to one path (Avx2 requires avx2_usable()).
+// clear_forced_isa() returns to env/CPU resolution.
+void force_isa(Isa isa);
+void clear_forced_isa();
+
+// Squared distances from `query` (dims doubles) to every lane of
+// `nblocks` consecutive coordinate-major blocks starting at `coords`
+// (each block is dims * kBlockWidth doubles; lane j of block b lives at
+// coords[(b * dims + dim) * kBlockWidth + j]). Writes
+// nblocks * kBlockWidth results to `out`, padded lanes included — the
+// caller masks pads by lane count, never by the distance value.
+void dist2_blocks(const double* coords, std::size_t nblocks,
+                  std::size_t dims, const double* query, double* out);
+
+// The scalar reference path, always available regardless of dispatch.
+void dist2_blocks_scalar(const double* coords, std::size_t nblocks,
+                         std::size_t dims, const double* query, double* out);
+
+namespace detail {
+// Defined in kernels_avx2.cpp; only referenced when that TU is built.
+void dist2_blocks_avx2(const double* coords, std::size_t nblocks,
+                       std::size_t dims, const double* query, double* out);
+}  // namespace detail
+
+// Closed-ball filter over one block's distances: invokes fn(id, dist2)
+// for every valid lane with dist2 <= radius2. This is the single
+// implementation of the radius-query boundary contract (closed ball,
+// docs/kernels.md): KdTree::range_search and the SeparatorIndex leaf
+// scans both route through it so they cannot diverge on boundary points.
+template <class Fn>
+inline void filter_closed_ball(const double* dist2s,
+                               const std::uint32_t* ids, std::size_t count,
+                               double radius2, Fn&& fn) {
+  for (std::size_t j = 0; j < count; ++j)
+    if (dist2s[j] <= radius2) fn(ids[j], dist2s[j]);
+}
+
+}  // namespace sepdc::knn::kernels

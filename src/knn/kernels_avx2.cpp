@@ -1,0 +1,82 @@
+// AVX2 distance kernel. Compiled only when SEPDC_ENABLE_AVX2=ON (this TU
+// gets -mavx2); selected at runtime by dist2_blocks when the CPU supports
+// AVX2 (kernels.cpp).
+//
+// Bit-identity with the scalar path (kernels.hpp contract): each of the 8
+// lanes performs, per dimension in order, d = x - q; acc = acc + d * d
+// using vsubpd/vmulpd/vaddpd — per-lane IEEE double subtract/multiply/add,
+// the exact operation sequence of dist2_blocks_scalar. No horizontal
+// reduction, no reassociation; -ffp-contract=off keeps the compiler from
+// fusing the mul+add into an FMA (which would round once instead of
+// twice and break the contract).
+#include <immintrin.h>
+
+#include "knn/kernels.hpp"
+
+namespace sepdc::knn::kernels::detail {
+
+namespace {
+
+// Compile-time-dims body: the query broadcasts are loop-invariant, so
+// with Dims known the compiler keeps all Dims broadcast registers live
+// across the whole block sweep — one _mm256_set1_pd per *call* instead of
+// per block. Op order per lane is unchanged from the runtime-dims loop.
+template <std::size_t Dims>
+void avx2_blocks_fixed(const double* coords, std::size_t nblocks,
+                       const double* query, double* out) {
+  __m256d q[Dims];
+  for (std::size_t dim = 0; dim < Dims; ++dim)
+    q[dim] = _mm256_set1_pd(query[dim]);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const double* block = coords + b * Dims * kBlockWidth;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (std::size_t dim = 0; dim < Dims; ++dim) {
+      const double* row = block + dim * kBlockWidth;
+      __m256d d_lo = _mm256_sub_pd(_mm256_loadu_pd(row), q[dim]);
+      __m256d d_hi = _mm256_sub_pd(_mm256_loadu_pd(row + 4), q[dim]);
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(d_lo, d_lo));
+      acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(d_hi, d_hi));
+    }
+    double* o = out + b * kBlockWidth;
+    _mm256_storeu_pd(o, acc_lo);
+    _mm256_storeu_pd(o + 4, acc_hi);
+  }
+}
+
+}  // namespace
+
+void dist2_blocks_avx2(const double* coords, std::size_t nblocks,
+                       std::size_t dims, const double* query, double* out) {
+  static_assert(kBlockWidth == 8, "kernel assumes two 4-lane registers");
+  switch (dims) {
+    case 2:
+      return avx2_blocks_fixed<2>(coords, nblocks, query, out);
+    case 3:
+      return avx2_blocks_fixed<3>(coords, nblocks, query, out);
+    case 4:
+      return avx2_blocks_fixed<4>(coords, nblocks, query, out);
+    case 5:
+      return avx2_blocks_fixed<5>(coords, nblocks, query, out);
+    default:
+      break;
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const double* block = coords + b * dims * kBlockWidth;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (std::size_t dim = 0; dim < dims; ++dim) {
+      const double* row = block + dim * kBlockWidth;
+      __m256d q = _mm256_set1_pd(query[dim]);
+      __m256d d_lo = _mm256_sub_pd(_mm256_loadu_pd(row), q);
+      __m256d d_hi = _mm256_sub_pd(_mm256_loadu_pd(row + 4), q);
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(d_lo, d_lo));
+      acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(d_hi, d_hi));
+    }
+    double* o = out + b * kBlockWidth;
+    _mm256_storeu_pd(o, acc_lo);
+    _mm256_storeu_pd(o + 4, acc_hi);
+  }
+}
+
+}  // namespace sepdc::knn::kernels::detail

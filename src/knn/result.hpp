@@ -28,6 +28,11 @@ struct KnnResult {
   std::vector<double> dist2;
 
   static KnnResult empty(std::size_t n, std::size_t k) {
+    // Neighbor ids are 32-bit with kInvalid as the padding sentinel; a
+    // larger point set cannot be represented (same guard as
+    // PartitionForest::for_points).
+    SEPDC_CHECK_MSG(n < kInvalid,
+                    "KnnResult: point count exceeds the 32-bit id space");
     KnnResult r;
     r.n = n;
     r.k = k;

@@ -59,6 +59,31 @@ class TopK {
     std::push_heap(heap_.begin(), heap_.end());
   }
 
+  // Offers one block's worth of kernel-computed candidates
+  // (block_store.hpp scan shape). `count` is the valid lane count — pad
+  // lanes must be excluded by count, not by distance, because offer()
+  // accepts any value while the heap is not yet full. Offer order is lane
+  // order, so results match the equivalent scalar loop exactly.
+  //
+  // Fast path: once the heap is full, almost every block of a leaf scan
+  // is entirely beyond the current k-th bound; a branchless sweep
+  // rejects those blocks in ~two ops per lane before the per-lane offer
+  // loop runs. The pre-check uses <= so candidates tying the bound still
+  // reach offer(), which adjudicates ties by index — the offers that
+  // actually happen are the same, in the same order, as the plain loop.
+  void offer_block(const double* dist2s, const std::uint32_t* ids,
+                   std::size_t count,
+                   std::uint32_t exclude = 0xffffffffu) {
+    const double bound = worst_dist2();  // +inf while not yet full
+    bool any = false;
+    for (std::size_t j = 0; j < count; ++j) any |= (dist2s[j] <= bound);
+    if (!any) return;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (ids[j] == exclude) continue;
+      offer(dist2s[j], ids[j]);
+    }
+  }
+
   // Destructively extracts entries sorted by increasing distance.
   std::vector<Entry> take_sorted() {
     std::sort_heap(heap_.begin(), heap_.end());

@@ -92,7 +92,7 @@ TEST(KdTree, QueryPointNotInSet) {
   }
 }
 
-TEST(KdTree, RangeQueryStrictInterior) {
+TEST(KdTree, RangeQueryClosedBall) {
   std::vector<geo::Point<2>> pts{
       {{0.0, 0.0}}, {{1.0, 0.0}}, {{2.0, 0.0}}, {{0.5, 0.5}}};
   KdTree<2> tree{std::span<const geo::Point<2>>(pts)};
@@ -100,15 +100,27 @@ TEST(KdTree, RangeQueryStrictInterior) {
   tree.for_each_in_ball(geo::Point<2>{{0.0, 0.0}}, 1.0,
                         [&](std::uint32_t id, double) { found.push_back(id); });
   std::sort(found.begin(), found.end());
-  // Strictly inside radius 1: the origin itself (d=0) and (0.5,0.5).
-  EXPECT_EQ(found, (std::vector<std::uint32_t>{0u, 3u}));
+  // Closed ball of radius 1 (the SeparatorIndex contract, docs/kernels.md):
+  // the origin itself (d=0), (0.5,0.5), and the boundary point (1,0) at
+  // distance exactly 1.
+  EXPECT_EQ(found, (std::vector<std::uint32_t>{0u, 1u, 3u}));
 }
 
-TEST(KdTree, RangeQueryZeroRadiusFindsNothing) {
-  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}};
+TEST(KdTree, RangeQueryZeroRadiusFindsCoincident) {
+  std::vector<geo::Point<2>> pts{{{0.0, 0.0}}, {{1.0, 0.0}}};
   KdTree<2> tree{std::span<const geo::Point<2>>(pts)};
-  int hits = 0;
+  // Closed-ball semantics: radius 0 finds exactly the coincident point,
+  // matching SeparatorIndex::for_each_in_ball.
+  std::vector<std::uint32_t> found;
   tree.for_each_in_ball(geo::Point<2>{{0.0, 0.0}}, 0.0,
+                        [&](std::uint32_t id, double d2) {
+                          found.push_back(id);
+                          EXPECT_EQ(d2, 0.0);
+                        });
+  EXPECT_EQ(found, (std::vector<std::uint32_t>{0u}));
+  // Negative radius is an empty query, not an error.
+  int hits = 0;
+  tree.for_each_in_ball(geo::Point<2>{{0.0, 0.0}}, -1.0,
                         [&](std::uint32_t, double) { ++hits; });
   EXPECT_EQ(hits, 0);
 }

@@ -1,0 +1,19 @@
+// lint-fixture: src/pvm/vector_ops.hpp
+//
+// Hand-rolled intrinsics outside the kernel TU family: the bit-identity
+// contract can't see this code, so the lint rejects it.
+#pragma once
+
+#include <immintrin.h>
+
+namespace sepdc::pvm {
+
+inline double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_hadd_pd(s, s));
+}
+
+}  // namespace sepdc::pvm

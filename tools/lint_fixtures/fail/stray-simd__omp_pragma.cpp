@@ -1,0 +1,16 @@
+// lint-fixture: src/parallel/segmented_sum.cpp
+//
+// An OpenMP simd pragma smuggles compiler vectorization (and possible
+// reassociation) past the kernel bit-identity contract.
+#include <cstddef>
+
+namespace sepdc::par {
+
+double segmented_sum(const double* xs, std::size_t n) {
+  double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+}  // namespace sepdc::par

@@ -1,0 +1,18 @@
+// lint-fixture: src/knn/kernels_avx2.cpp
+//
+// The kernel TU family is the one place intrinsics are allowed: it is
+// covered by the scalar/vector bit-identity suite.
+#include <immintrin.h>
+
+namespace sepdc::knn::kernels::detail {
+
+double dot8_fixture(const double* a, const double* b) {
+  __m256d lo = _mm256_mul_pd(_mm256_loadu_pd(a), _mm256_loadu_pd(b));
+  __m256d hi = _mm256_mul_pd(_mm256_loadu_pd(a + 4), _mm256_loadu_pd(b + 4));
+  __m256d s = _mm256_add_pd(lo, hi);
+  alignas(32) double out[4];
+  _mm256_store_pd(out, s);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace sepdc::knn::kernels::detail

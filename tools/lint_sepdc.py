@@ -68,7 +68,14 @@ ATOMIC_ALLOWLIST = {
     "src/core/engine.hpp",
     "src/core/query_tree.hpp",
     "src/parallel/thread_pool.hpp",
+    "src/knn/kernels.cpp",
 }
+
+# The only files allowed to contain SIMD intrinsics or vectorization
+# pragmas: the distance-kernel TU family (docs/kernels.md). Everything
+# else must call through kernels::dist2_blocks so the bit-identity
+# contract (scalar == vector, per lane) stays checkable in one place.
+SIMD_ALLOWED_PREFIX = "src/knn/kernels"
 
 SKIP_DIR_NAMES = {".git", "lint_fixtures", "negative_compile"}
 SKIP_DIR_PREFIXES = ("build",)
@@ -88,6 +95,17 @@ ATOMIC_RE = re.compile(r"std::atomic\b|std::atomic_(?:flag|ref)\b")
 RAW_RANDOM_RE = re.compile(
     r"(?<![\w.>])(?:std::\s*)?(?:rand|srand|rand_r|drand48|random_shuffle"
     r"|time|clock|gettimeofday)\s*\("
+)
+
+# Matches intrinsics headers (angle form survives strip_cpp_noise; the
+# quoted form is blanked but quoted intrinsics headers don't exist in this
+# tree), intrinsic calls, vector register types, and OpenMP simd pragmas.
+STRAY_SIMD_RE = re.compile(
+    r"#\s*include\s*<[a-z0-9_]*intrin\.h>"
+    r"|#\s*include\s*<arm_(?:neon|sve)\.h>"
+    r"|\b_mm\d*_\w+\s*\("
+    r"|\b__m(?:64|128|256|512)[di]?\b"
+    r"|#\s*pragma\s+omp\s+simd\b"
 )
 
 ADD_TEST_RE = re.compile(r"\badd_test\s*\(\s*NAME\s+([^\s)]+)", re.IGNORECASE)
@@ -184,6 +202,14 @@ def check_cpp_file(virtual_path: str, raw_text: str) -> list[Finding]:
             "std::atomic outside the audited ownership sites; document the "
             "protocol and extend ATOMIC_ALLOWLIST in tools/lint_sepdc.py "
             "in the same PR",
+        )
+
+    if not virtual_path.startswith(SIMD_ALLOWED_PREFIX):
+        findings += findings_for_pattern(
+            virtual_path, text, STRAY_SIMD_RE, "stray-simd",
+            "SIMD intrinsics / vector pragma outside src/knn/kernels*; "
+            "route through kernels::dist2_blocks so the scalar/vector "
+            "bit-identity contract (docs/kernels.md) covers it",
         )
 
     findings += findings_for_pattern(
