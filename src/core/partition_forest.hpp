@@ -15,15 +15,23 @@
 // queries are level-synchronous walks over this structure; the flat
 // layout keeps them cache-friendly and lets frontiers be plain vectors of
 // 32-bit ids instead of pointer chases.
+//
+// Storage is an arena::ArenaVec<Node>: heap-owned while a build mutates
+// it, or a borrowed view over an mmap-ed snapshot section (adopt()), in
+// which case the forest serves queries directly out of the file mapping
+// with zero deserialization. Node layout is pinned below — the disk
+// format (docs/persistence.md) depends on it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/partition_tree.hpp"
 #include "geometry/separator_shape.hpp"
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 
 namespace sepdc::core {
@@ -48,6 +56,15 @@ struct ForestNode {
   std::uint32_t size() const { return end - begin; }
 };
 
+// Layout pins (docs/persistence.md): ForestNode<D> is written raw into
+// snapshot section `forest_nodes` and read back by view over the mapping.
+// 16 bytes of range/child ids + SeparatorShape<D> (kind + sphere +
+// halfspace + flip, 16D + 32 bytes with padding) = 16D + 48.
+SEPDC_PIN_TRIVIAL_LAYOUT(ForestNode<2>, 80, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(ForestNode<3>, 96, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(ForestNode<4>, 112, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(ForestNode<5>, 128, 8);
+
 template <int D>
 class PartitionForest {
  public:
@@ -69,6 +86,28 @@ class PartitionForest {
     PartitionForest f;
     f.reset(point_count == 0 ? 1 : 2 * point_count - 1);
     return f;
+  }
+
+  // Adopts an already-built node arena as a borrowed view (the zero-copy
+  // snapshot load path, io/snapshot_file.hpp). The nodes are served
+  // directly out of `nodes` — typically an mmap-ed file section that must
+  // outlive the forest. The view is immutable: allocate()/reset() on an
+  // adopted forest fail the ArenaVec ownership check.
+  static PartitionForest adopt(std::span<const Node> nodes,
+                               std::uint32_t root) {
+    SEPDC_CHECK_MSG(!nodes.empty() && root < nodes.size(),
+                    "PartitionForest::adopt: root outside the node arena");
+    PartitionForest f;
+    f.nodes_ = arena::ArenaVec<Node>::view_of(nodes);
+    f.used_.store(static_cast<std::uint32_t>(nodes.size()),
+                  std::memory_order_relaxed);
+    f.root_ = root;
+    return f;
+  }
+
+  // The whole node arena (allocated prefix) — what snapshot save writes.
+  std::span<const Node> nodes() const {
+    return {nodes_.data(), node_count()};
   }
 
   // Re-arms the arena with a fixed capacity. Not thread-safe; call before
@@ -193,7 +232,7 @@ class PartitionForest {
                                            to_legacy_node(n.outer));
   }
 
-  std::vector<Node> nodes_;
+  arena::ArenaVec<Node> nodes_;
   std::atomic<std::uint32_t> used_{0};
   std::uint32_t root_ = kNoChild;
 

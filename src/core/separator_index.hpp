@@ -39,6 +39,7 @@
 #include "knn/topk.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -53,6 +54,10 @@ struct SeparatorIndexConfig {
   std::size_t parallel_grain = 8192;  // spawn tasks above this size
   pvm::CostConfig cost;
 };
+
+// The config travels raw inside the snapshot meta section so a loaded
+// index can report how it was built and seed successor rebuilds.
+SEPDC_PIN_TRIVIAL_LAYOUT(SeparatorIndexConfig, 56, 8);
 
 template <int D>
 class SeparatorIndex {
@@ -81,6 +86,69 @@ class SeparatorIndex {
   // Sentinel for "exclude nothing" in knn / batch_knn.
   static constexpr std::uint32_t kNoExclude = 0xffffffffu;
 
+  // Relocated storage for the zero-copy snapshot load path
+  // (io/snapshot_file.hpp): every span — typically an mmap-ed file
+  // section that must outlive the index — carries exactly the arrays a
+  // built index owns on the heap, plus the derived scalars the queries
+  // need (recomputing them would touch every point, which defeats
+  // page-on-demand loading).
+  struct Relocated {
+    std::span<const geo::Point<D>> points;
+    std::span<const std::uint32_t> perm;
+    std::span<const ForestNode<D>> nodes;
+    std::span<const knn::BlockRange> leaf_blocks;
+    std::span<const double> block_coords;
+    std::span<const std::uint32_t> block_ids;
+    std::span<const std::uint8_t> block_lanes;
+    std::uint32_t root = kNoChild;
+    SeparatorIndexConfig cfg;
+    double diameter = 1.0;
+    geo::Point<D> bbox_center{};
+  };
+
+  // Adopts relocated storage without building: the views are served
+  // as-is. Structural bounds (child links, payload and block ranges) are
+  // validated up front so a corrupt mapping fails here, not mid-query.
+  static SeparatorIndex adopt(const Relocated& r) {
+    SEPDC_CHECK_MSG(!r.points.empty(), "index over empty point set");
+    SEPDC_CHECK_MSG(r.perm.size() == r.points.size(),
+                    "SeparatorIndex::adopt: perm/points size mismatch");
+    SEPDC_CHECK_MSG(!r.nodes.empty() && r.root < r.nodes.size(),
+                    "SeparatorIndex::adopt: root outside the node arena");
+    SEPDC_CHECK_MSG(r.leaf_blocks.size() == r.nodes.size(),
+                    "SeparatorIndex::adopt: leaf_blocks/nodes mismatch");
+    const std::uint32_t nnodes = static_cast<std::uint32_t>(r.nodes.size());
+    const std::uint32_t nblocks =
+        static_cast<std::uint32_t>(r.block_lanes.size());
+    for (std::uint32_t id = 0; id < nnodes; ++id) {
+      const ForestNode<D>& n = r.nodes[id];
+      SEPDC_CHECK_MSG(n.begin <= n.end && n.end <= r.perm.size(),
+                      "SeparatorIndex::adopt: node range out of bounds");
+      if (!n.is_leaf())
+        SEPDC_CHECK_MSG(n.inner < nnodes && n.outer < nnodes,
+                        "SeparatorIndex::adopt: child index out of bounds");
+      const knn::BlockRange& b = r.leaf_blocks[id];
+      SEPDC_CHECK_MSG(b.begin <= b.end && b.end <= nblocks,
+                      "SeparatorIndex::adopt: leaf block range out of "
+                      "bounds");
+    }
+    for (std::uint32_t pid : r.perm)
+      SEPDC_CHECK_MSG(pid < r.points.size(),
+                      "SeparatorIndex::adopt: perm entry out of bounds");
+    SeparatorIndex index;
+    index.points_ = arena::ArenaVec<geo::Point<D>>::view_of(r.points);
+    index.perm_ = arena::ArenaVec<std::uint32_t>::view_of(r.perm);
+    index.forest_ = PartitionForest<D>::adopt(r.nodes, r.root);
+    index.leaf_blocks_ =
+        arena::ArenaVec<knn::BlockRange>::view_of(r.leaf_blocks);
+    index.blocks_ = knn::PointBlockStore<D>::adopt(
+        r.block_coords, r.block_ids, r.block_lanes);
+    index.cfg_ = r.cfg;
+    index.diameter_ = r.diameter;
+    index.bbox_center_ = r.bbox_center;
+    return index;
+  }
+
   std::size_t size() const { return points_.size(); }
   std::size_t height() const { return forest_.height(); }
   std::size_t leaf_count() const { return forest_.leaf_count(); }
@@ -90,8 +158,17 @@ class SeparatorIndex {
   // build configuration. A service that publishes this index as an
   // immutable snapshot uses these to derive fallback structures and to
   // rebuild a successor generation without retaining the input.
-  std::span<const geo::Point<D>> points() const { return points_; }
+  std::span<const geo::Point<D>> points() const { return points_.span(); }
   const SeparatorIndexConfig& config() const { return cfg_; }
+
+  // Remaining storage accessors — what snapshot save writes.
+  std::span<const std::uint32_t> perm() const { return perm_.span(); }
+  std::span<const knn::BlockRange> leaf_blocks() const {
+    return leaf_blocks_.span();
+  }
+  const knn::PointBlockStore<D>& blocks() const { return blocks_; }
+  double diameter() const { return diameter_; }
+  const geo::Point<D>& bbox_center() const { return bbox_center_; }
 
   // Invokes fn(id, dist2) for every indexed point with
   // distance(point, center) <= radius (closed ball). This is the shared
@@ -309,9 +386,10 @@ class SeparatorIndex {
       else
         outer_ids.push_back(pid);
     }
-    std::copy(inner_ids.begin(), inner_ids.end(), perm_.begin() + begin);
+    std::copy(inner_ids.begin(), inner_ids.end(),
+              perm_.begin_mut() + begin);
     std::copy(outer_ids.begin(), outer_ids.end(),
-              perm_.begin() + begin + inner_ids.size());
+              perm_.begin_mut() + begin + inner_ids.size());
     auto mid = begin + static_cast<std::uint32_t>(inner_ids.size());
     SEPDC_ASSERT(mid > begin && mid < end);
 
@@ -393,12 +471,15 @@ class SeparatorIndex {
     return extent > 0.0 ? extent : diameter_ * 1e-6;
   }
 
-  std::vector<geo::Point<D>> points_;
+  SeparatorIndex() = default;  // adopt() fills the members in
+
+  arena::ArenaVec<geo::Point<D>> points_;
   SeparatorIndexConfig cfg_;
-  std::vector<std::uint32_t> perm_;
+  arena::ArenaVec<std::uint32_t> perm_;
   PartitionForest<D> forest_;
   knn::PointBlockStore<D> blocks_;          // leaf payloads, perm_ order
-  std::vector<knn::BlockRange> leaf_blocks_;  // indexed by forest node id
+  // Indexed by forest node id.
+  arena::ArenaVec<knn::BlockRange> leaf_blocks_;
   double diameter_ = 1.0;
   geo::Point<D> bbox_center_{};
 };

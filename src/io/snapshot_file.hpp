@@ -1,0 +1,418 @@
+// Versioned on-disk snapshots of a built index, loaded by mmap with zero
+// deserialization.
+//
+// Every structure inside an IndexSnapshot already lives in relocatable
+// arenas (support/arena.hpp): contiguous trivially-copyable records
+// linked by 32-bit indices. This file defines the container that puts
+// those arenas on disk:
+//
+//   FileHeader | SectionRecord table | 64-aligned sections ...
+//
+// The header carries magic, format version, an endianness tag (written
+// natively; load refuses a mismatch — see docs/persistence.md for the
+// stance), the dimension, and its own checksum. Each SectionRecord names
+// a section id, the element size (a cross-build layout check against the
+// SEPDC_PIN_TRIVIAL_LAYOUT pins), the 64-aligned byte offset/size, and
+// an FNV-1a checksum of the section bytes.
+//
+// save_snapshot() writes the arenas raw (tmp file + rename, so a crashed
+// save never leaves a half-written file at the target path).
+// load_snapshot() mmaps the file, validates header, section table,
+// checksums, and structural bounds, then *adopts* the mapping: the
+// returned SeparatorIndex / KdTree serve queries directly out of the
+// mapped bytes. Nothing is copied; pages fault in on demand, so datasets
+// larger than RAM serve through the kernel page cache. The mapping stays
+// alive exactly as long as any aliased shared_ptr to the structures.
+//
+// Every raw mmap/open/pread call in the repo lives in snapshot_file.cpp —
+// the lint raw-mmap rule (tools/lint_sepdc.py) confines them to src/io/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/separator_index.hpp"
+#include "knn/kdtree.hpp"
+#include "support/arena.hpp"
+#include "support/assert.hpp"
+
+namespace sepdc::io {
+
+// Bump when any pinned record layout or the container layout changes;
+// load refuses other versions (no migration shims — a snapshot is a
+// cache of a rebuildable structure, not a database).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr char kSnapshotMagic[8] = {'S', 'E', 'P', 'D',
+                                           'C', 'S', 'N', 'P'};
+// Written natively; reads as 0x04030201 on an other-endian host.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+inline constexpr std::size_t kSectionAlign = 64;
+
+// What went wrong, machine-readably; the message carries the detail.
+enum class SnapshotError : std::uint8_t {
+  kOpenFailed,     // cannot open/stat/map or write the file
+  kTooSmall,       // file shorter than header + section table
+  kBadMagic,       // not a snapshot file
+  kBadVersion,     // format version this build does not speak
+  kBadEndianness,  // written on an other-endian host
+  kBadDims,        // snapshot dimension != requested D
+  kBadSectionTable,  // section missing/duplicated/out of file bounds
+  kBadElemSize,    // record layout disagrees with this build's pins
+  kBadChecksum,    // header or section bytes fail their checksum
+  kBadStructure,   // indices/ranges inside a section out of bounds
+};
+
+// Typed load/save failure. A load that throws publishes nothing: the
+// mapping and any partially-adopted structures are torn down before the
+// exception leaves load_snapshot().
+class SnapshotIoError : public std::runtime_error {
+ public:
+  SnapshotIoError(SnapshotError code, const std::string& detail)
+      : std::runtime_error("snapshot io: " + detail), code_(code) {}
+
+  SnapshotError code() const noexcept { return code_; }
+
+ private:
+  SnapshotError code_;
+};
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t format_version = kSnapshotFormatVersion;
+  std::uint32_t endianness = kEndianTag;
+  std::uint32_t dims = 0;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_bytes = 0;     // total, for truncation detection
+  std::uint64_t point_count = 0;
+  std::uint64_t saved_version = 0;  // SnapshotStore generation at save
+  std::uint64_t header_checksum = 0;  // fnv1a64 of the preceding bytes
+};
+SEPDC_PIN_TRIVIAL_LAYOUT(FileHeader, 56, 8);
+
+struct SectionRecord {
+  std::uint32_t id = 0;         // SectionId
+  std::uint32_t elem_size = 0;  // sizeof the record type (layout check)
+  std::uint64_t offset = 0;     // from file start, kSectionAlign-aligned
+  std::uint64_t byte_size = 0;
+  std::uint64_t checksum = 0;   // fnv1a64 of the section bytes
+};
+SEPDC_PIN_TRIVIAL_LAYOUT(SectionRecord, 32, 8);
+
+// Section ids are part of the format: never renumber, only append.
+enum class SectionId : std::uint32_t {
+  kMeta = 1,         // SnapshotMeta<D>
+  kPoints = 2,       // geo::Point<D>[n], input order (index + kd share it)
+  kPerm = 3,         // u32[n], SeparatorIndex leaf permutation
+  kForestNodes = 4,  // ForestNode<D>[]
+  kLeafBlocks = 5,   // knn::BlockRange[], indexed by forest node id
+  kBlockCoords = 6,  // double[], SoA blocks of the index leaf payloads
+  kBlockIds = 7,     // u32[]
+  kBlockLanes = 8,   // u8[]
+  kKdIds = 9,        // u32[n], kd-tree payload permutation
+  kKdNodes = 10,     // knn::KdTree<D>::Node[]
+  kKdBlockCoords = 11,  // double[], SoA blocks of the kd leaf payloads
+  kKdBlockIds = 12,     // u32[]
+  kKdBlockLanes = 13,   // u8[]
+};
+
+// Scalars the queries need but the arenas don't carry. Lives in its own
+// checksummed section; pinned per dimension below.
+template <int D>
+struct SnapshotMeta {
+  core::SeparatorIndexConfig cfg;
+  double diameter = 1.0;
+  geo::Point<D> bbox_center{};
+  std::uint32_t forest_root = 0;
+  std::uint32_t kd_root = 0;
+  std::uint64_t kd_leaf_size = 16;
+};
+SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<2>, 96, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<3>, 104, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<4>, 112, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<5>, 120, 8);
+
+// The snapshot checksum primitive: FNV-1a folded over 64-bit
+// little-endian words (zero-padded tail, length mixed in) — word-wise so
+// whole-file validation stays off the cold-start critical path. Not
+// cryptographic — it catches truncation and bit rot, not tampering.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes);
+
+// RAII read-only file mapping. Construction opens + maps or throws
+// SnapshotIoError{kOpenFailed}; the mapping is released on destruction.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return static_cast<std::byte*>(addr_); }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// ------------------------------------------------------------------ save
+
+namespace detail {
+
+// One section as raw bytes, ready to write.
+struct SectionBytes {
+  std::uint32_t id = 0;
+  std::uint32_t elem_size = 0;
+  const void* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+// Writes header + table + aligned sections to `path` (via `path`.tmp +
+// rename). Throws SnapshotIoError{kOpenFailed} on any filesystem error.
+void write_snapshot_file(const std::string& path, std::uint32_t dims,
+                         std::uint64_t point_count,
+                         std::uint64_t saved_version,
+                         std::span<const SectionBytes> sections);
+
+// Mapped file with validated header + section table (magic, version,
+// endianness, dims, bounds, checksums all checked; throws the matching
+// SnapshotIoError otherwise).
+struct ValidatedFile {
+  std::shared_ptr<MappedFile> map;
+  FileHeader header;
+  std::vector<SectionRecord> sections;
+};
+
+ValidatedFile open_snapshot_file(const std::string& path,
+                                 std::uint32_t expected_dims);
+
+// The section's bytes, checked for id presence, element size, and
+// divisibility; throws SnapshotIoError otherwise.
+std::span<const std::byte> section_bytes(const ValidatedFile& file,
+                                         std::uint32_t id,
+                                         std::uint32_t expected_elem_size);
+
+template <class T>
+std::span<const T> typed_section(const ValidatedFile& file, SectionId id) {
+  std::span<const std::byte> raw = section_bytes(
+      file, static_cast<std::uint32_t>(id),
+      static_cast<std::uint32_t>(sizeof(T)));
+  // Sections are kSectionAlign-aligned within a page-aligned mapping, so
+  // the cast below lands on a properly aligned address for any pinned
+  // record type.
+  return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
+}
+
+[[noreturn]] inline void fail_structure(const char* what) {
+  throw SnapshotIoError(SnapshotError::kBadStructure, what);
+}
+
+}  // namespace detail
+
+// Serializes a built index + its kd-tree fallback. `version` is the
+// SnapshotStore generation being saved (recorded, not trusted on load —
+// a bootstrapping store claims a fresh version). The two structures must
+// cover the identical point set (SnapshotStore::build guarantees it).
+template <int D>
+void save_snapshot(const std::string& path,
+                   const core::SeparatorIndex<D>& index,
+                   const knn::KdTree<D>& fallback,
+                   std::uint64_t version) {
+  auto points = index.points();
+  auto kd_points = fallback.points();
+  SEPDC_CHECK_MSG(points.size() == kd_points.size() &&
+                      std::memcmp(points.data(), kd_points.data(),
+                                  points.size() * sizeof(geo::Point<D>)) ==
+                          0,
+                  "save_snapshot: index and fallback disagree on the "
+                  "point set");
+
+  SnapshotMeta<D> meta;
+  meta.cfg = index.config();
+  meta.diameter = index.diameter();
+  meta.bbox_center = index.bbox_center();
+  meta.forest_root = index.forest().root_id();
+  meta.kd_root = fallback.root_id();
+  meta.kd_leaf_size = fallback.leaf_size();
+
+  auto nodes = index.forest().nodes();
+  auto leaf_blocks = index.leaf_blocks();
+  const auto& blocks = index.blocks();
+  auto kd_nodes = fallback.nodes();
+  const auto& kd_blocks = fallback.blocks();
+
+  auto sec = [](SectionId id, const auto* data, std::size_t count) {
+    using T = std::remove_cvref_t<decltype(*data)>;
+    return detail::SectionBytes{static_cast<std::uint32_t>(id),
+                                static_cast<std::uint32_t>(sizeof(T)),
+                                data, count * sizeof(T)};
+  };
+  const detail::SectionBytes sections[] = {
+      sec(SectionId::kMeta, &meta, 1),
+      sec(SectionId::kPoints, points.data(), points.size()),
+      sec(SectionId::kPerm, index.perm().data(), index.perm().size()),
+      sec(SectionId::kForestNodes, nodes.data(), nodes.size()),
+      sec(SectionId::kLeafBlocks, leaf_blocks.data(), leaf_blocks.size()),
+      sec(SectionId::kBlockCoords, blocks.coords().data(),
+          blocks.coords().size()),
+      sec(SectionId::kBlockIds, blocks.ids().data(), blocks.ids().size()),
+      sec(SectionId::kBlockLanes, blocks.lanes().data(),
+          blocks.lanes().size()),
+      sec(SectionId::kKdIds, fallback.ids().data(), fallback.ids().size()),
+      sec(SectionId::kKdNodes, kd_nodes.data(), kd_nodes.size()),
+      sec(SectionId::kKdBlockCoords, kd_blocks.coords().data(),
+          kd_blocks.coords().size()),
+      sec(SectionId::kKdBlockIds, kd_blocks.ids().data(),
+          kd_blocks.ids().size()),
+      sec(SectionId::kKdBlockLanes, kd_blocks.lanes().data(),
+          kd_blocks.lanes().size()),
+  };
+  detail::write_snapshot_file(path, static_cast<std::uint32_t>(D),
+                              points.size(), version, sections);
+}
+
+// A loaded snapshot: both structures serve directly out of the mapping,
+// which stays alive for as long as either shared_ptr does (aliasing).
+template <int D>
+struct LoadedSnapshot {
+  std::shared_ptr<const core::SeparatorIndex<D>> index;
+  std::shared_ptr<const knn::KdTree<D>> fallback;
+  std::uint64_t saved_version = 0;
+  std::size_t point_count = 0;
+  std::size_t file_bytes = 0;
+};
+
+// mmaps `path`, validates everything (header, section table, checksums,
+// structural bounds), and adopts the mapping. Throws SnapshotIoError —
+// and publishes nothing — on any defect.
+template <int D>
+LoadedSnapshot<D> load_snapshot(const std::string& path) {
+  detail::ValidatedFile file =
+      detail::open_snapshot_file(path, static_cast<std::uint32_t>(D));
+
+  auto meta_span = detail::typed_section<SnapshotMeta<D>>(
+      file, SectionId::kMeta);
+  if (meta_span.size() != 1)
+    detail::fail_structure("meta section must hold exactly one record");
+  const SnapshotMeta<D> meta = meta_span[0];
+
+  typename core::SeparatorIndex<D>::Relocated rel;
+  rel.points = detail::typed_section<geo::Point<D>>(file,
+                                                    SectionId::kPoints);
+  rel.perm = detail::typed_section<std::uint32_t>(file, SectionId::kPerm);
+  rel.nodes = detail::typed_section<core::ForestNode<D>>(
+      file, SectionId::kForestNodes);
+  rel.leaf_blocks = detail::typed_section<knn::BlockRange>(
+      file, SectionId::kLeafBlocks);
+  rel.block_coords =
+      detail::typed_section<double>(file, SectionId::kBlockCoords);
+  rel.block_ids =
+      detail::typed_section<std::uint32_t>(file, SectionId::kBlockIds);
+  rel.block_lanes =
+      detail::typed_section<std::uint8_t>(file, SectionId::kBlockLanes);
+  rel.root = meta.forest_root;
+  rel.cfg = meta.cfg;
+  rel.diameter = meta.diameter;
+  rel.bbox_center = meta.bbox_center;
+
+  typename knn::KdTree<D>::Relocated kd;
+  kd.points = rel.points;  // shared section: both copy input order
+  kd.ids = detail::typed_section<std::uint32_t>(file, SectionId::kKdIds);
+  kd.nodes = detail::typed_section<typename knn::KdTree<D>::Node>(
+      file, SectionId::kKdNodes);
+  kd.block_coords =
+      detail::typed_section<double>(file, SectionId::kKdBlockCoords);
+  kd.block_ids =
+      detail::typed_section<std::uint32_t>(file, SectionId::kKdBlockIds);
+  kd.block_lanes =
+      detail::typed_section<std::uint8_t>(file, SectionId::kKdBlockLanes);
+  kd.root = meta.kd_root;
+  kd.leaf_size = static_cast<std::size_t>(meta.kd_leaf_size);
+
+  // Structural bounds, as throwing checks (the adopt() SEPDC_CHECKs
+  // re-assert the same invariants, but a corrupt file must surface as a
+  // typed error a caller can handle, not an abort).
+  if (rel.points.empty() || rel.points.size() != file.header.point_count)
+    detail::fail_structure("point section disagrees with the header");
+  if (rel.perm.size() != rel.points.size() ||
+      kd.ids.size() != rel.points.size())
+    detail::fail_structure("permutation sections disagree with the "
+                           "point count");
+  if (rel.nodes.empty() || rel.root >= rel.nodes.size() ||
+      rel.leaf_blocks.size() != rel.nodes.size())
+    detail::fail_structure("forest sections inconsistent");
+  if (kd.nodes.empty() || kd.root >= kd.nodes.size())
+    detail::fail_structure("kd sections inconsistent");
+  constexpr std::size_t kW = knn::PointBlockStore<D>::kWidth;
+  if (rel.block_coords.size() != rel.block_lanes.size() * D * kW ||
+      rel.block_ids.size() != rel.block_lanes.size() * kW ||
+      kd.block_coords.size() != kd.block_lanes.size() * D * kW ||
+      kd.block_ids.size() != kd.block_lanes.size() * kW)
+    detail::fail_structure("block sections disagree with the block count");
+  const auto nnodes = static_cast<std::uint32_t>(rel.nodes.size());
+  const auto nblocks = static_cast<std::uint32_t>(rel.block_lanes.size());
+  for (std::uint32_t id = 0; id < nnodes; ++id) {
+    const core::ForestNode<D>& n = rel.nodes[id];
+    if (n.begin > n.end || n.end > rel.perm.size())
+      detail::fail_structure("forest node range out of bounds");
+    if (!n.is_leaf() && (n.inner >= nnodes || n.outer >= nnodes))
+      detail::fail_structure("forest child index out of bounds");
+    const knn::BlockRange& b = rel.leaf_blocks[id];
+    if (b.begin > b.end || b.end > nblocks)
+      detail::fail_structure("leaf block range out of bounds");
+  }
+  const auto kd_nnodes = static_cast<std::uint32_t>(kd.nodes.size());
+  const auto kd_nblocks = static_cast<std::uint32_t>(kd.block_lanes.size());
+  for (const auto& n : kd.nodes) {
+    if (n.begin > n.end || n.end > kd.ids.size() ||
+        n.blocks.begin > n.blocks.end || n.blocks.end > kd_nblocks)
+      detail::fail_structure("kd node range out of bounds");
+    if (!n.is_leaf() && (n.left >= kd_nnodes || n.right >= kd_nnodes))
+      detail::fail_structure("kd child index out of bounds");
+  }
+  for (std::uint32_t pid : rel.perm)
+    if (pid >= rel.points.size())
+      detail::fail_structure("perm entry out of bounds");
+  for (std::uint32_t pid : kd.ids)
+    if (pid >= rel.points.size())
+      detail::fail_structure("kd id entry out of bounds");
+  for (std::uint8_t l : rel.block_lanes)
+    if (l < 1 || l > kW) detail::fail_structure("block lane count invalid");
+  for (std::uint8_t l : kd.block_lanes)
+    if (l < 1 || l > kW) detail::fail_structure("kd lane count invalid");
+
+  // Adopt: the bundle owns the mapping and both structures; the returned
+  // shared_ptrs alias into it, so dropping any subset keeps the mapping
+  // alive until the last user is gone.
+  struct Bundle {
+    detail::ValidatedFile file;
+    std::optional<core::SeparatorIndex<D>> index;
+    std::optional<knn::KdTree<D>> fallback;
+  };
+  auto bundle = std::make_shared<Bundle>();
+  bundle->file = std::move(file);
+  bundle->index.emplace(core::SeparatorIndex<D>::adopt(rel));
+  bundle->fallback.emplace(knn::KdTree<D>::adopt(kd));
+
+  LoadedSnapshot<D> out;
+  out.index = std::shared_ptr<const core::SeparatorIndex<D>>(
+      bundle, &*bundle->index);
+  out.fallback = std::shared_ptr<const knn::KdTree<D>>(
+      bundle, &*bundle->fallback);
+  out.saved_version = bundle->file.header.saved_version;
+  out.point_count =
+      static_cast<std::size_t>(bundle->file.header.point_count);
+  out.file_bytes = bundle->file.map->size();
+  return out;
+}
+
+}  // namespace sepdc::io

@@ -13,6 +13,11 @@
 // and id kPadId. Pads are excluded by the per-block lane *count*, never by
 // their distance value: TopK::offer accepts any finite distance while the
 // heap is not yet full, so a pad that reached it would corrupt results.
+// Storage is three arena::ArenaVec arrays (coords/ids/lanes): heap-owned
+// while append_range packs blocks, or borrowed views over mmap-ed
+// snapshot sections (adopt()), in which case scans run directly over the
+// file mapping. The SoA layout and BlockRange are pinned — the disk
+// format (docs/persistence.md) depends on them.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +27,7 @@
 
 #include "geometry/point.hpp"
 #include "knn/kernels.hpp"
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 
 namespace sepdc::knn {
@@ -32,7 +38,13 @@ struct BlockRange {
   std::uint32_t end = 0;
   std::uint32_t size() const { return end - begin; }
   bool empty() const { return begin == end; }
+
+  friend bool operator==(const BlockRange&, const BlockRange&) = default;
 };
+
+// Layout pin (docs/persistence.md): BlockRange is the per-leaf block
+// record written raw into snapshot section `leaf_blocks`.
+SEPDC_PIN_TRIVIAL_LAYOUT(BlockRange, 8, 4);
 
 template <int D>
 class PointBlockStore {
@@ -43,6 +55,34 @@ class PointBlockStore {
   static constexpr std::uint32_t kPadId = 0xffffffffu;
 
   PointBlockStore() = default;
+
+  // Adopts already-packed SoA arrays as borrowed views (the zero-copy
+  // snapshot load path, io/snapshot_file.hpp). The arrays — typically
+  // mmap-ed file sections that must outlive the store — carry exactly the
+  // layout append_range produces: block b's coordinates at
+  // coords[b*D*kWidth ...], kWidth ids per block, one lane count per
+  // block.
+  static PointBlockStore adopt(std::span<const double> coords,
+                               std::span<const std::uint32_t> ids,
+                               std::span<const std::uint8_t> lanes) {
+    SEPDC_CHECK_MSG(coords.size() == lanes.size() * D * kWidth &&
+                        ids.size() == lanes.size() * kWidth,
+                    "PointBlockStore::adopt: section sizes disagree with "
+                    "the block count");
+    for (std::uint8_t l : lanes)
+      SEPDC_CHECK_MSG(l >= 1 && l <= kWidth,
+                      "PointBlockStore::adopt: lane count out of range");
+    PointBlockStore store;
+    store.coords_ = arena::ArenaVec<double>::view_of(coords);
+    store.ids_ = arena::ArenaVec<std::uint32_t>::view_of(ids);
+    store.lanes_ = arena::ArenaVec<std::uint8_t>::view_of(lanes);
+    return store;
+  }
+
+  // Raw SoA sections — what snapshot save writes.
+  std::span<const double> coords() const { return coords_.span(); }
+  std::span<const std::uint32_t> ids() const { return ids_.span(); }
+  std::span<const std::uint8_t> lanes() const { return lanes_.span(); }
 
   // Packs `points` with ids 0..n-1 (the brute-force / whole-set shape).
   explicit PointBlockStore(std::span<const geo::Point<D>> points) {
@@ -142,9 +182,9 @@ class PointBlockStore {
     return total;
   }
 
-  std::vector<double> coords_;        // block-major, coordinate-major
-  std::vector<std::uint32_t> ids_;    // kWidth per block, kPadId pads
-  std::vector<std::uint8_t> lanes_;   // valid lanes per block
+  arena::ArenaVec<double> coords_;       // block-major, coordinate-major
+  arena::ArenaVec<std::uint32_t> ids_;   // kWidth per block, kPadId pads
+  arena::ArenaVec<std::uint8_t> lanes_;  // valid lanes per block
 };
 
 }  // namespace sepdc::knn

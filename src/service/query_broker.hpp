@@ -114,6 +114,26 @@ class QueryBroker {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
+  // Cold-start from a snapshot file (docs/persistence.md): generation 1
+  // is mmap-loaded instead of built, so time-to-first-answer is bounded
+  // by validation + page faults, not by an index build. Throws
+  // io::SnapshotIoError — and starts nothing — on any file defect.
+  // rebuild()/rebuild_async() work as usual afterwards.
+  QueryBroker(const std::string& snapshot_path, const BrokerConfig& cfg,
+              par::ThreadPool& pool)
+      : cfg_(cfg), pool_(pool) {
+    SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    store_.bootstrap_from(snapshot_path, &stats_, cfg_.trace);
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+
+  // Serializes the current generation to `path` (atomic tmp + rename;
+  // false when nothing is published yet). Safe to call concurrently
+  // with queries and rebuilds: it reads one immutable generation.
+  bool save_snapshot(const std::string& path) {
+    return store_.save_current(path, &stats_, cfg_.trace);
+  }
+
   ~QueryBroker() { shutdown(); }
 
   QueryBroker(const QueryBroker&) = delete;

@@ -31,6 +31,8 @@
 //                   count == flushes, sum == batched (sums are exact,
 //                   so this reconciles the histogram against the
 //                   outcome counters with no bucket error).
+//   index_load    — per snapshot bootstrap: whole load_snapshot ->
+//                   publish duration (ns); count == snapshot_loads.
 #pragma once
 
 #include <atomic>
@@ -55,11 +57,14 @@ struct ServiceStatsSnapshot {
   std::size_t rebuilds = 0;            // rebuilds started
   std::size_t snapshots_published = 0;  // generations that won publication
   std::size_t snapshots_discarded = 0;  // stale builds beaten by a newer one
+  std::size_t snapshot_saves = 0;   // generations serialized to disk
+  std::size_t snapshot_loads = 0;   // generations bootstrapped from disk
   double est_batch_us_per_query = 0.0;  // EWMA batch service cost
   metrics::HistogramSnapshot queue_wait;     // ns per batched query
   metrics::HistogramSnapshot batch_execute;  // ns per flush
   metrics::HistogramSnapshot punt_latency;   // ns per punted query
   metrics::HistogramSnapshot flush_size;     // queries per flush
+  metrics::HistogramSnapshot index_load;     // ns per snapshot bootstrap
 };
 
 class ServiceStats {
@@ -77,6 +82,8 @@ class ServiceStats {
   std::atomic<std::size_t> rebuilds{0};
   std::atomic<std::size_t> snapshots_published{0};
   std::atomic<std::size_t> snapshots_discarded{0};
+  std::atomic<std::size_t> snapshot_saves{0};
+  std::atomic<std::size_t> snapshot_loads{0};
   // EWMA of per-query batch service time in microseconds; feeds the punt
   // decision (a deadline shorter than the estimated batch-path completion
   // takes the direct fallback instead).
@@ -88,6 +95,7 @@ class ServiceStats {
   metrics::Histogram batch_execute;
   metrics::Histogram punt_latency;
   metrics::Histogram flush_size;
+  metrics::Histogram index_load;
 
   static void add(std::atomic<std::size_t>& counter, std::size_t v) {
     counter.fetch_add(v, std::memory_order_relaxed);
@@ -135,12 +143,15 @@ class ServiceStats {
         snapshots_published.load(std::memory_order_relaxed);
     s.snapshots_discarded =
         snapshots_discarded.load(std::memory_order_relaxed);
+    s.snapshot_saves = snapshot_saves.load(std::memory_order_relaxed);
+    s.snapshot_loads = snapshot_loads.load(std::memory_order_relaxed);
     s.est_batch_us_per_query =
         est_batch_us_per_query.load(std::memory_order_relaxed);
     s.queue_wait = queue_wait.snapshot();
     s.batch_execute = batch_execute.snapshot();
     s.punt_latency = punt_latency.snapshot();
     s.flush_size = flush_size.snapshot();
+    s.index_load = index_load.snapshot();
     return s;
   }
 };

@@ -33,9 +33,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/separator_index.hpp"
+#include "io/snapshot_file.hpp"
 #include "knn/kdtree.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/service_stats.hpp"
@@ -123,6 +125,52 @@ class SnapshotStore {
     }
     if (stats) ServiceStats::add(stats->snapshots_discarded, 1);
     return false;
+  }
+
+  // ----------------------------------------------------- persistence
+  // See docs/persistence.md. Both entry points throw io::SnapshotIoError
+  // on any file defect and never publish a partially-loaded generation.
+
+  // Serializes the currently published generation to `path` (atomic:
+  // tmp file + rename). Returns false — and writes nothing — when no
+  // generation has been published yet.
+  bool save_current(const std::string& path, ServiceStats* stats = nullptr,
+                    metrics::TraceRecorder* trace = nullptr) const {
+    Ptr cur = current();
+    if (!cur) return false;
+    metrics::TraceSpan span(trace, "index_save", "snapshot");
+    io::save_snapshot<D>(path, *cur->index, *cur->fallback, cur->version);
+    if (stats) ServiceStats::add(stats->snapshot_saves, 1);
+    return true;
+  }
+
+  // Bootstraps a generation from a snapshot file: mmaps `path`,
+  // validates, adopts the mapping zero-copy, and publishes under a
+  // *freshly claimed* version (the on-disk version came from another
+  // store's lifetime; trusting it could deadlock this store's
+  // strictly-monotone publication). Returns the claimed version. On
+  // throw, the store still serves whatever it served before.
+  std::uint64_t bootstrap_from(const std::string& path,
+                               ServiceStats* stats = nullptr,
+                               metrics::TraceRecorder* trace = nullptr) {
+    Timer timer;
+    std::uint64_t version = claim_version();
+    auto snap = std::make_shared<Snapshot>();
+    {
+      metrics::TraceSpan span(trace, "index_load", "snapshot");
+      io::LoadedSnapshot<D> loaded = io::load_snapshot<D>(path);
+      snap->version = version;
+      snap->index = std::move(loaded.index);
+      snap->fallback = std::move(loaded.fallback);
+      snap->point_count = loaded.point_count;
+    }
+    snap->build_seconds = timer.seconds();
+    publish(snap, stats);
+    if (stats) {
+      ServiceStats::add(stats->snapshot_loads, 1);
+      stats->index_load.record_seconds(timer.seconds());
+    }
+    return version;
   }
 
   // Build + publish. Returns the claimed version (published unless a

@@ -1,0 +1,205 @@
+// Relocatable storage arenas: the vocabulary that makes the index
+// structures mmap-able.
+//
+// Every structure inside an IndexSnapshot (PartitionForest nodes,
+// PointBlockStore coordinate blocks, kd-tree nodes, permutations) is a
+// contiguous run of trivially-copyable, fixed-layout records linked by
+// 32-bit indices — never by pointers. ArenaVec<T> is the one storage type
+// they all hold: either *owning* (a heap vector, mutable, used while an
+// index is being built) or a *borrowed view* over memory someone else
+// owns (a section of an mmap-ed snapshot file, immutable). Queries only
+// ever touch the const surface, so a loaded index is byte-for-byte the
+// same machine as a built one — zero deserialization, zero copies.
+//
+// The const read path is branch-free: data_/size_ always describe the
+// active storage (synced after every mutation), so operator[] in the hot
+// traversals costs exactly what a raw vector access does. Mutating a
+// borrowed ArenaVec is a programming error and fails a SEPDC_CHECK.
+//
+// SEPDC_PIN_TRIVIAL_LAYOUT pins a record type's layout at compile time:
+// any field change that would silently break the on-disk format
+// (docs/persistence.md) becomes a compile error instead of a corrupt
+// load. The pinned sizeof doubles as the section element size recorded in
+// the snapshot's section table, giving the loader a cheap cross-build
+// layout check.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+// Pins a record's exact layout. `T` must stay trivially copyable (memcpy
+// and mmap round-trips preserve value) with the stated size/alignment on
+// the supported ABI (x86-64 SysV / AArch64 AAPCS both satisfy the pins).
+// Changing a pinned struct requires bumping io::kSnapshotFormatVersion in
+// the same commit — the static_assert failure is the reminder.
+#define SEPDC_PIN_TRIVIAL_LAYOUT(T, size, align)                          \
+  static_assert(std::is_trivially_copyable_v<T>,                          \
+                #T " must stay trivially copyable: it is memcpy'd into "  \
+                   "and mmap'd out of snapshot files");                   \
+  static_assert(sizeof(T) == (size) && alignof(T) == (align),             \
+                #T " layout changed: bump io::kSnapshotFormatVersion "    \
+                   "and update this pin (docs/persistence.md)")
+
+namespace sepdc::arena {
+
+template <class T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec elements must be trivially copyable — they are "
+                "written raw into snapshot sections and read back by "
+                "reinterpreting mapped bytes");
+
+ public:
+  ArenaVec() = default;
+  explicit ArenaVec(std::size_t count) : owned_(count) { sync(); }
+  template <class It>
+  ArenaVec(It first, It last) : owned_(first, last) {
+    sync();
+  }
+
+  // Borrowed view over externally-owned memory (a mapped snapshot
+  // section). The memory must outlive the view — snapshot loading keeps
+  // the mapping alive via shared_ptr aliasing (io/snapshot_file.hpp).
+  static ArenaVec view_of(const T* data, std::size_t count) {
+    ArenaVec v;
+    v.borrowed_ = true;
+    v.data_ = data;
+    v.size_ = count;
+    return v;
+  }
+  static ArenaVec view_of(std::span<const T> s) {
+    return view_of(s.data(), s.size());
+  }
+
+  bool is_view() const { return borrowed_; }
+
+  // Copies/moves must re-point data_ at the destination's own buffer in
+  // owning mode (the default memberwise copy would alias the source's
+  // heap allocation); views copy the borrowed pointer verbatim.
+  ArenaVec(const ArenaVec& other)
+      : owned_(other.owned_),
+        data_(other.data_),
+        size_(other.size_),
+        borrowed_(other.borrowed_) {
+    if (!borrowed_) sync();
+  }
+  ArenaVec& operator=(const ArenaVec& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      borrowed_ = other.borrowed_;
+      data_ = other.data_;
+      size_ = other.size_;
+      if (!borrowed_) sync();
+    }
+    return *this;
+  }
+  ArenaVec(ArenaVec&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(other.data_),
+        size_(other.size_),
+        borrowed_(other.borrowed_) {
+    if (!borrowed_) sync();
+    other.borrowed_ = false;
+    other.owned_.clear();
+    other.sync();
+  }
+  ArenaVec& operator=(ArenaVec&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      borrowed_ = other.borrowed_;
+      data_ = other.data_;
+      size_ = other.size_;
+      if (!borrowed_) sync();
+      other.borrowed_ = false;
+      other.owned_.clear();
+      other.sync();
+    }
+    return *this;
+  }
+
+  // ------------------------------------------------------- const surface
+  // Works identically in both modes; this is all the query paths use.
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  // ---------------------------------------------------- mutating surface
+  // Owning mode only: building an index mutates, serving never does.
+  T& operator[](std::size_t i) {
+    check_owned();
+    return owned_[i];
+  }
+  T* mutable_data() {
+    check_owned();
+    return owned_.data();
+  }
+  T* begin_mut() {
+    check_owned();
+    return owned_.data();
+  }
+  T* end_mut() {
+    check_owned();
+    return owned_.data() + owned_.size();
+  }
+  void assign(std::size_t count, const T& value) {
+    check_owned();
+    owned_.assign(count, value);
+    sync();
+  }
+  void resize(std::size_t count) {
+    check_owned();
+    owned_.resize(count);
+    sync();
+  }
+  void resize(std::size_t count, const T& value) {
+    check_owned();
+    owned_.resize(count, value);
+    sync();
+  }
+  void reserve(std::size_t count) {
+    check_owned();
+    owned_.reserve(count);
+    sync();
+  }
+  void push_back(const T& value) {
+    check_owned();
+    owned_.push_back(value);
+    sync();
+  }
+  void clear() {
+    check_owned();
+    owned_.clear();
+    sync();
+  }
+  void shrink_to_fit() {
+    check_owned();
+    owned_.shrink_to_fit();
+    sync();
+  }
+
+ private:
+  void check_owned() const {
+    SEPDC_CHECK_MSG(!borrowed_,
+                    "ArenaVec: mutation of a borrowed view (loaded "
+                    "snapshots are immutable)");
+  }
+  void sync() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;   // always the active storage
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace sepdc::arena

@@ -1,0 +1,345 @@
+// Snapshot persistence suite (docs/persistence.md).
+//
+// Round-trip contract: an index saved to disk and mmap-loaded back must
+// be *byte-identical* to the built one — same storage bytes, and the
+// same answers (ids, bitwise-equal distances, and tie order) on every
+// query path: kd-tree fallback, index ball-march, expanding k-NN, the
+// batched entry points, and a broker cold-started from the file. The
+// Duplicates workload is in the matrix deliberately: coincident points
+// produce equal distances, so any tie-order drift in a loaded snapshot
+// fails here.
+//
+// Corruption contract: a damaged file (truncation, foreign magic,
+// flipped byte in a checksummed section, wrong dimension, missing file)
+// throws a typed io::SnapshotIoError with the matching code, and a
+// store that was asked to bootstrap from it publishes nothing.
+#include "io/snapshot_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/query_broker.hpp"
+#include "service/snapshot.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace sepdc::io {
+namespace {
+
+using Pt = geo::Point<2>;
+using service::SnapshotStore;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<Pt> make_points(workload::Kind kind, std::size_t n,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  return workload::generate<2>(kind, n, rng);
+}
+
+typename SnapshotStore<2>::Ptr build_snapshot(
+    std::span<const Pt> points, par::ThreadPool& pool,
+    std::uint64_t version = 1) {
+  core::SeparatorIndexConfig cfg;
+  cfg.leaf_size = 16;
+  return SnapshotStore<2>::build(points, cfg, pool, version);
+}
+
+template <class T>
+void expect_bytes_equal(std::span<const T> a, std::span<const T> b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0)
+      << what;
+}
+
+// Bitwise equality on the (id, dist2) payload fields — never memcmp on
+// the row structs, whose alignment padding is uninitialized.
+void expect_entries_identical(const std::vector<knn::TopK::Entry>& a,
+                              const std::vector<knn::TopK::Entry>& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].index, b[s].index) << what << " slot " << s;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[s].dist2),
+              std::bit_cast<std::uint64_t>(b[s].dist2))
+        << what << " slot " << s;
+  }
+}
+
+void expect_pairs_identical(
+    const std::vector<std::pair<std::uint32_t, double>>& a,
+    const std::vector<std::pair<std::uint32_t, double>>& b,
+    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].first, b[s].first) << what << " slot " << s;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[s].second),
+              std::bit_cast<std::uint64_t>(b[s].second))
+        << what << " slot " << s;
+  }
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+// --------------------------------------------------------- round trip
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<workload::Kind> {
+};
+
+TEST_P(SnapshotRoundTrip, StorageBytesAreIdentical) {
+  par::ThreadPool pool(4);
+  auto points = make_points(GetParam(), 900, 77);
+  auto built = build_snapshot(points, pool);
+  const std::string path =
+      temp_path(std::string("bytes_") + workload::kind_name(GetParam()) +
+                ".sepdc");
+  save_snapshot<2>(path, *built->index, *built->fallback, built->version);
+  auto loaded = load_snapshot<2>(path);
+
+  const auto& bi = *built->index;
+  const auto& li = *loaded.index;
+  expect_bytes_equal(bi.points(), li.points(), "index points");
+  expect_bytes_equal(bi.perm(), li.perm(), "perm");
+  expect_bytes_equal(bi.forest().nodes(), li.forest().nodes(),
+                     "forest nodes");
+  expect_bytes_equal(bi.leaf_blocks(), li.leaf_blocks(), "leaf blocks");
+  expect_bytes_equal(bi.blocks().coords(), li.blocks().coords(),
+                     "block coords");
+  expect_bytes_equal(bi.blocks().ids(), li.blocks().ids(), "block ids");
+  expect_bytes_equal(bi.blocks().lanes(), li.blocks().lanes(),
+                     "block lanes");
+  EXPECT_EQ(bi.forest().root_id(), li.forest().root_id());
+  EXPECT_EQ(bi.diameter(), li.diameter());
+
+  const auto& bk = *built->fallback;
+  const auto& lk = *loaded.fallback;
+  expect_bytes_equal(bk.ids(), lk.ids(), "kd ids");
+  expect_bytes_equal(bk.nodes(), lk.nodes(), "kd nodes");
+  expect_bytes_equal(bk.blocks().coords(), lk.blocks().coords(),
+                     "kd block coords");
+  EXPECT_EQ(bk.root_id(), lk.root_id());
+  EXPECT_EQ(bk.leaf_size(), lk.leaf_size());
+  EXPECT_EQ(loaded.saved_version, built->version);
+  EXPECT_EQ(loaded.point_count, points.size());
+}
+
+TEST_P(SnapshotRoundTrip, AnswersAreByteIdenticalOnEveryPath) {
+  par::ThreadPool pool(4);
+  auto points = make_points(GetParam(), 900, 78);
+  auto built = build_snapshot(points, pool);
+  const std::string path =
+      temp_path(std::string("paths_") + workload::kind_name(GetParam()) +
+                ".sepdc");
+  save_snapshot<2>(path, *built->index, *built->fallback, built->version);
+  auto loaded = load_snapshot<2>(path);
+
+  auto queries = make_points(workload::Kind::UniformCube, 64, 79);
+  // Indexed points as queries too: exact-hit / zero-distance ties.
+  queries.insert(queries.end(), points.begin(), points.begin() + 32);
+  const std::size_t k = 5;
+  const double radius = 0.15;
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Pt& q = queries[qi];
+    const std::string tag = "query " + std::to_string(qi);
+    // kd-tree fallback path.
+    expect_entries_identical(built->fallback->query(q, k).take_sorted(),
+                             loaded.fallback->query(q, k).take_sorted(),
+                             "kd " + tag);
+    // Index expanding-radius k-NN path.
+    expect_entries_identical(built->index->knn(q, k).take_sorted(),
+                             loaded.index->knn(q, k).take_sorted(),
+                             "index knn " + tag);
+    // Index ball-march path, enumeration order included.
+    std::vector<std::pair<std::uint32_t, double>> e, f;
+    built->index->for_each_in_ball(q, radius, [&](std::uint32_t id,
+                                                  double d2) {
+      e.emplace_back(id, d2);
+    });
+    loaded.index->for_each_in_ball(q, radius, [&](std::uint32_t id,
+                                                  double d2) {
+      f.emplace_back(id, d2);
+    });
+    expect_pairs_identical(e, f, "ball march " + tag);
+  }
+
+  // Batched entry points.
+  std::span<const Pt> qspan(queries);
+  auto bk = built->index->batch_knn(pool, qspan, k);
+  auto lk = loaded.index->batch_knn(pool, qspan, k);
+  ASSERT_EQ(bk.size(), lk.size());
+  for (std::size_t i = 0; i < bk.size(); ++i)
+    expect_entries_identical(bk[i], lk[i],
+                             "batch_knn row " + std::to_string(i));
+  auto br = built->index->batch_radius(pool, qspan, radius);
+  auto lr = loaded.index->batch_radius(pool, qspan, radius);
+  ASSERT_EQ(br.size(), lr.size());
+  for (std::size_t i = 0; i < br.size(); ++i)
+    expect_pairs_identical(br[i], lr[i],
+                           "batch_radius row " + std::to_string(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SnapshotRoundTrip,
+    ::testing::Values(workload::Kind::UniformCube,
+                      workload::Kind::GaussianClusters,
+                      workload::Kind::Duplicates),
+    [](const auto& pinfo) { return workload::kind_name(pinfo.param); });
+
+// A broker cold-started from a snapshot file answers byte-identically
+// to the broker that built the index, and the persistence counters move.
+TEST(SnapshotBroker, ColdStartServesIdenticalAnswers) {
+  par::ThreadPool pool(4);
+  auto points = make_points(workload::Kind::Duplicates, 800, 91);
+  service::BrokerConfig cfg;
+  cfg.max_batch = 16;
+  const std::string path = temp_path("broker_cold_start.sepdc");
+
+  service::QueryBroker<2> warm(std::span<const Pt>(points), cfg, pool);
+  ASSERT_TRUE(warm.save_snapshot(path));
+  EXPECT_EQ(warm.stats().snapshot_saves, 1u);
+
+  service::QueryBroker<2> cold(path, cfg, pool);
+  EXPECT_EQ(cold.stats().snapshot_loads, 1u);
+  EXPECT_EQ(cold.stats().index_load.count(), 1u);
+  EXPECT_EQ(cold.version(), 1u);  // fresh local generation, not on-disk
+  ASSERT_NE(cold.current_snapshot(), nullptr);
+  EXPECT_EQ(cold.current_snapshot()->point_count, points.size());
+
+  auto queries = make_points(workload::Kind::UniformCube, 96, 92);
+  auto wk = warm.bulk_knn(std::span<const Pt>(queries), 4);
+  auto ck = cold.bulk_knn(std::span<const Pt>(queries), 4);
+  ASSERT_EQ(wk.size(), ck.size());
+  for (std::size_t i = 0; i < wk.size(); ++i)
+    expect_entries_identical(wk[i], ck[i],
+                             "bulk_knn row " + std::to_string(i));
+  auto wr = warm.bulk_radius(std::span<const Pt>(queries), 0.1);
+  auto cr = cold.bulk_radius(std::span<const Pt>(queries), 0.1);
+  ASSERT_EQ(wr.size(), cr.size());
+  for (std::size_t i = 0; i < wr.size(); ++i)
+    expect_pairs_identical(wr[i], cr[i],
+                           "bulk_radius row " + std::to_string(i));
+
+  // A cold-started broker is a full broker: rebuilds still work.
+  auto version = cold.rebuild(std::span<const Pt>(points));
+  EXPECT_EQ(version, 2u);
+}
+
+// ---------------------------------------------------------- corruption
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<par::ThreadPool>(4);
+    points_ = make_points(workload::Kind::UniformCube, 600, 101);
+    built_ = build_snapshot(points_, *pool_);
+    path_ = temp_path("corruption_victim.sepdc");
+    save_snapshot<2>(path_, *built_->index, *built_->fallback,
+                     built_->version);
+  }
+
+  // The load must throw the expected typed error, and a store asked to
+  // bootstrap from the damaged file must keep serving what it served
+  // before (here: nothing).
+  void expect_load_fails(SnapshotError expected) {
+    try {
+      (void)load_snapshot<2>(path_);
+      FAIL() << "load_snapshot did not throw";
+    } catch (const SnapshotIoError& e) {
+      EXPECT_EQ(e.code(), expected) << e.what();
+    }
+    SnapshotStore<2> store;
+    service::ServiceStats stats;
+    EXPECT_THROW(store.bootstrap_from(path_, &stats), SnapshotIoError);
+    EXPECT_EQ(store.current(), nullptr) << "corrupt load was published";
+    EXPECT_EQ(stats.snapshot_loads.load(), 0u);
+  }
+
+  std::unique_ptr<par::ThreadPool> pool_;
+  std::vector<Pt> points_;
+  typename SnapshotStore<2>::Ptr built_;
+  std::string path_;
+};
+
+TEST_F(SnapshotCorruption, MissingFile) {
+  path_ = temp_path("never_written.sepdc");
+  expect_load_fails(SnapshotError::kOpenFailed);
+}
+
+TEST_F(SnapshotCorruption, TruncatedBelowHeader) {
+  std::filesystem::resize_file(path_, sizeof(FileHeader) - 9);
+  expect_load_fails(SnapshotError::kTooSmall);
+}
+
+TEST_F(SnapshotCorruption, TruncatedMidSection) {
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 128);
+  expect_load_fails(SnapshotError::kTooSmall);
+}
+
+TEST_F(SnapshotCorruption, BadMagic) {
+  flip_byte(path_, 0);
+  expect_load_fails(SnapshotError::kBadMagic);
+}
+
+TEST_F(SnapshotCorruption, HeaderFieldFlipFailsHeaderChecksum) {
+  // Inside point_count (offset 24..31): header checksum catches it
+  // before any field is believed.
+  flip_byte(path_, offsetof(FileHeader, point_count) + 2);
+  expect_load_fails(SnapshotError::kBadChecksum);
+}
+
+TEST_F(SnapshotCorruption, FlippedSectionByteFailsSectionChecksum) {
+  // First byte of the first section (the table starts the sections at
+  // the first kSectionAlign boundary past header + table).
+  const std::size_t table_end =
+      sizeof(FileHeader) + 13 * sizeof(SectionRecord);
+  const std::size_t first_section =
+      (table_end + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  flip_byte(path_, first_section);
+  expect_load_fails(SnapshotError::kBadChecksum);
+}
+
+TEST_F(SnapshotCorruption, WrongDimension) {
+  try {
+    (void)load_snapshot<3>(path_);  // saved as D=2
+    FAIL() << "load_snapshot did not throw";
+  } catch (const SnapshotIoError& e) {
+    EXPECT_EQ(e.code(), SnapshotError::kBadDims) << e.what();
+  }
+}
+
+// A failed bootstrap on a store that already serves a generation keeps
+// that generation — never downgrades, never nulls.
+TEST_F(SnapshotCorruption, FailedBootstrapKeepsCurrentGeneration) {
+  SnapshotStore<2> store;
+  store.publish(built_);
+  flip_byte(path_, 0);
+  EXPECT_THROW(store.bootstrap_from(path_), SnapshotIoError);
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version, built_->version);
+}
+
+}  // namespace
+}  // namespace sepdc::io

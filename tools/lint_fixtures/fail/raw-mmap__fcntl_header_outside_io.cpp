@@ -1,0 +1,7 @@
+// lint-fixture: src/service/warm_loader.cpp
+// Including the syscall headers outside src/io/ signals raw file I/O is
+// about to happen there; the rule flags the includes themselves.
+#include <fcntl.h>
+#include <sys/mman.h>
+
+int warm_loader_dummy() { return 0; }

@@ -1,0 +1,13 @@
+// lint-fixture: src/workload/stream_reader.cpp
+// Member calls that share a syscall's name are not raw syscalls: the
+// lookbehind in RAW_MMAP_RE must leave all of these alone.
+#include <fstream>
+#include <string>
+
+std::string read_all(const std::string& path) {
+  std::ifstream file;
+  file.open(path);
+  std::string out((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}

@@ -22,6 +22,14 @@ Rules (each with a stable id used in messages and fixture names):
                   splittable, per-path streams). Applies to src/, tests/,
                   bench/, examples/.
 
+  raw-mmap        raw file-mapping / fd syscalls (open, mmap, pread,
+                  fstat, msync, ... and the <sys/mman.h>/<fcntl.h>
+                  headers) may appear only under src/io/ — every
+                  mapping's lifetime and error path must be reviewable
+                  in one place (io/snapshot_file.cpp). Everything else
+                  consumes mapped memory through io::load_snapshot /
+                  arena views. Applies to src/.
+
   pragma-once     every .hpp must start its preprocessor life with
                   #pragma once.
 
@@ -71,6 +79,12 @@ ATOMIC_ALLOWLIST = {
     "src/knn/kernels.cpp",
 }
 
+# The only directory allowed to issue raw file-mapping / fd syscalls
+# (docs/persistence.md): the snapshot container. The lookbehind in
+# RAW_MMAP_RE excludes member calls (file.open, stream->close), so only
+# free/global-namespace syscall spellings match.
+MMAP_ALLOWED_PREFIX = "src/io/"
+
 # The only files allowed to contain SIMD intrinsics or vectorization
 # pragmas: the distance-kernel TU family (docs/kernels.md). Everything
 # else must call through kernels::dist2_blocks so the bit-identity
@@ -106,6 +120,14 @@ STRAY_SIMD_RE = re.compile(
     r"|\b_mm\d*_\w+\s*\("
     r"|\b__m(?:64|128|256|512)[di]?\b"
     r"|#\s*pragma\s+omp\s+simd\b"
+)
+
+RAW_MMAP_RE = re.compile(
+    r"(?<![\w.>])(?:::\s*)?"
+    r"(?:open|openat|creat|mmap|mmap64|munmap|mremap|msync|madvise"
+    r"|pread|pwrite|preadv|pwritev|fstat|fsync|fdatasync|ftruncate)"
+    r"\s*\("
+    r"|#\s*include\s*<(?:sys/mman|fcntl)\.h>"
 )
 
 ADD_TEST_RE = re.compile(r"\badd_test\s*\(\s*NAME\s+([^\s)]+)", re.IGNORECASE)
@@ -202,6 +224,15 @@ def check_cpp_file(virtual_path: str, raw_text: str) -> list[Finding]:
             "std::atomic outside the audited ownership sites; document the "
             "protocol and extend ATOMIC_ALLOWLIST in tools/lint_sepdc.py "
             "in the same PR",
+        )
+
+    if in_src and not virtual_path.startswith(MMAP_ALLOWED_PREFIX):
+        findings += findings_for_pattern(
+            virtual_path, text, RAW_MMAP_RE, "raw-mmap",
+            "raw file-mapping/fd syscall outside src/io/; go through "
+            "io::save_snapshot / io::load_snapshot so every mapping's "
+            "lifetime and error path stays reviewable in one place "
+            "(docs/persistence.md)",
         )
 
     if not virtual_path.startswith(SIMD_ALLOWED_PREFIX):
