@@ -141,6 +141,38 @@ void summarize(CellResult& r, double elapsed, std::size_t completed,
   r.p99_request_us = snap.p99_us();
 }
 
+// At quiescence the broker's accounting must reconcile exactly with the
+// bench's own count and with the histograms, per op type (the invariants
+// docs/observability.md documents); a violation is a counting bug.
+// `expected` is the bench-side count of every query it submitted —
+// including staleness probes, not just the client loops.
+void reconcile_broker_stats(const service::ServiceStatsSnapshot& s,
+                            std::size_t expected) {
+  SEPDC_CHECK_MSG(s.submitted == expected,
+                  "broker submitted != bench submitted");
+  SEPDC_CHECK_MSG(s.batched + s.punted == s.submitted,
+                  "batched + punted != submitted");
+  SEPDC_CHECK_MSG(s.knn_submitted + s.radius_submitted == s.submitted,
+                  "per-type submissions do not reconcile with submitted");
+  SEPDC_CHECK_MSG(s.knn_answered == s.knn_submitted,
+                  "knn answered != knn submitted");
+  SEPDC_CHECK_MSG(s.radius_answered == s.radius_submitted,
+                  "radius answered != radius submitted");
+  SEPDC_CHECK_MSG(s.updates_submitted == s.inserts + s.removes,
+                  "updates_submitted != inserts + removes");
+  SEPDC_CHECK_MSG(s.update_apply.count() == s.updates_submitted,
+                  "update_apply histogram does not reconcile with updates");
+  SEPDC_CHECK_MSG(s.compaction_build.count() == s.compactions,
+                  "compaction_build histogram does not reconcile with "
+                  "compactions");
+  SEPDC_CHECK_MSG(s.flush_size.sum() == s.batched,
+                  "flush_size histogram does not reconcile with batched");
+  SEPDC_CHECK_MSG(s.queue_wait.count() == s.batched,
+                  "queue_wait histogram does not reconcile with batched");
+  SEPDC_CHECK_MSG(s.punt_latency.count() == s.punted,
+                  "punt_latency histogram does not reconcile with punted");
+}
+
 // One-query-at-a-time service: a dispatcher thread pops one request,
 // answers it against the gated index, and wakes the owning client.
 CellResult run_baseline(const CellParams& p, par::ThreadPool& pool) {
@@ -317,20 +349,7 @@ CellResult run_broker(const CellParams& p, par::ThreadPool& pool) {
 
   summarize(result, elapsed, done, latency);
   result.stats = broker.stats();
-  // At quiescence the broker's accounting must reconcile exactly with
-  // the bench's own count and with the histograms (the invariants
-  // docs/observability.md documents); a violation is a counting bug.
-  SEPDC_CHECK_MSG(result.stats.submitted == done,
-                  "broker submitted != bench completed");
-  SEPDC_CHECK_MSG(
-      result.stats.batched + result.stats.punted == result.stats.submitted,
-      "batched + punted != submitted");
-  SEPDC_CHECK_MSG(result.stats.flush_size.sum() == result.stats.batched,
-                  "flush_size histogram does not reconcile with batched");
-  SEPDC_CHECK_MSG(result.stats.queue_wait.count() == result.stats.batched,
-                  "queue_wait histogram does not reconcile with batched");
-  SEPDC_CHECK_MSG(result.stats.punt_latency.count() == result.stats.punted,
-                  "punt_latency histogram does not reconcile with punted");
+  reconcile_broker_stats(result.stats, done);
   return result;
 }
 
@@ -341,6 +360,212 @@ struct Record {
   unsigned clients = 0;
   CellResult cell;
 };
+
+// --- live_update: sustained mutations while clients query ---
+//
+// The delta-tier acceptance number (docs/updates.md): under a sustained
+// stream of single-point inserts/removes, the broker's request p99 must
+// sit >= 10x below the design you get without a delta tier — apply a
+// batch of updates by rebuilding the whole index behind the write gate —
+// with zero stale answers for acknowledged updates. Every update is
+// followed by a radius-0 probe at the mutated coordinate: an insert that
+// was acknowledged must be visible, a remove must never resurrect. The
+// probe failures are counted and checked, not sampled.
+
+struct LiveUpdateResult {
+  double qps = 0.0;
+  double p50_request_us = 0.0;
+  double p99_request_us = 0.0;
+  std::size_t queries = 0;     // client queries completed
+  std::size_t updates = 0;     // single-point mutations applied
+  std::size_t stale = 0;       // acked updates a probe failed to observe
+  std::size_t rebuilds = 0;    // full index rebuilds (baseline)
+  std::size_t compactions = 0;  // delta merges installed (broker)
+  service::ServiceStatsSnapshot stats{};  // broker only
+};
+
+// Rebuild-per-batch baseline: the service keeps one mutable point set
+// behind the write-preferring gate; applying a batch of updates means
+// reconstructing the entire index in place while every reader waits.
+LiveUpdateResult run_live_update_baseline(const CellParams& p,
+                                          par::ThreadPool& pool) {
+  core::SeparatorIndexConfig icfg;
+  icfg.seed = p.seed;
+  std::vector<Pt> pts(p.points.begin(), p.points.end());
+  std::optional<core::SeparatorIndex<2>> index(std::in_place, pts, icfg,
+                                               pool);
+  RwGate gate;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  metrics::Histogram latency;
+  LiveUpdateResult result;
+
+  Timer elapsed_timer;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < p.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t qi = (c * 7919) % p.queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Same request granularity as the broker clients (a bulk of
+        // p.bulk queries per request) so the p99s are comparable; the
+        // gate is taken per query, the pattern a per-query service
+        // actually deploys, so the writer can interleave.
+        std::size_t len =
+            std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+        Timer t;
+        for (std::size_t i = 0; i < len; ++i) {
+          gate.lock_shared();
+          std::size_t hits = 0;
+          index->for_each_in_ball(p.queries[qi + i], p.radius,
+                                  [&](std::uint32_t, double) { ++hits; });
+          gate.unlock_shared();
+          (void)hits;
+        }
+        latency.record_seconds(t.seconds());
+        completed.fetch_add(len, std::memory_order_relaxed);
+        qi = (qi + len) % p.queries.size();
+      }
+    });
+  }
+  std::thread mutator([&] {
+    Rng rng(p.seed + 101);
+    constexpr std::size_t kBatch = 16;  // updates amortized per rebuild
+    while (!stop.load(std::memory_order_relaxed)) {
+      gate.lock();
+      Pt last{};
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        // Replace a random point with a fresh one: a remove + an insert.
+        std::size_t victim = rng.below(pts.size());
+        last = {{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)}};
+        pts[victim] = last;
+        result.updates += 2;
+      }
+      core::SeparatorIndexConfig c = icfg;
+      c.seed = rng.next();
+      index.emplace(pts, c, pool);
+      ++result.rebuilds;
+      // Acknowledged == rebuilt here; the probe must see the new point.
+      std::size_t seen = 0;
+      index->for_each_in_ball(last, 0.0,
+                              [&](std::uint32_t, double) { ++seen; });
+      if (seen == 0) ++result.stale;
+      gate.unlock();
+      // No pacing sleep: the scenario is a *sustained* mutation stream,
+      // and this design's only way to apply it is rebuild after rebuild.
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  double elapsed = elapsed_timer.seconds();
+  std::size_t done = completed.load(std::memory_order_relaxed);
+  mutator.join();
+
+  result.qps = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  result.queries = done;
+  auto snap = latency.snapshot();
+  result.p50_request_us = snap.p50_us();
+  result.p99_request_us = snap.p99_us();
+  return result;
+}
+
+// Delta-tier broker: every mutation lands in the live tier immediately;
+// compaction (threshold-triggered, built off to the side, published by
+// snapshot handoff) never blocks a reader.
+LiveUpdateResult run_live_update_broker(const CellParams& p,
+                                        par::ThreadPool& pool) {
+  service::BrokerConfig cfg;
+  cfg.max_batch = p.bulk;
+  cfg.flush_interval = std::chrono::microseconds(200);
+  cfg.index.seed = p.seed;
+  cfg.trace = p.trace;
+  service::QueryBroker<2> broker(p.points, cfg, pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  metrics::Histogram latency;
+  LiveUpdateResult result;
+
+  Timer elapsed_timer;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < p.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t qi = (c * 7919) % p.queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t len =
+            std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+        Timer t;
+        auto rows = broker.bulk_radius(p.queries.subspan(qi, len), p.radius);
+        (void)rows;
+        latency.record_seconds(t.seconds());
+        completed.fetch_add(len, std::memory_order_relaxed);
+        qi = (qi + len) % p.queries.size();
+      }
+    });
+  }
+  std::size_t probe_queries = 0;
+  std::thread mutator([&] {
+    Rng rng(p.seed + 101);
+    std::uint32_t next_id = static_cast<std::uint32_t>(p.points.size());
+    std::vector<std::pair<std::uint32_t, Pt>> added;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Pt pt{{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)}};
+      std::uint32_t id = next_id++;
+      broker.insert(id, pt);
+      ++result.updates;
+      added.emplace_back(id, pt);
+      // The insert returned, so it is acknowledged: a closed-ball probe
+      // at its exact coordinate must report it (kernel bit-identity
+      // makes dist2 == 0.0 exact, docs/kernels.md).
+      auto hits = broker.radius(pt, 0.0);
+      ++probe_queries;
+      bool seen = false;
+      for (const auto& [hid, d2] : hits) seen |= hid == id;
+      if (!seen) ++result.stale;
+      // Let the live set outgrow the compaction threshold (256 by
+      // default) so the threshold-triggered background merge actually
+      // runs inside the measurement window; a remove of an id whose add
+      // is still in the active segment just cancels the add, so trimming
+      // too early would pin the pending count below the threshold.
+      if (added.size() > 512) {
+        std::size_t pick = rng.below(added.size());
+        auto [rid, rpt] = added[pick];
+        added[pick] = added.back();
+        added.pop_back();
+        broker.remove(rid);
+        ++result.updates;
+        auto post = broker.radius(rpt, 0.0);
+        ++probe_queries;
+        for (const auto& [hid, d2] : post)
+          if (hid == rid) ++result.stale;  // resurrected tombstone
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  double elapsed = elapsed_timer.seconds();
+  std::size_t done = completed.load(std::memory_order_relaxed);
+  mutator.join();
+  broker.drain_rebuilds();
+
+  result.qps = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  result.queries = done;
+  auto snap = latency.snapshot();
+  result.p50_request_us = snap.p50_us();
+  result.p99_request_us = snap.p99_us();
+  result.stats = broker.stats();
+  result.compactions = result.stats.compactions;
+  reconcile_broker_stats(result.stats, done + probe_queries);
+  SEPDC_CHECK_MSG(result.stats.updates_submitted == result.updates,
+                  "live_update: broker update count != bench update count");
+  SEPDC_CHECK_MSG(result.stale == 0,
+                  "live_update: stale answer for an acknowledged update");
+  return result;
+}
 
 }  // namespace
 
@@ -458,7 +683,61 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // live_update runs at the largest client count only, on the radius
+  // workload (the latency-sensitive regime): broker delta tier vs
+  // rebuild-per-batch. The "speedup" column reports the p99 ratio —
+  // baseline request p99 over broker request p99 (target >= 10x).
+  // Half the top client count: the cell measures mutation-induced tail
+  // latency, so the readers must not saturate the machine by themselves
+  // (at full saturation both designs just measure CPU contention).
+  const unsigned lu_clients = std::max(1u, top_clients / 2);
+  LiveUpdateResult lu_base, lu_broker;
+  {
+    CellParams p = base;
+    p.kind = Kind::kRadius;
+    p.clients = lu_clients;
+    p.trace = trace ? &*trace : nullptr;
+    lu_base = run_live_update_baseline(p, pool);
+    lu_broker = run_live_update_broker(p, pool);
+  }
+  const double lu_p99_ratio = lu_broker.p99_request_us > 0.0
+                                  ? lu_base.p99_request_us /
+                                        lu_broker.p99_request_us
+                                  : 0.0;
+  table.new_row()
+      .cell("radius")
+      .cell("live_update")
+      .cell("baseline")
+      .cell(lu_clients)
+      .cell(lu_base.qps, 0)
+      .cell(lu_base.p50_request_us, 1)
+      .cell(lu_base.p99_request_us, 1)
+      .cell(lu_base.rebuilds)
+      .cell(0)
+      .cell(1.0, 2);
+  table.new_row()
+      .cell("radius")
+      .cell("live_update")
+      .cell("broker")
+      .cell(lu_clients)
+      .cell(lu_broker.qps, 0)
+      .cell(lu_broker.p50_request_us, 1)
+      .cell(lu_broker.p99_request_us, 1)
+      .cell(lu_broker.compactions)
+      .cell(lu_broker.stats.punted)
+      .cell(lu_p99_ratio, 2);
   table.print(std::cout);
+
+  std::printf(
+      "\nlive update, sustained mutations at %u clients "
+      "(target: broker p99 >= 10x below rebuild-per-batch):\n"
+      "  baseline %.1f us p99 over %zu updates (%zu rebuilds) | "
+      "broker %.1f us p99 over %zu updates (%zu compactions) | %.1fx\n"
+      "  stale answers for acknowledged updates: %zu (must be 0)\n",
+      lu_clients, lu_base.p99_request_us, lu_base.updates,
+      lu_base.rebuilds, lu_broker.p99_request_us, lu_broker.updates,
+      lu_broker.compactions, lu_p99_ratio,
+      lu_base.stale + lu_broker.stale);
 
   // --- cold_start: time-to-first-answer, fresh build vs mmap load ---
   // The persistence acceptance number (docs/persistence.md): a broker
@@ -571,6 +850,28 @@ int main(int argc, char** argv) {
            << ", \"snapshots_published\": " << s.snapshots_published
            << "},\n";
     }
+    auto live_update_row = [&](const char* mode, const LiveUpdateResult& r) {
+      json << "  {\"workload\": \"radius\", \"scenario\": \"live_update\", "
+           << "\"mode\": \"" << mode << "\", \"clients\": " << lu_clients
+           << ", \"throughput_qps\": " << r.qps
+           << ", \"p50_request_us\": " << r.p50_request_us
+           << ", \"p99_request_us\": " << r.p99_request_us
+           << ", \"queries\": " << r.queries
+           << ", \"updates\": " << r.updates
+           << ", \"stale_answers\": " << r.stale
+           << ", \"rebuilds\": " << r.rebuilds
+           << ", \"compactions\": " << r.compactions
+           << ", \"delta_peak\": " << r.stats.delta_peak
+           << ", \"update_apply_p99_us\": " << r.stats.update_apply.p99_us()
+           << ", \"compaction_build_p99_us\": "
+           << r.stats.compaction_build.p99_us() << "},\n";
+    };
+    live_update_row("baseline", lu_base);
+    live_update_row("broker", lu_broker);
+    json << "  {\"scenario\": \"live_update_summary\", \"clients\": "
+         << lu_clients << ", \"p99_ratio\": " << lu_p99_ratio
+         << ", \"stale_answers\": " << lu_base.stale + lu_broker.stale
+         << ", \"target\": 10.0},\n";
     json << "  {\"scenario\": \"cold_start\", \"n\": " << n
          << ", \"build_ttfa_ms\": " << cold.build_s * 1e3
          << ", \"load_ttfa_ms\": " << cold.load_s * 1e3
@@ -585,7 +886,7 @@ int main(int argc, char** argv) {
          << ", \"speedup_knn_rebuild\": " << speedup_of("knn", "rebuild")
          << ", \"target\": 3.0}\n";
     json << "]\n";
-    std::printf("wrote %zu records to %s\n", records.size() + 2,
+    std::printf("wrote %zu records to %s\n", records.size() + 5,
                 path.c_str());
   }
   return 0;

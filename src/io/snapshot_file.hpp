@@ -28,6 +28,8 @@
 // the lint raw-mmap rule (tools/lint_sepdc.py) confines them to src/io/.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -48,8 +50,9 @@ namespace sepdc::io {
 
 // Bump when any pinned record layout or the container layout changes;
 // load refuses other versions (no migration shims — a snapshot is a
-// cache of a rebuildable structure, not a database).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+// cache of a rebuildable structure, not a database). v2 added the
+// external-id map and the pending-delta sections (14-17).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 inline constexpr char kSnapshotMagic[8] = {'S', 'E', 'P', 'D',
                                            'C', 'S', 'N', 'P'};
 // Written natively; reads as 0x04030201 on an other-endian host.
@@ -121,6 +124,13 @@ enum class SectionId : std::uint32_t {
   kKdBlockCoords = 11,  // double[], SoA blocks of the kd leaf payloads
   kKdBlockIds = 12,     // u32[]
   kKdBlockLanes = 13,   // u8[]
+  // v2: live-update state (docs/updates.md). Always written, zero-size
+  // when the service has no pending delta.
+  kExternalIds = 14,  // u32[n], internal position -> external id,
+                      // strictly increasing (identity written explicitly)
+  kDeltaIds = 15,     // u32[m], pending-insert external ids, sorted
+  kDeltaPoints = 16,  // geo::Point<D>[m], parallel to kDeltaIds
+  kTombstones = 17,   // u32[t], masked base external ids, sorted
 };
 
 // Scalars the queries need but the arenas don't carry. Lives in its own
@@ -218,6 +228,20 @@ std::span<const T> typed_section(const ValidatedFile& file, SectionId id) {
 
 }  // namespace detail
 
+// Live-update state riding along with a saved base (docs/updates.md).
+// All spans must stay valid for the duration of save_snapshot.
+// `external_ids` empty means the identity map; the delta arrays are the
+// *flattened* pending updates relative to the saved base (sorted by id —
+// service::flatten_delta produces exactly this), so a save taken
+// mid-compaction round-trips byte-identically.
+template <int D>
+struct SnapshotSidecar {
+  std::span<const std::uint32_t> external_ids;
+  std::span<const std::uint32_t> delta_ids;
+  std::span<const geo::Point<D>> delta_points;
+  std::span<const std::uint32_t> tombstones;
+};
+
 // Serializes a built index + its kd-tree fallback. `version` is the
 // SnapshotStore generation being saved (recorded, not trusted on load —
 // a bootstrapping store claims a fresh version). The two structures must
@@ -226,7 +250,8 @@ template <int D>
 void save_snapshot(const std::string& path,
                    const core::SeparatorIndex<D>& index,
                    const knn::KdTree<D>& fallback,
-                   std::uint64_t version) {
+                   std::uint64_t version,
+                   const SnapshotSidecar<D>& sidecar = {}) {
   auto points = index.points();
   auto kd_points = fallback.points();
   SEPDC_CHECK_MSG(points.size() == kd_points.size() &&
@@ -249,6 +274,22 @@ void save_snapshot(const std::string& path,
   const auto& blocks = index.blocks();
   auto kd_nodes = fallback.nodes();
   const auto& kd_blocks = fallback.blocks();
+
+  // The identity map is written explicitly: every v2 file carries the
+  // full internal -> external section, so the loader never guesses.
+  std::vector<std::uint32_t> identity;
+  std::span<const std::uint32_t> external_ids = sidecar.external_ids;
+  if (external_ids.empty()) {
+    identity.resize(points.size());
+    for (std::size_t i = 0; i < identity.size(); ++i)
+      identity[i] = static_cast<std::uint32_t>(i);
+    external_ids = identity;
+  }
+  SEPDC_CHECK_MSG(external_ids.size() == points.size(),
+                  "save_snapshot: external id map disagrees with the "
+                  "point count");
+  SEPDC_CHECK_MSG(sidecar.delta_ids.size() == sidecar.delta_points.size(),
+                  "save_snapshot: delta ids and points disagree");
 
   auto sec = [](SectionId id, const auto* data, std::size_t count) {
     using T = std::remove_cvref_t<decltype(*data)>;
@@ -275,10 +316,27 @@ void save_snapshot(const std::string& path,
           kd_blocks.ids().size()),
       sec(SectionId::kKdBlockLanes, kd_blocks.lanes().data(),
           kd_blocks.lanes().size()),
+      sec(SectionId::kExternalIds, external_ids.data(),
+          external_ids.size()),
+      sec(SectionId::kDeltaIds, sidecar.delta_ids.data(),
+          sidecar.delta_ids.size()),
+      sec(SectionId::kDeltaPoints, sidecar.delta_points.data(),
+          sidecar.delta_points.size()),
+      sec(SectionId::kTombstones, sidecar.tombstones.data(),
+          sidecar.tombstones.size()),
   };
   detail::write_snapshot_file(path, static_cast<std::uint32_t>(D),
                               points.size(), version, sections);
 }
+
+// The pending delta replayed from a snapshot file — owned copies (the
+// delta is tiny and mutable state must not alias the read-only mapping).
+template <int D>
+struct LoadedDelta {
+  std::vector<std::uint32_t> ids;          // sorted insert external ids
+  std::vector<geo::Point<D>> points;       // parallel to ids
+  std::vector<std::uint32_t> tombstones;   // sorted masked base ids
+};
 
 // A loaded snapshot: both structures serve directly out of the mapping,
 // which stays alive for as long as either shared_ptr does (aliasing).
@@ -289,6 +347,11 @@ struct LoadedSnapshot {
   std::uint64_t saved_version = 0;
   std::size_t point_count = 0;
   std::size_t file_bytes = 0;
+  // Internal position -> external id; empty when the file carries the
+  // identity map (the loader collapses an explicit identity section so
+  // the in-memory fast path stays allocation-free).
+  std::vector<std::uint32_t> external_ids;
+  LoadedDelta<D> delta;
 };
 
 // mmaps `path`, validates everything (header, section table, checksums,
@@ -390,6 +453,52 @@ LoadedSnapshot<D> load_snapshot(const std::string& path) {
   for (std::uint8_t l : kd.block_lanes)
     if (l < 1 || l > kW) detail::fail_structure("kd lane count invalid");
 
+  // v2 live-update sections. Strict monotonicity doubles as a
+  // duplicate/reserved-id check (0xffffffff can only appear last, and is
+  // rejected explicitly).
+  auto ext_ids = detail::typed_section<std::uint32_t>(
+      file, SectionId::kExternalIds);
+  auto delta_ids = detail::typed_section<std::uint32_t>(
+      file, SectionId::kDeltaIds);
+  auto delta_points = detail::typed_section<geo::Point<D>>(
+      file, SectionId::kDeltaPoints);
+  auto tombstones = detail::typed_section<std::uint32_t>(
+      file, SectionId::kTombstones);
+  if (ext_ids.size() != rel.points.size())
+    detail::fail_structure("external id section disagrees with the "
+                           "point count");
+  for (std::size_t i = 0; i < ext_ids.size(); ++i)
+    if (ext_ids[i] == 0xffffffffu ||
+        (i > 0 && ext_ids[i] <= ext_ids[i - 1]))
+      detail::fail_structure("external ids not strictly increasing or "
+                             "reserved");
+  if (delta_ids.size() != delta_points.size())
+    detail::fail_structure("delta id and point sections disagree");
+  auto in_base = [&](std::uint32_t id) {
+    return std::binary_search(ext_ids.begin(), ext_ids.end(), id);
+  };
+  for (std::size_t i = 0; i < tombstones.size(); ++i) {
+    if (i > 0 && tombstones[i] <= tombstones[i - 1])
+      detail::fail_structure("tombstones not strictly increasing");
+    if (!in_base(tombstones[i]))
+      detail::fail_structure("tombstone names an id the base does not "
+                             "hold");
+  }
+  for (std::size_t i = 0; i < delta_ids.size(); ++i) {
+    const std::uint32_t id = delta_ids[i];
+    if (id == 0xffffffffu || (i > 0 && id <= delta_ids[i - 1]))
+      detail::fail_structure("delta ids not strictly increasing or "
+                             "reserved");
+    // A delta insert may only reuse a base id that is tombstoned —
+    // otherwise two live points would share one external id.
+    if (in_base(id) &&
+        !std::binary_search(tombstones.begin(), tombstones.end(), id))
+      detail::fail_structure("delta id duplicates a live base id");
+    for (int dim = 0; dim < D; ++dim)
+      if (!std::isfinite(delta_points[i][dim]))
+        detail::fail_structure("delta point coordinate not finite");
+  }
+
   // Adopt: the bundle owns the mapping and both structures; the returned
   // shared_ptrs alias into it, so dropping any subset keeps the mapping
   // alive until the last user is gone.
@@ -412,6 +521,14 @@ LoadedSnapshot<D> load_snapshot(const std::string& path) {
   out.point_count =
       static_cast<std::size_t>(bundle->file.header.point_count);
   out.file_bytes = bundle->file.map->size();
+  bool identity = true;
+  for (std::size_t i = 0; i < ext_ids.size() && identity; ++i)
+    identity = ext_ids[i] == static_cast<std::uint32_t>(i);
+  if (!identity)
+    out.external_ids.assign(ext_ids.begin(), ext_ids.end());
+  out.delta.ids.assign(delta_ids.begin(), delta_ids.end());
+  out.delta.points.assign(delta_points.begin(), delta_points.end());
+  out.delta.tombstones.assign(tombstones.begin(), tombstones.end());
   return out;
 }
 

@@ -15,6 +15,17 @@
 // SnapshotStore's atomic shared_ptr slot. A query grabs the current
 // snapshot once and runs entirely against that generation.
 //
+// Point-level mutation goes through the delta tier (delta_tier.hpp,
+// docs/updates.md): insert()/remove() apply to a small mutable overlay
+// whose hits are merged into every answer under the same (dist2, id)
+// contract, with removals masking base hits via tombstones. An update is
+// visible to every query submitted after the updating call returned.
+// When the pending delta crosses delta_compaction_threshold the broker
+// seals it and builds a fresh base generation on the pool in the
+// background (readers keep answering from base+sealed+active
+// throughout), then installs the new base and drops the sealed segment
+// in one atomic view publication.
+//
 // Deadline-aware degradation follows the Punting Lemma's shape (run the
 // preferred algorithm only while it can still win; otherwise fall back
 // immediately rather than retrying): a query whose deadline cannot
@@ -47,6 +58,7 @@
 
 #include "core/separator_index.hpp"
 #include "parallel/thread_pool.hpp"
+#include "service/delta_tier.hpp"
 #include "service/service_stats.hpp"
 #include "service/snapshot.hpp"
 #include "support/assert.hpp"
@@ -58,25 +70,9 @@
 
 namespace sepdc::service {
 
-// Thrown at submission for query parameters the service cannot answer
-// meaningfully (k == 0, negative/NaN radius). Mirrors core::ConfigError:
-// carries the offending field so callers can point at the exact
-// parameter. Validation happens *before* the request is accounted or
-// enqueued — an invalid query never reaches a batch (where e.g. a NaN
-// radius would poison the ==-keyed radius grouping) and never skews the
-// outcome counters.
-class QueryError : public std::invalid_argument {
- public:
-  QueryError(std::string field, const std::string& message)
-      : std::invalid_argument("query parameter '" + field +
-                              "': " + message),
-        field_(std::move(field)) {}
-
-  const std::string& field() const noexcept { return field_; }
-
- private:
-  std::string field_;
-};
+// QueryError (thrown at submission, before any accounting, for
+// parameters the service cannot answer — k == 0, NaN radius, insert of
+// a live id) lives in delta_tier.hpp, shared with the live store.
 
 struct BrokerConfig {
   // Flush the pending queue as soon as it holds this many queries.
@@ -90,6 +86,10 @@ struct BrokerConfig {
   // batch kernels, punts, and snapshot builds emit spans. Null = off,
   // zero overhead. The recorder must outlive the broker.
   metrics::TraceRecorder* trace = nullptr;
+  // Seal the delta and compact it into a fresh base generation (on the
+  // pool, in the background) once this many pending updates accumulate.
+  // 0 disables the automatic trigger — compact() still works on demand.
+  std::size_t delta_compaction_threshold = 256;
 };
 
 template <int D>
@@ -100,17 +100,21 @@ class QueryBroker {
   using RadiusRow = std::vector<std::pair<std::uint32_t, double>>;
   using Snapshot = IndexSnapshot<D>;
   using SnapshotPtr = typename SnapshotStore<D>::Ptr;
+  using ViewPtr = typename LiveStore<D>::ViewPtr;
 
   static constexpr std::uint32_t kNoExclude =
       core::SeparatorIndex<D>::kNoExclude;
   // budget == kNoDeadline means "never punt, never expires".
   static constexpr std::chrono::microseconds kNoDeadline{0};
 
+  // An empty `points` span starts the service delta-only: generation 1
+  // is the empty base and every answer comes from the live tier until
+  // the first compaction builds a real index.
   QueryBroker(std::span<const geo::Point<D>> points,
               const BrokerConfig& cfg, par::ThreadPool& pool)
       : cfg_(cfg), pool_(pool) {
     SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
-    rebuild(points);  // generation 1, synchronous: never serve index-less
+    rebuild(points);  // generation 1, synchronous: never serve view-less
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
@@ -123,15 +127,38 @@ class QueryBroker {
               par::ThreadPool& pool)
       : cfg_(cfg), pool_(pool) {
     SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
-    store_.bootstrap_from(snapshot_path, &stats_, cfg_.trace);
+    io::LoadedDelta<D> delta;
+    store_.bootstrap_from(snapshot_path, &stats_, cfg_.trace, &delta);
+    // Replay the file's pending delta into the live tier: a save taken
+    // with updates in flight bootstraps to the identical live set.
+    live_.reset_with_delta(store_.current(), std::move(delta.ids),
+                           std::move(delta.points),
+                           std::move(delta.tombstones));
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
-  // Serializes the current generation to `path` (atomic tmp + rename;
-  // false when nothing is published yet). Safe to call concurrently
-  // with queries and rebuilds: it reads one immutable generation.
+  // Serializes the current base generation *and* the pending delta to
+  // `path` (atomic tmp + rename) as one coherent view — a save taken
+  // mid-compaction flattens sealed + active relative to the base it
+  // pairs with, so bootstrap replays the exact live set. Returns false —
+  // and writes nothing — while the base is the empty generation (a
+  // snapshot file needs a built index). Safe to call concurrently with
+  // queries, updates, rebuilds, and compactions.
   bool save_snapshot(const std::string& path) {
-    return store_.save_current(path, &stats_, cfg_.trace);
+    ViewPtr view = live_.current();
+    if (view == nullptr || !view->has_base()) return false;
+    metrics::TraceSpan span(cfg_.trace, "index_save", "snapshot");
+    FlatDelta<D> flat = flatten_delta(*view);
+    io::SnapshotSidecar<D> sidecar;
+    if (view->base->external_ids != nullptr)
+      sidecar.external_ids = *view->base->external_ids;
+    sidecar.delta_ids = flat.ids;
+    sidecar.delta_points = flat.points;
+    sidecar.tombstones = flat.tombstones;
+    io::save_snapshot<D>(path, *view->base->index, *view->base->fallback,
+                         view->base->version, sidecar);
+    ServiceStats::add(stats_.snapshot_saves, 1);
+    return true;
   }
 
   ~QueryBroker() { shutdown(); }
@@ -199,11 +226,56 @@ class QueryBroker {
     return run_radius(queries, r, budget);
   }
 
+  // ------------------------------------------------------- update API
+  // As-of-submission semantics: when insert()/remove() returns, the
+  // update is visible to every query submitted afterwards, from any
+  // thread. Both throw QueryError — before any counter moves — on
+  // invalid requests (reserved/live id on insert, dead id on remove,
+  // non-finite coordinates).
+
+  void insert(std::uint32_t id, const geo::Point<D>& p) {
+    Timer timer;
+    auto outcome = live_.insert(id, p);
+    ServiceStats::add(stats_.updates_submitted, 1);
+    ServiceStats::add(stats_.inserts, 1);
+    ServiceStats::bump_max(stats_.delta_peak, outcome.delta_pending);
+    stats_.update_apply.record_seconds(timer.seconds());
+    maybe_compact(outcome.delta_pending);
+  }
+
+  void remove(std::uint32_t id) {
+    Timer timer;
+    auto outcome = live_.remove(id);
+    ServiceStats::add(stats_.updates_submitted, 1);
+    ServiceStats::add(stats_.removes, 1);
+    ServiceStats::bump_max(stats_.delta_peak, outcome.delta_pending);
+    stats_.update_apply.record_seconds(timer.seconds());
+    maybe_compact(outcome.delta_pending);
+  }
+
+  // Synchronous compaction: seals the pending delta (if any, and if no
+  // compaction is already in flight), builds the merged base on the
+  // caller's thread (the build itself parallelizes on the pool), and
+  // installs it. Returns false when there was nothing to do.
+  bool compact() {
+    auto job = live_.seal();
+    if (!job) return false;
+    run_compaction(*job);
+    return true;
+  }
+
+  bool contains(std::uint32_t id) const {
+    ViewPtr view = live_.current();
+    return view != nullptr && view->contains(id);
+  }
+
   // ------------------------------------------------------ rebuild API
 
-  // Builds a new generation over `points` and publishes it atomically.
-  // Blocks the caller only; readers keep answering from the previous
-  // snapshot throughout. Returns the claimed version.
+  // Builds a new generation over `points` and publishes it atomically:
+  // the live set becomes exactly `points` (ids 0..n-1) — any pending
+  // delta is dropped and an in-flight compaction is orphaned. Blocks the
+  // caller only; readers keep answering from the previous view
+  // throughout. Returns the claimed version.
   std::uint64_t rebuild(std::span<const geo::Point<D>> points) {
     RebuildScope scope(*this);
     return rebuild_locked_free(points);
@@ -244,7 +316,18 @@ class QueryBroker {
   // ------------------------------------------------------ observation
 
   SnapshotPtr current_snapshot() const { return store_.current(); }
+  ViewPtr live_view() const { return live_.current(); }
   std::uint64_t version() const { return store_.version(); }
+  // Strictly monotone live-view publication counter: bumps on every
+  // update, seal, compaction install, rebuild, and bootstrap.
+  std::uint64_t live_seq() const {
+    ViewPtr view = live_.current();
+    return view != nullptr ? view->seq : 0;
+  }
+  std::size_t live_count() const {
+    ViewPtr view = live_.current();
+    return view != nullptr ? view->live_count() : 0;
+  }
   ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
   const BrokerConfig& config() const { return cfg_; }
 
@@ -279,12 +362,128 @@ class QueryBroker {
     metrics::TraceSpan span(cfg_.trace, "rebuild", "service");
     ServiceStats::add(stats_.rebuilds, 1);
     std::uint64_t version = store_.claim_version();
-    core::SeparatorIndexConfig icfg = cfg_.index;
-    icfg.seed += version;  // decorrelate generations
-    store_.publish(SnapshotStore<D>::build(points, icfg, pool_, version,
-                                           cfg_.trace),
-                   &stats_);
+    SnapshotPtr snap;
+    if (points.empty()) {
+      snap = SnapshotStore<D>::make_empty(version);
+    } else {
+      core::SeparatorIndexConfig icfg = cfg_.index;
+      icfg.seed += version;  // decorrelate generations
+      snap = SnapshotStore<D>::build(points, icfg, pool_, version,
+                                     cfg_.trace);
+    }
+    store_.publish(snap, &stats_);
+    // Monotone on both sides: if a newer rebuild already installed its
+    // view, this one is discarded there too.
+    live_.install_rebuilt(std::move(snap));
     return version;
+  }
+
+  // ----------------------------------------------------- compaction
+  // See delta_tier.hpp for the seal/install protocol. The build runs
+  // without any broker lock; only the final install takes the live
+  // store's mutex for one publication.
+
+  void maybe_compact(std::size_t delta_pending)
+      SEPDC_EXCLUDES(rebuild_mu_) {
+    if (cfg_.delta_compaction_threshold == 0 ||
+        delta_pending < cfg_.delta_compaction_threshold)
+      return;
+    auto job = live_.seal();  // nullopt when one is already in flight
+    if (!job) return;
+    compactions_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    par::Waitable handle =
+        pool_.submit([this, j = std::move(*job)] {
+          struct Dec {
+            QueryBroker& b;
+            ~Dec() {
+              b.compactions_in_flight_.fetch_sub(
+                  1, std::memory_order_acq_rel);
+            }
+          } dec{*this};
+          run_compaction(j);
+        });
+    LockGuard lock(rebuild_mu_);
+    rebuild_handles_.push_back(std::move(handle));
+  }
+
+  void run_compaction(const typename LiveStore<D>::CompactionJob& job) {
+    metrics::TraceSpan span(cfg_.trace, "compaction", "service");
+    Timer timer;
+    SnapshotPtr next;
+    try {
+      auto [ids, pts] = merge_live_points(job);
+      std::uint64_t version = store_.claim_version();
+      if (pts.empty()) {
+        next = SnapshotStore<D>::make_empty(version);
+      } else {
+        core::SeparatorIndexConfig icfg = cfg_.index;
+        icfg.seed += version;
+        std::shared_ptr<const std::vector<std::uint32_t>> ext;
+        bool identity = true;
+        for (std::size_t i = 0; i < ids.size() && identity; ++i)
+          identity = ids[i] == static_cast<std::uint32_t>(i);
+        if (!identity)
+          ext = std::make_shared<const std::vector<std::uint32_t>>(
+              std::move(ids));
+        next = SnapshotStore<D>::build(
+            std::span<const geo::Point<D>>(pts), icfg, pool_, version,
+            cfg_.trace, std::move(ext));
+      }
+    } catch (...) {
+      // Fold the sealed updates back under the active ones: nothing is
+      // lost, and a later trigger retries the compaction.
+      live_.cancel_compaction(job);
+      ServiceStats::add(stats_.compactions_abandoned, 1);
+      throw;
+    }
+    if (live_.finish_compaction(job, next)) {
+      store_.publish(std::move(next), &stats_);
+      ServiceStats::add(stats_.compactions, 1);
+      stats_.compaction_build.record_seconds(timer.seconds());
+    } else {
+      // A rebuild/bootstrap reset the world while we were building.
+      ServiceStats::add(stats_.compactions_abandoned, 1);
+    }
+  }
+
+  // The compacted point set: base minus the sealed tombstones, plus the
+  // sealed adds, sorted by external id (both inputs already are, so one
+  // two-pointer merge) — which is exactly the invariant the snapshot's
+  // external-id map must satisfy.
+  std::pair<std::vector<std::uint32_t>, std::vector<geo::Point<D>>>
+  merge_live_points(const typename LiveStore<D>::CompactionJob& job) {
+    const Snapshot& base = *job.base;
+    const DeltaSegment<D>& sealed = *job.sealed;
+    std::span<const std::uint32_t> add_ids = sealed.ids();
+    std::span<const geo::Point<D>> add_pts = sealed.points();
+    std::vector<std::uint32_t> ids;
+    std::vector<geo::Point<D>> pts;
+    ids.reserve(base.point_count + add_ids.size());
+    pts.reserve(base.point_count + add_ids.size());
+    std::span<const geo::Point<D>> base_pts =
+        base.index != nullptr ? base.index->points()
+                              : std::span<const geo::Point<D>>{};
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < base_pts.size(); ++i) {
+      const std::uint32_t ext = base.external_id(
+          static_cast<std::uint32_t>(i));
+      while (j < add_ids.size() && add_ids[j] < ext) {
+        ids.push_back(add_ids[j]);
+        pts.push_back(add_pts[j]);
+        ++j;
+      }
+      if (sealed.has_tombstone(ext)) continue;
+      // A sealed add can only reuse a base id it also tombstones, and
+      // tombstoned base ids were skipped above — so no duplicates here.
+      SEPDC_ASSERT(j >= add_ids.size() || add_ids[j] != ext);
+      ids.push_back(ext);
+      pts.push_back(base_pts[i]);
+    }
+    for (; j < add_ids.size(); ++j) {
+      ids.push_back(add_ids[j]);
+      pts.push_back(add_pts[j]);
+    }
+    return {std::move(ids), std::move(pts)};
   }
 
   bool under_rebuild() const {
@@ -315,13 +514,39 @@ class QueryBroker {
     return eta > deadline;
   }
 
-  void account_answered(std::size_t nqueries, bool punted,
+  void account_answered(std::size_t nqueries, bool punted, bool is_knn,
                         bool has_deadline,
                         typename Clock::time_point deadline) {
     ServiceStats::add(punted ? stats_.punted : stats_.batched, nqueries);
+    ServiceStats::add(is_knn ? stats_.knn_answered : stats_.radius_answered,
+                      nqueries);
     if (under_rebuild()) ServiceStats::add(stats_.rebuilt_under, nqueries);
     if (has_deadline && Clock::now() > deadline)
       ServiceStats::add(stats_.expired, nqueries);
+  }
+
+  // Translate a client (external) exclude id into the base index's
+  // internal id space; absent ids come back as kNoId == kNoExclude, so
+  // the base simply has nothing to skip.
+  static std::uint32_t base_exclude(const Snapshot& base,
+                                    std::uint32_t ext) {
+    return ext == kNoExclude ? kNoExclude : base.internal_id(ext);
+  }
+
+  // One punted/direct k-NN answer against a coherent live view: base
+  // kd-tree fetch with the tombstone over-fetch margin, then the sorted
+  // merge with the delta scans.
+  static KnnRow answer_knn_direct(const LiveView<D>& view,
+                                  const geo::Point<D>& q, std::size_t k,
+                                  std::uint32_t exclude) {
+    KnnRow base_rows;
+    if (view.has_base()) {
+      const std::size_t kb = k + view.tombstone_count();
+      base_rows = view.base->fallback
+                      ->query(q, kb, base_exclude(*view.base, exclude))
+                      .take_sorted();
+    }
+    return merge_knn_rows(view, q, k, exclude, base_rows);
   }
 
   std::vector<KnnRow> run_knn(std::span<const geo::Point<D>> queries,
@@ -336,6 +561,7 @@ class QueryBroker {
     std::vector<KnnRow> out(queries.size());
     if (queries.empty()) return out;
     ServiceStats::add(stats_.submitted, queries.size());
+    ServiceStats::add(stats_.knn_submitted, queries.size());
 
     const bool has_deadline = budget > kNoDeadline;
     auto now = Clock::now();
@@ -344,16 +570,15 @@ class QueryBroker {
     if (has_deadline && should_punt(now, deadline, queries.size())) {
       metrics::TraceSpan span(cfg_.trace, "punt_knn", "service");
       Timer punt_timer;
-      SnapshotPtr snap = store_.current();
+      ViewPtr view = live_.current();
       for (std::size_t i = 0; i < queries.size(); ++i)
-        out[i] = snap->fallback
-                     ->query(queries[i], k,
-                             exclude.empty() ? kNoExclude : exclude[i])
-                     .take_sorted();
+        out[i] = answer_knn_direct(
+            *view, queries[i], k,
+            exclude.empty() ? kNoExclude : exclude[i]);
       stats_.punt_latency.record_seconds(punt_timer.seconds(),
                                          queries.size());
-      account_answered(queries.size(), /*punted=*/true, has_deadline,
-                       deadline);
+      account_answered(queries.size(), /*punted=*/true, /*is_knn=*/true,
+                       has_deadline, deadline);
       return out;
     }
 
@@ -381,6 +606,7 @@ class QueryBroker {
     std::vector<RadiusRow> out(queries.size());
     if (queries.empty()) return out;
     ServiceStats::add(stats_.submitted, queries.size());
+    ServiceStats::add(stats_.radius_submitted, queries.size());
 
     const bool has_deadline = budget > kNoDeadline;
     auto now = Clock::now();
@@ -389,9 +615,18 @@ class QueryBroker {
     if (has_deadline && should_punt(now, deadline, queries.size())) {
       metrics::TraceSpan span(cfg_.trace, "punt_radius", "service");
       Timer punt_timer;
-      SnapshotPtr snap = store_.current();
+      ViewPtr view = live_.current();
       for (std::size_t i = 0; i < queries.size(); ++i) {
-        snap->index->for_each_in_ball(
+        if (view->has_base()) {
+          view->base->index->for_each_in_ball(
+              queries[i], r, [&](std::uint32_t internal, double d2) {
+                const std::uint32_t ext =
+                    view->base->external_id(internal);
+                if (!view->base_masked(ext))
+                  out[i].emplace_back(ext, d2);
+              });
+        }
+        view->for_each_delta_in_ball(
             queries[i], r, [&](std::uint32_t id, double d2) {
               out[i].emplace_back(id, d2);
             });
@@ -399,8 +634,8 @@ class QueryBroker {
       }
       stats_.punt_latency.record_seconds(punt_timer.seconds(),
                                          queries.size());
-      account_answered(queries.size(), /*punted=*/true, has_deadline,
-                       deadline);
+      account_answered(queries.size(), /*punted=*/true, /*is_knn=*/false,
+                       has_deadline, deadline);
       return out;
     }
 
@@ -497,7 +732,9 @@ class QueryBroker {
       batch_queries += r->queries.size();
     }
     stats_.flush_size.record(batch_queries);
-    SnapshotPtr snap = store_.current();
+    // One coherent live view for the whole flush: every request in this
+    // batch answers as of the same (base, delta) generation.
+    ViewPtr view = live_.current();
     std::size_t total = 0;
     try {
       // --- k-NN groups, keyed by k.
@@ -525,6 +762,12 @@ class QueryBroker {
         }
       }
 
+      const bool has_base = view->has_base();
+      const std::size_t tomb_margin = view->tombstone_count();
+      const bool plain = view->active->empty() &&
+                         view->sealed == nullptr &&
+                         view->base->external_ids == nullptr;
+
       for (auto& [k, reqs] : kgroups) {
         metrics::TraceSpan span(cfg_.trace, "batch_knn", "service");
         std::size_t count = 0;
@@ -540,22 +783,40 @@ class QueryBroker {
         for (Pending* r : reqs) {
           flat.insert(flat.end(), r->queries.begin(), r->queries.end());
           if (any_exclude) {
-            if (r->exclude.empty()) {
-              flat_exclude.insert(flat_exclude.end(), r->queries.size(),
-                                  kNoExclude);
-            } else {
-              flat_exclude.insert(flat_exclude.end(), r->exclude.begin(),
-                                  r->exclude.end());
-            }
+            for (std::size_t i = 0; i < r->queries.size(); ++i)
+              flat_exclude.push_back(
+                  has_base
+                      ? base_exclude(*view->base,
+                                     r->exclude.empty() ? kNoExclude
+                                                        : r->exclude[i])
+                      : kNoExclude);
           }
         }
-        auto rows = snap->index->batch_knn(
-            pool_, std::span<const geo::Point<D>>(flat), k,
-            std::span<const std::uint32_t>(flat_exclude));
+        // Tombstones can shadow up to tomb_margin base hits; over-fetch
+        // so filtering still leaves k live candidates.
+        std::vector<KnnRow> rows;
+        if (has_base) {
+          rows = view->base->index->batch_knn(
+              pool_, std::span<const geo::Point<D>>(flat),
+              k + tomb_margin,
+              std::span<const std::uint32_t>(flat_exclude));
+        } else {
+          rows.resize(flat.size());
+        }
         std::size_t offset = 0;
         for (Pending* r : reqs) {
-          for (std::size_t i = 0; i < r->queries.size(); ++i)
-            (*r->knn_out)[i] = std::move(rows[offset + i]);
+          for (std::size_t i = 0; i < r->queries.size(); ++i) {
+            if (plain) {
+              // Steady state (no delta, identity ids): the batched row
+              // is the answer, bit-for-bit as before.
+              (*r->knn_out)[i] = std::move(rows[offset + i]);
+            } else {
+              (*r->knn_out)[i] = merge_knn_rows(
+                  *view, r->queries[i], k,
+                  r->exclude.empty() ? kNoExclude : r->exclude[i],
+                  rows[offset + i]);
+            }
+          }
           offset += r->queries.size();
         }
         total += count;
@@ -567,13 +828,36 @@ class QueryBroker {
         std::vector<geo::Point<D>> flat;
         for (Pending* r : reqs)
           flat.insert(flat.end(), r->queries.begin(), r->queries.end());
-        auto rows = snap->index->batch_radius(
-            pool_, std::span<const geo::Point<D>>(flat), radius);
+        std::vector<RadiusRow> rows;
+        if (has_base) {
+          rows = view->base->index->batch_radius(
+              pool_, std::span<const geo::Point<D>>(flat), radius);
+        } else {
+          rows.resize(flat.size());
+        }
         std::size_t offset = 0;
         for (Pending* r : reqs) {
           for (std::size_t i = 0; i < r->queries.size(); ++i) {
-            sort_radius_row(rows[offset + i]);
-            (*r->radius_out)[i] = std::move(rows[offset + i]);
+            RadiusRow& row = rows[offset + i];
+            if (!plain) {
+              // Map internal -> external in place, dropping masked hits,
+              // then append the delta's live hits before the final sort.
+              std::size_t keep = 0;
+              for (const auto& [internal, d2] : row) {
+                const std::uint32_t ext =
+                    view->base->external_id(internal);
+                if (view->base_masked(ext)) continue;
+                row[keep++] = {ext, d2};
+              }
+              row.resize(keep);
+              view->for_each_delta_in_ball(
+                  r->queries[i], radius,
+                  [&](std::uint32_t id, double d2) {
+                    row.emplace_back(id, d2);
+                  });
+            }
+            sort_radius_row(row);
+            (*r->radius_out)[i] = std::move(row);
           }
           offset += r->queries.size();
         }
@@ -587,7 +871,7 @@ class QueryBroker {
     }
 
     for (Pending* r : batch)
-      account_answered(r->queries.size(), /*punted=*/false,
+      account_answered(r->queries.size(), /*punted=*/false, r->is_knn,
                        r->has_deadline, r->deadline);
     ServiceStats::bump_max(stats_.max_flush_queries, total);
     stats_.batch_execute.record_seconds(timer.seconds());
@@ -599,6 +883,10 @@ class QueryBroker {
   BrokerConfig cfg_;
   par::ThreadPool& pool_;
   SnapshotStore<D> store_;
+  // The live (base, sealed, active) view queries answer from. store_
+  // remains the version authority (compactions and rebuilds publish to
+  // both; both sides are monotone, so they can never disagree on order).
+  LiveStore<D> live_;
   ServiceStats stats_;
 
   // Lock protocol (machine-checked under clang -Wthread-safety):
@@ -618,10 +906,12 @@ class QueryBroker {
   std::thread flusher_;
 
   // rebuild_mu_ guards only the Waitable handles of in-flight async
-  // rebuilds; the snapshot handoff itself is lock-free (SnapshotStore's
-  // CAS publishes outside any lock — see snapshot.hpp). mu_ and
-  // rebuild_mu_ are never nested.
+  // rebuilds and background compactions; the snapshot handoff itself is
+  // lock-free (SnapshotStore's CAS publishes outside any lock — see
+  // snapshot.hpp) and the live-view handoff takes only the LiveStore's
+  // own mutex. mu_ and rebuild_mu_ are never nested.
   std::atomic<std::size_t> rebuilds_in_flight_{0};
+  std::atomic<std::size_t> compactions_in_flight_{0};
   Mutex rebuild_mu_;
   std::vector<par::Waitable> rebuild_handles_ SEPDC_GUARDED_BY(rebuild_mu_);
 };

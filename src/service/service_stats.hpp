@@ -33,6 +33,15 @@
 //                   outcome counters with no bucket error).
 //   index_load    — per snapshot bootstrap: whole load_snapshot ->
 //                   publish duration (ns); count == snapshot_loads.
+//   update_apply  — per insert/remove: apply -> view publication (ns);
+//                   count == updates_submitted.
+//   compaction_build — per *installed* compaction: seal -> publish (ns);
+//                   count == compactions.
+// Per-op reconciliation (asserted by bench_service and the update
+// differential suite at quiescence):
+//   knn_submitted + radius_submitted == submitted,
+//   knn_answered == knn_submitted, radius_answered == radius_submitted,
+//   updates_submitted == inserts + removes.
 #pragma once
 
 #include <atomic>
@@ -59,12 +68,24 @@ struct ServiceStatsSnapshot {
   std::size_t snapshots_discarded = 0;  // stale builds beaten by a newer one
   std::size_t snapshot_saves = 0;   // generations serialized to disk
   std::size_t snapshot_loads = 0;   // generations bootstrapped from disk
+  std::size_t knn_submitted = 0;    // k-NN queries accepted
+  std::size_t radius_submitted = 0;  // radius queries accepted
+  std::size_t knn_answered = 0;     // k-NN queries answered
+  std::size_t radius_answered = 0;  // radius queries answered
+  std::size_t updates_submitted = 0;  // inserts + removes applied
+  std::size_t inserts = 0;            // live-tier inserts applied
+  std::size_t removes = 0;            // live-tier removes applied
+  std::size_t compactions = 0;        // delta -> base merges installed
+  std::size_t compactions_abandoned = 0;  // sealed but never installed
+  std::size_t delta_peak = 0;         // largest pending delta seen
   double est_batch_us_per_query = 0.0;  // EWMA batch service cost
   metrics::HistogramSnapshot queue_wait;     // ns per batched query
   metrics::HistogramSnapshot batch_execute;  // ns per flush
   metrics::HistogramSnapshot punt_latency;   // ns per punted query
   metrics::HistogramSnapshot flush_size;     // queries per flush
   metrics::HistogramSnapshot index_load;     // ns per snapshot bootstrap
+  metrics::HistogramSnapshot update_apply;   // ns per insert/remove
+  metrics::HistogramSnapshot compaction_build;  // ns per compaction
 };
 
 class ServiceStats {
@@ -84,6 +105,16 @@ class ServiceStats {
   std::atomic<std::size_t> snapshots_discarded{0};
   std::atomic<std::size_t> snapshot_saves{0};
   std::atomic<std::size_t> snapshot_loads{0};
+  std::atomic<std::size_t> knn_submitted{0};
+  std::atomic<std::size_t> radius_submitted{0};
+  std::atomic<std::size_t> knn_answered{0};
+  std::atomic<std::size_t> radius_answered{0};
+  std::atomic<std::size_t> updates_submitted{0};
+  std::atomic<std::size_t> inserts{0};
+  std::atomic<std::size_t> removes{0};
+  std::atomic<std::size_t> compactions{0};
+  std::atomic<std::size_t> compactions_abandoned{0};
+  std::atomic<std::size_t> delta_peak{0};
   // EWMA of per-query batch service time in microseconds; feeds the punt
   // decision (a deadline shorter than the estimated batch-path completion
   // takes the direct fallback instead).
@@ -96,6 +127,8 @@ class ServiceStats {
   metrics::Histogram punt_latency;
   metrics::Histogram flush_size;
   metrics::Histogram index_load;
+  metrics::Histogram update_apply;
+  metrics::Histogram compaction_build;
 
   static void add(std::atomic<std::size_t>& counter, std::size_t v) {
     counter.fetch_add(v, std::memory_order_relaxed);
@@ -145,6 +178,18 @@ class ServiceStats {
         snapshots_discarded.load(std::memory_order_relaxed);
     s.snapshot_saves = snapshot_saves.load(std::memory_order_relaxed);
     s.snapshot_loads = snapshot_loads.load(std::memory_order_relaxed);
+    s.knn_submitted = knn_submitted.load(std::memory_order_relaxed);
+    s.radius_submitted = radius_submitted.load(std::memory_order_relaxed);
+    s.knn_answered = knn_answered.load(std::memory_order_relaxed);
+    s.radius_answered = radius_answered.load(std::memory_order_relaxed);
+    s.updates_submitted =
+        updates_submitted.load(std::memory_order_relaxed);
+    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.removes = removes.load(std::memory_order_relaxed);
+    s.compactions = compactions.load(std::memory_order_relaxed);
+    s.compactions_abandoned =
+        compactions_abandoned.load(std::memory_order_relaxed);
+    s.delta_peak = delta_peak.load(std::memory_order_relaxed);
     s.est_batch_us_per_query =
         est_batch_us_per_query.load(std::memory_order_relaxed);
     s.queue_wait = queue_wait.snapshot();
@@ -152,6 +197,8 @@ class ServiceStats {
     s.punt_latency = punt_latency.snapshot();
     s.flush_size = flush_size.snapshot();
     s.index_load = index_load.snapshot();
+    s.update_apply = update_apply.snapshot();
+    s.compaction_build = compaction_build.snapshot();
     return s;
   }
 };

@@ -29,6 +29,7 @@
 // documented protocol or move behind an annotated sepdc::Mutex.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -51,9 +52,13 @@ namespace sepdc::service {
 // construction; readers share it by shared_ptr<const IndexSnapshot>.
 template <int D>
 struct IndexSnapshot {
+  // "No such id" sentinel; equals the index kNoExclude / block pad id.
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+
   std::uint64_t version = 0;
   // Primary structure: the separator-based partition index (batched and
-  // single-query exact search).
+  // single-query exact search). Null only in an *empty* generation (zero
+  // points — a delta-only service before its first compaction).
   std::shared_ptr<const core::SeparatorIndex<D>> index;
   // Direct fallback for punted k-NN queries: a kd-tree over the same
   // points. Exact with the identical (dist2, id) tie-break, so a punted
@@ -61,6 +66,27 @@ struct IndexSnapshot {
   std::shared_ptr<const knn::KdTree<D>> fallback;
   std::size_t point_count = 0;
   double build_seconds = 0.0;
+  // Internal position -> client-visible external id. Null means the
+  // identity map (a generation built straight from a client point span).
+  // When set it is strictly increasing with size point_count, so sorting
+  // by (dist2, internal) and by (dist2, external) coincide — the delta
+  // tier's merge depends on exactly this (see delta_tier.hpp).
+  std::shared_ptr<const std::vector<std::uint32_t>> external_ids;
+
+  std::uint32_t external_id(std::uint32_t internal) const {
+    return external_ids == nullptr ? internal : (*external_ids)[internal];
+  }
+
+  // Internal position for an external id, or kNoId when this generation
+  // does not index it.
+  std::uint32_t internal_id(std::uint32_t ext) const {
+    if (external_ids == nullptr)
+      return ext < point_count ? ext : kNoId;
+    auto it = std::lower_bound(external_ids->begin(),
+                               external_ids->end(), ext);
+    if (it == external_ids->end() || *it != ext) return kNoId;
+    return static_cast<std::uint32_t>(it - external_ids->begin());
+  }
 };
 
 template <int D>
@@ -71,12 +97,20 @@ class SnapshotStore {
 
   // Builds generation `version` (both structures) without publishing it.
   // With a trace recorder, the two structure builds emit "index_build"
-  // and "fallback_build" spans.
+  // and "fallback_build" spans. `external_ids`, when non-null, names
+  // points[i] as (*external_ids)[i] to clients (strictly increasing —
+  // compaction sorts live points by external id precisely to satisfy
+  // this); null keeps the identity map.
   static Ptr build(std::span<const geo::Point<D>> points,
                    const core::SeparatorIndexConfig& cfg,
                    par::ThreadPool& pool, std::uint64_t version,
-                   metrics::TraceRecorder* trace = nullptr) {
+                   metrics::TraceRecorder* trace = nullptr,
+                   std::shared_ptr<const std::vector<std::uint32_t>>
+                       external_ids = nullptr) {
     SEPDC_CHECK_MSG(!points.empty(), "snapshot over empty point set");
+    SEPDC_CHECK_MSG(external_ids == nullptr ||
+                        external_ids->size() == points.size(),
+                    "external id map disagrees with the point count");
     Timer timer;
     auto snap = std::make_shared<Snapshot>();
     snap->version = version;
@@ -91,6 +125,16 @@ class SnapshotStore {
     }
     snap->point_count = points.size();
     snap->build_seconds = timer.seconds();
+    snap->external_ids = std::move(external_ids);
+    return snap;
+  }
+
+  // The zero-point generation: no structures, nothing to query. Lets a
+  // broker start delta-only (every answer comes from the live tier until
+  // the first compaction builds a real base).
+  static Ptr make_empty(std::uint64_t version) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->version = version;
     return snap;
   }
 
@@ -132,14 +176,20 @@ class SnapshotStore {
   // on any file defect and never publish a partially-loaded generation.
 
   // Serializes the currently published generation to `path` (atomic:
-  // tmp file + rename). Returns false — and writes nothing — when no
-  // generation has been published yet.
+  // tmp file + rename) with an empty delta. Returns false — and writes
+  // nothing — when no generation has been published yet or the current
+  // generation is empty (a snapshot file needs a built base; the broker
+  // serializes base *and* delta coherently via its own save_snapshot).
   bool save_current(const std::string& path, ServiceStats* stats = nullptr,
                     metrics::TraceRecorder* trace = nullptr) const {
     Ptr cur = current();
-    if (!cur) return false;
+    if (!cur || cur->index == nullptr) return false;
     metrics::TraceSpan span(trace, "index_save", "snapshot");
-    io::save_snapshot<D>(path, *cur->index, *cur->fallback, cur->version);
+    io::SnapshotSidecar<D> sidecar;
+    if (cur->external_ids != nullptr)
+      sidecar.external_ids = *cur->external_ids;
+    io::save_snapshot<D>(path, *cur->index, *cur->fallback, cur->version,
+                         sidecar);
     if (stats) ServiceStats::add(stats->snapshot_saves, 1);
     return true;
   }
@@ -150,9 +200,13 @@ class SnapshotStore {
   // store's lifetime; trusting it could deadlock this store's
   // strictly-monotone publication). Returns the claimed version. On
   // throw, the store still serves whatever it served before.
+  // `out_delta`, when non-null, receives the file's flattened pending
+  // delta (inserts/tombstones saved mid-stream) for the caller to replay
+  // into its live tier — the store itself publishes only the base.
   std::uint64_t bootstrap_from(const std::string& path,
                                ServiceStats* stats = nullptr,
-                               metrics::TraceRecorder* trace = nullptr) {
+                               metrics::TraceRecorder* trace = nullptr,
+                               io::LoadedDelta<D>* out_delta = nullptr) {
     Timer timer;
     std::uint64_t version = claim_version();
     auto snap = std::make_shared<Snapshot>();
@@ -163,6 +217,11 @@ class SnapshotStore {
       snap->index = std::move(loaded.index);
       snap->fallback = std::move(loaded.fallback);
       snap->point_count = loaded.point_count;
+      if (!loaded.external_ids.empty())
+        snap->external_ids =
+            std::make_shared<const std::vector<std::uint32_t>>(
+                std::move(loaded.external_ids));
+      if (out_delta != nullptr) *out_delta = std::move(loaded.delta);
     }
     snap->build_seconds = timer.seconds();
     publish(snap, stats);

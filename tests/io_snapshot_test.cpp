@@ -17,12 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -246,6 +249,163 @@ TEST(SnapshotBroker, ColdStartServesIdenticalAnswers) {
   EXPECT_EQ(version, 2u);
 }
 
+// A save taken with live updates pending serializes base + delta as one
+// coherent view, and a cold start replays it to the identical live set
+// (docs/updates.md): same membership, same answers, same tie order.
+TEST(SnapshotBroker, PendingUpdatesSurviveColdStart) {
+  par::ThreadPool pool(4);
+  auto points = make_points(workload::Kind::UniformCube, 500, 93);
+  service::BrokerConfig cfg;
+  cfg.max_batch = 16;
+  cfg.delta_compaction_threshold = 0;  // keep the delta pending
+  const std::string path = temp_path("broker_pending_delta.sepdc");
+
+  service::QueryBroker<2> warm(std::span<const Pt>(points), cfg, pool);
+  warm.remove(7);
+  warm.remove(123);
+  warm.insert(500, Pt{{0.42, 0.13}});
+  warm.insert(777, Pt{{points[7][0], points[7][1]}});  // duplicate coords
+  ASSERT_TRUE(warm.save_snapshot(path));
+
+  service::QueryBroker<2> cold(path, cfg, pool);
+  EXPECT_EQ(cold.live_count(), warm.live_count());
+  EXPECT_FALSE(cold.contains(7));
+  EXPECT_FALSE(cold.contains(123));
+  EXPECT_TRUE(cold.contains(500));
+  EXPECT_TRUE(cold.contains(777));
+
+  auto queries = make_points(workload::Kind::UniformCube, 64, 94);
+  queries.push_back(points[7]);  // zero-distance tie against id 777
+  auto wk = warm.bulk_knn(std::span<const Pt>(queries), 5);
+  auto ck = cold.bulk_knn(std::span<const Pt>(queries), 5);
+  ASSERT_EQ(wk.size(), ck.size());
+  for (std::size_t i = 0; i < wk.size(); ++i)
+    expect_entries_identical(wk[i], ck[i],
+                             "delta bulk_knn row " + std::to_string(i));
+  auto wr = warm.bulk_radius(std::span<const Pt>(queries), 0.1);
+  auto cr = cold.bulk_radius(std::span<const Pt>(queries), 0.1);
+  ASSERT_EQ(wr.size(), cr.size());
+  for (std::size_t i = 0; i < wr.size(); ++i)
+    expect_pairs_identical(wr[i], cr[i],
+                           "delta bulk_radius row " + std::to_string(i));
+}
+
+// ------------------------------------------------- delta crash consistency
+
+// Serializes a LiveView exactly the way QueryBroker::save_snapshot does.
+void save_view(const service::LiveView<2>& v, const std::string& path) {
+  service::FlatDelta<2> flat = service::flatten_delta(v);
+  SnapshotSidecar<2> sidecar;
+  if (v.base->external_ids != nullptr)
+    sidecar.external_ids = *v.base->external_ids;
+  sidecar.delta_ids = flat.ids;
+  sidecar.delta_points = flat.points;
+  sidecar.tombstones = flat.tombstones;
+  save_snapshot<2>(path, *v.base->index, *v.base->fallback,
+                   v.base->version, sidecar);
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f),
+          std::istreambuf_iterator<char>()};
+}
+
+// A save taken mid-compaction (sealed segment in flight, more updates in
+// the active segment on top) flattens to a deterministic delta: loading
+// it and saving again produces a byte-identical file, so a crash between
+// save and compaction install loses nothing and changes nothing.
+TEST(SnapshotDelta, MidCompactionSaveRoundTripsByteIdentically) {
+  par::ThreadPool pool(4);
+  auto points = make_points(workload::Kind::UniformCube, 400, 301);
+  auto base = build_snapshot(points, pool);
+
+  service::LiveStore<2> live;
+  live.reset(base);
+  // Updates before the seal...
+  live.remove(3);
+  live.remove(17);
+  live.insert(1000, Pt{{0.5, 0.5}});
+  live.insert(401, Pt{{0.25, 0.75}});
+  auto job = live.seal();
+  ASSERT_TRUE(job.has_value());
+  // ...and on top of the (never-finishing) compaction: a tombstone over
+  // a sealed add, a fresh base mask, and a reinsert of a sealed-
+  // tombstoned base id — the cases flattening has to get right.
+  live.remove(401);
+  live.remove(9);
+  live.insert(500, Pt{{0.1, 0.9}});
+  live.insert(3, Pt{{0.6, 0.6}});
+  auto view = live.current();
+  ASSERT_NE(view->sealed, nullptr);
+
+  const std::string p1 = temp_path("delta_mid_compaction_1.sepdc");
+  save_view(*view, p1);
+
+  auto loaded = load_snapshot<2>(p1);
+  EXPECT_EQ(loaded.delta.ids.size(), loaded.delta.points.size());
+  auto snap2 = std::make_shared<service::IndexSnapshot<2>>();
+  snap2->version = loaded.saved_version;
+  snap2->index = loaded.index;
+  snap2->fallback = loaded.fallback;
+  snap2->point_count = loaded.point_count;
+  if (!loaded.external_ids.empty())
+    snap2->external_ids =
+        std::make_shared<const std::vector<std::uint32_t>>(
+            loaded.external_ids);
+  service::LiveStore<2> live2;
+  live2.reset_with_delta(snap2, loaded.delta.ids, loaded.delta.points,
+                         loaded.delta.tombstones);
+  EXPECT_EQ(live2.current()->live_count(), view->live_count());
+
+  const std::string p2 = temp_path("delta_mid_compaction_2.sepdc");
+  save_view(*live2.current(), p2);
+  EXPECT_EQ(read_file_bytes(p1), read_file_bytes(p2))
+      << "save -> load -> save must be byte-identical";
+}
+
+// Saves land via tmp-file + atomic rename, so a load racing a save (the
+// shape of a bootstrap racing a concurrent compaction's save) sees the
+// old file or the new file — a complete, internally consistent
+// generation either way, never a torn mix.
+TEST(SnapshotDelta, LoadRacingSaveSeesOldOrNewGenerationNeverTorn) {
+  par::ThreadPool pool(4);
+  auto pts_a = make_points(workload::Kind::UniformCube, 300, 311);
+  auto pts_b = make_points(workload::Kind::UniformCube, 450, 312);
+  auto snap_a = build_snapshot(pts_a, pool, 1);
+  auto snap_b = build_snapshot(pts_b, pool, 2);
+  const std::string path = temp_path("racing_generations.sepdc");
+  save_snapshot<2>(path, *snap_a->index, *snap_a->fallback, 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 30; ++i) {
+      const auto& s = (i % 2 == 0) ? snap_b : snap_a;
+      save_snapshot<2>(path, *s->index, *s->fallback, s->version);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    std::size_t loads = 0;
+    while (!stop.load(std::memory_order_acquire) || loads == 0) {
+      auto loaded = load_snapshot<2>(path);
+      ++loads;
+      const bool gen_a =
+          loaded.saved_version == 1 && loaded.point_count == 300;
+      const bool gen_b =
+          loaded.saved_version == 2 && loaded.point_count == 450;
+      if (!(gen_a || gen_b)) failures.fetch_add(1);
+      if (loaded.index->size() != loaded.point_count ||
+          loaded.fallback->size() != loaded.point_count)
+        failures.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 // ---------------------------------------------------------- corruption
 
 class SnapshotCorruption : public ::testing::Test {
@@ -312,9 +472,18 @@ TEST_F(SnapshotCorruption, HeaderFieldFlipFailsHeaderChecksum) {
 
 TEST_F(SnapshotCorruption, FlippedSectionByteFailsSectionChecksum) {
   // First byte of the first section (the table starts the sections at
-  // the first kSectionAlign boundary past header + table).
+  // the first kSectionAlign boundary past header + table). The section
+  // count comes from the file's own header so this survives format
+  // growth (v2 added the external-id and delta sections).
+  FileHeader hdr{};
+  {
+    std::ifstream f(path_, std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+    ASSERT_TRUE(f.good());
+  }
   const std::size_t table_end =
-      sizeof(FileHeader) + 13 * sizeof(SectionRecord);
+      sizeof(FileHeader) + hdr.section_count * sizeof(SectionRecord);
   const std::size_t first_section =
       (table_end + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
   flip_byte(path_, first_section);
@@ -339,6 +508,126 @@ TEST_F(SnapshotCorruption, FailedBootstrapKeepsCurrentGeneration) {
   EXPECT_THROW(store.bootstrap_from(path_), SnapshotIoError);
   ASSERT_NE(store.current(), nullptr);
   EXPECT_EQ(store.current()->version, built_->version);
+}
+
+// ------------------------------------------------- delta-section corruption
+
+// Byte offset of a section's payload, read from the file's own table.
+std::uint64_t section_payload_offset(const std::string& path,
+                                     SectionId id) {
+  std::ifstream f(path, std::ios::binary);
+  FileHeader hdr{};
+  f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  for (std::uint32_t i = 0; i < hdr.section_count; ++i) {
+    SectionRecord rec{};
+    f.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (rec.id == static_cast<std::uint32_t>(id) && rec.byte_size > 0)
+      return rec.offset;
+  }
+  return 0;
+}
+
+// Corruption in the v2 delta sections: a damaged pending delta must
+// surface as the matching typed SnapshotError, and a store asked to
+// bootstrap from it must keep its current generation untouched.
+class DeltaCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<par::ThreadPool>(4);
+    points_ = make_points(workload::Kind::UniformCube, 300, 321);
+    built_ = build_snapshot(points_, *pool_);
+    path_ = temp_path("delta_corruption_victim.sepdc");
+    delta_ids_ = {301, 555};
+    delta_points_ = {Pt{{0.3, 0.3}}, Pt{{0.7, 0.2}}};
+    tombstones_ = {5, 42};
+  }
+
+  void save_with_delta() {
+    SnapshotSidecar<2> sidecar;
+    sidecar.delta_ids = delta_ids_;
+    sidecar.delta_points = delta_points_;
+    sidecar.tombstones = tombstones_;
+    save_snapshot<2>(path_, *built_->index, *built_->fallback,
+                     built_->version, sidecar);
+  }
+
+  // The load must throw the expected typed error; a store already
+  // serving `built_` must still serve exactly `built_` afterwards, with
+  // no load counted.
+  void expect_load_fails(SnapshotError expected) {
+    try {
+      (void)load_snapshot<2>(path_);
+      FAIL() << "load_snapshot did not throw";
+    } catch (const SnapshotIoError& e) {
+      EXPECT_EQ(e.code(), expected) << e.what();
+    }
+    SnapshotStore<2> store;
+    store.publish(built_);
+    service::ServiceStats stats;
+    EXPECT_THROW(store.bootstrap_from(path_, &stats), SnapshotIoError);
+    ASSERT_NE(store.current(), nullptr);
+    EXPECT_EQ(store.current()->version, built_->version)
+        << "failed delta load disturbed the published generation";
+    EXPECT_EQ(stats.snapshot_loads.load(), 0u);
+    EXPECT_EQ(stats.snapshots_published.load(), 0u);  // nothing new
+  }
+
+  std::unique_ptr<par::ThreadPool> pool_;
+  std::vector<Pt> points_;
+  typename SnapshotStore<2>::Ptr built_;
+  std::string path_;
+  std::vector<std::uint32_t> delta_ids_;
+  std::vector<Pt> delta_points_;
+  std::vector<std::uint32_t> tombstones_;
+};
+
+TEST_F(DeltaCorruption, CleanDeltaFileLoads) {
+  save_with_delta();
+  auto loaded = load_snapshot<2>(path_);
+  EXPECT_EQ(loaded.delta.ids, delta_ids_);
+  EXPECT_EQ(loaded.delta.tombstones, tombstones_);
+}
+
+TEST_F(DeltaCorruption, FlippedDeltaPointByteFailsSectionChecksum) {
+  save_with_delta();
+  const std::uint64_t off =
+      section_payload_offset(path_, SectionId::kDeltaPoints);
+  ASSERT_GT(off, 0u);
+  flip_byte(path_, off);
+  expect_load_fails(SnapshotError::kBadChecksum);
+}
+
+TEST_F(DeltaCorruption, FlippedTombstoneByteFailsSectionChecksum) {
+  save_with_delta();
+  const std::uint64_t off =
+      section_payload_offset(path_, SectionId::kTombstones);
+  ASSERT_GT(off, 0u);
+  flip_byte(path_, off);
+  expect_load_fails(SnapshotError::kBadChecksum);
+}
+
+TEST_F(DeltaCorruption, UnsortedDeltaIdsFailStructure) {
+  delta_ids_ = {555, 301};  // checksums fine, invariant broken
+  save_with_delta();
+  expect_load_fails(SnapshotError::kBadStructure);
+}
+
+TEST_F(DeltaCorruption, TombstoneOutsideBaseFailsStructure) {
+  tombstones_ = {5, 900000};  // base holds ids 0..299
+  save_with_delta();
+  expect_load_fails(SnapshotError::kBadStructure);
+}
+
+TEST_F(DeltaCorruption, DeltaIdDuplicatingLiveBaseIdFailsStructure) {
+  delta_ids_ = {7, 301};  // 7 is live in the base (not tombstoned)
+  save_with_delta();
+  expect_load_fails(SnapshotError::kBadStructure);
+}
+
+TEST_F(DeltaCorruption, NonFiniteDeltaPointFailsStructure) {
+  delta_points_[1][0] = std::numeric_limits<double>::quiet_NaN();
+  save_with_delta();
+  expect_load_fails(SnapshotError::kBadStructure);
 }
 
 }  // namespace

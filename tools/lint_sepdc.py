@@ -71,6 +71,7 @@ ATOMIC_ALLOWLIST = {
     "src/service/service_stats.hpp",
     "src/service/snapshot.hpp",
     "src/service/query_broker.hpp",
+    "src/service/delta_tier.hpp",
     "src/core/run_context.hpp",
     "src/core/partition_forest.hpp",
     "src/core/engine.hpp",
