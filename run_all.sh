@@ -5,6 +5,13 @@ set -eu
 
 cmake -B build -G Ninja
 cmake --build build
+# Static gates first: the idiom linter and the semantic invariant
+# analyzer (docs/static_analysis.md) fail fast before any long build of
+# experiment outputs.
+python3 tools/lint_sepdc.py --self-test
+python3 tools/lint_sepdc.py
+python3 tools/semalyze.py --self-test --frontend=reduced
+python3 tools/semalyze.py --root . --frontend=reduced
 ctest --test-dir build 2>&1 | tee test_output.txt
 # Kernel-dispatch smoke (docs/kernels.md): a tiny forced-scalar run and a
 # tiny dispatched run must both complete before the full-size benches.

@@ -510,22 +510,26 @@ class NearestNeighborEngine {
                     });
           }
           scan_work.fetch_add(scans, std::memory_order_relaxed);
-          if (rewrite_row(self, merged)) changed.fetch_add(1);
+          if (rewrite_row(self, merged))
+            changed.fetch_add(1, std::memory_order_relaxed);
         },
         /*grain=*/16);
-    RunContext::add(ctx_.corrected_balls, changed.load());
+    RunContext::add(ctx_.corrected_balls,
+                    changed.load(std::memory_order_relaxed));
 
     if (cfg_.fast_charging == FastCorrectionCharging::Paper) {
       // Lemma 6.3 accounting: all reachability labels in one elementwise
       // step, root-path ANDs via one SCAN, candidate gather + k-selection
       // in a constant number of steps.
+      const std::uint64_t scanned = scan_work.load(std::memory_order_relaxed);
       ledger.charge(pvm::Cost{march_work, 1});
       ledger.charge(pvm::scan_cost(march_work, cfg_.cost));
-      ledger.charge(pvm::Cost{scan_work.load(), 1});
-      ledger.charge(pvm::reduce_cost(scan_work.load(), cfg_.cost));
+      ledger.charge(pvm::Cost{scanned, 1});
+      ledger.charge(pvm::reduce_cost(scanned, cfg_.cost));
     } else {
-      ledger.charge(pvm::Cost{scan_work.load(), 1});
-      ledger.charge(pvm::reduce_cost(scan_work.load(), cfg_.cost));
+      const std::uint64_t scanned = scan_work.load(std::memory_order_relaxed);
+      ledger.charge(pvm::Cost{scanned, 1});
+      ledger.charge(pvm::reduce_cost(scanned, cfg_.cost));
     }
     return true;
   }
@@ -593,10 +597,12 @@ class NearestNeighborEngine {
           knn::TopK merged(cfg_.k);
           seed_from_row(self, merged);
           for (const auto& e : per_ball[b]) merged.offer(e.dist2, e.index);
-          if (rewrite_row(self, merged)) changed.fetch_add(1);
+          if (rewrite_row(self, merged))
+            changed.fetch_add(1, std::memory_order_relaxed);
         },
         /*grain=*/16);
-    RunContext::add(ctx_.corrected_balls, changed.load());
+    RunContext::add(ctx_.corrected_balls,
+                    changed.load(std::memory_order_relaxed));
     ledger.charge(pvm::map_cost(pairs));
     ledger.charge(pvm::reduce_cost(pairs, cfg_.cost));
   }

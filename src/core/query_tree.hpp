@@ -172,7 +172,8 @@ class NeighborhoodQueryTree {
       cost += per_level;
     cost += pvm::map_cost(0);
     cost += pvm::reduce_cost(count, params_.cost);
-    cost.work = visited.load() + 2 * scanned.load() + count;
+    cost.work = visited.load(std::memory_order_relaxed) +
+                2 * scanned.load(std::memory_order_relaxed) + count;
     return cost;
   }
 

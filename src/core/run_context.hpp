@@ -167,8 +167,8 @@ class RunContext {
   }
 
  private:
-  std::uint64_t seed_;
-  metrics::TraceRecorder* trace_ = nullptr;
+  const std::uint64_t seed_;
+  metrics::TraceRecorder* const trace_ = nullptr;
   // level_mu_ guards the per-level histograms only; every counter above
   // is a relaxed atomic and never needs it.
   mutable Mutex level_mu_;

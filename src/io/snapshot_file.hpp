@@ -149,6 +149,14 @@ SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<3>, 104, 8);
 SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<4>, 112, 8);
 SEPDC_PIN_TRIVIAL_LAYOUT(SnapshotMeta<5>, 120, 8);
 
+// Coordinate payloads (kBlockCoords, kDeltaPoints) are read back as raw
+// geo::Point<D> arrays, so the point layout is part of the on-disk format
+// in exactly the same way SnapshotMeta is.
+SEPDC_PIN_TRIVIAL_LAYOUT(geo::Point<2>, 16, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(geo::Point<3>, 24, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(geo::Point<4>, 32, 8);
+SEPDC_PIN_TRIVIAL_LAYOUT(geo::Point<5>, 40, 8);
+
 // The snapshot checksum primitive: FNV-1a folded over 64-bit
 // little-endian words (zero-padded tail, length mixed in) — word-wise so
 // whole-file validation stays off the cold-start critical path. Not

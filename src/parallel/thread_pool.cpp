@@ -11,7 +11,7 @@ namespace sepdc::par {
 
 TaskGroup::~TaskGroup() {
   // A group must not be destroyed with tasks in flight.
-  SEPDC_CHECK_MSG(pending_.load() == 0,
+  SEPDC_CHECK_MSG(pending_.load(std::memory_order_relaxed) == 0,
                   "TaskGroup destroyed with pending tasks; call wait()");
 }
 

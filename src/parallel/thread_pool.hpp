@@ -160,7 +160,9 @@ class ThreadPool {
   // task or shutdown to sleeping workers; task_done_ signals any task
   // completion to helping waiters.
   const unsigned workers_;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ SEPDC_UNGUARDED_OK(
+      "filled in the ctor before any worker can observe the pool; joined "
+      "in the dtor after stopping_ is set — never touched in between");
   Mutex mutex_;
   CondVar work_available_;
   CondVar task_done_;

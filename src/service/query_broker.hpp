@@ -880,7 +880,7 @@ class QueryBroker {
                                 static_cast<double>(total));
   }
 
-  BrokerConfig cfg_;
+  const BrokerConfig cfg_;
   par::ThreadPool& pool_;
   SnapshotStore<D> store_;
   // The live (base, sealed, active) view queries answer from. store_
@@ -903,7 +903,9 @@ class QueryBroker {
   typename Clock::time_point oldest_enqueue_ SEPDC_GUARDED_BY(mu_);
   std::atomic<std::size_t> pending_queries_{0};
   bool stopping_ SEPDC_GUARDED_BY(mu_) = false;
-  std::thread flusher_;
+  std::thread flusher_ SEPDC_UNGUARDED_OK(
+      "started by the ctor before the broker is visible to clients; "
+      "joined in stop() after stopping_ is published under mu_");
 
   // rebuild_mu_ guards only the Waitable handles of in-flight async
   // rebuilds and background compactions; the snapshot handoff itself is

@@ -73,3 +73,14 @@
 // mutex to std::condition_variable). Use sparingly and say why.
 #define SEPDC_NO_THREAD_SAFETY_ANALYSIS \
   SEPDC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Marker for tools/semalyze.py (check sepdc-guarded-by-completeness): a
+// deliberately unguarded member of a mutex-owning class. Clang's
+// -Wthread-safety only checks members that carry an annotation, so a
+// member with none escapes silently; the analyzer closes that gap by
+// requiring every mutable member of a class that owns a sepdc::Mutex to
+// be SEPDC_GUARDED_BY, atomic, const, or carry this marker with a
+// written justification (e.g. "written once before any thread exists").
+// Expands to nothing on every compiler — it is documentation the
+// analyzer can see, not an attribute.
+#define SEPDC_UNGUARDED_OK(reason)

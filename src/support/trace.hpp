@@ -131,7 +131,9 @@ class TraceRecorder {
 
  private:
   struct ThreadLog {
-    int tid = 0;  // assigned at registration, stable thereafter
+    int tid SEPDC_UNGUARDED_OK(
+        "written once under the recorder's mu_ in local_log() before the "
+        "log pointer escapes; stable thereafter") = 0;
     mutable Mutex mu;
     std::vector<TraceEvent> events SEPDC_GUARDED_BY(mu);
   };
@@ -158,8 +160,8 @@ class TraceRecorder {
     return *log;
   }
 
-  std::uint64_t id_;
-  Clock::time_point epoch_;
+  const std::uint64_t id_;
+  const Clock::time_point epoch_;
   mutable Mutex mu_;
   std::vector<std::unique_ptr<ThreadLog>> logs_ SEPDC_GUARDED_BY(mu_);
 };

@@ -92,7 +92,8 @@ MMAP_ALLOWED_PREFIX = "src/io/"
 # contract (scalar == vector, per lane) stays checkable in one place.
 SIMD_ALLOWED_PREFIX = "src/knn/kernels"
 
-SKIP_DIR_NAMES = {".git", "lint_fixtures", "negative_compile"}
+SKIP_DIR_NAMES = {".git", "lint_fixtures", "negative_compile",
+                  "semalyze_fixtures"}
 SKIP_DIR_PREFIXES = ("build",)
 
 CPP_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}

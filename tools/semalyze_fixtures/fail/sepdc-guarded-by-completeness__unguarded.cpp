@@ -1,0 +1,30 @@
+// semalyze-fixture: src/service/guarded_bad.cpp
+// Mutable members of a mutex-owning class with no annotation at all.
+// Clang's -Wthread-safety analysis only checks members that carry an
+// annotation, so these escape it silently even under -Werror; semalyze
+// requires every member to be guarded, atomic, const, or justified.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class GuardedBad {
+ public:
+  void push(std::size_t v) SEPDC_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    queue_.push_back(v);
+    ++depth_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::size_t> queue_;  // expect: sepdc-guarded-by-completeness
+  std::size_t depth_ = 0;  // expect: sepdc-guarded-by-completeness
+  std::string label_;  // expect: sepdc-guarded-by-completeness
+};
+
+}  // namespace sepdc

@@ -1,0 +1,24 @@
+// semalyze-fixture: src/service/orders_bad.cpp
+// Implicit seq_cst on every shape of atomic operation. The multi-line
+// store is the case a line-based linter provably cannot catch: the line
+// containing "store(" is indistinguishable from a call whose order
+// arrives on the next line (pass/sepdc-memory-order__explicit_orders.cpp)
+// — only balanced-argument or AST analysis can tell them apart.
+#include <atomic>
+#include <cstddef>
+
+namespace sepdc {
+
+std::size_t orders_bad(std::size_t rounds) {
+  std::atomic<std::size_t> counter{0};
+  std::atomic<bool> guard{false};
+  for (std::size_t i = 0; i < rounds; ++i) {
+    counter.fetch_add(1);  // expect: sepdc-memory-order
+  }
+  guard.store(  // expect: sepdc-memory-order
+      true);
+  counter++;  // expect: sepdc-memory-order
+  return counter.load();  // expect: sepdc-memory-order
+}
+
+}  // namespace sepdc

@@ -1,0 +1,18 @@
+// semalyze-fixture: src/service/seqcst_bad.cpp
+// Byte-identical to pass/sepdc-memory-order__seqcst_allowlisted.cpp
+// except for the virtual path: explicit seq_cst at a site that is not
+// in ALLOW_SEQ_CST (tools/semalyze.py) is a finding — either the order
+// can be weakened, or a human adds the site to the allowlist with a
+// written reason.
+#include <atomic>
+
+namespace sepdc {
+
+bool publish_with_full_fence(std::atomic<int>& slot, int next) {
+  int cur = slot.load(std::memory_order_acquire);
+  return slot.compare_exchange_strong(cur, next,  // expect: sepdc-memory-order
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst);
+}
+
+}  // namespace sepdc

@@ -1,0 +1,23 @@
+// semalyze-fixture: src/io/pin_bad.cpp
+// A record read through typed_section<> with no SEPDC_PIN_TRIVIAL_LAYOUT
+// pin anywhere in the translation unit: nothing stops a refactor from
+// repacking the struct and silently invalidating every snapshot on disk.
+#include <cstddef>
+#include <cstdint>
+
+#include "io/snapshot_file.hpp"
+#include "support/arena.hpp"
+
+namespace sepdc::io {
+
+struct UnpinnedRec {
+  std::uint32_t a;
+  std::uint32_t b;
+};
+
+std::size_t read_sections(const ValidatedFile& vf) {
+  auto recs = detail::typed_section<UnpinnedRec>(vf, SectionId::kMeta);  // expect: sepdc-pin-layout
+  return recs.size();
+}
+
+}  // namespace sepdc::io

@@ -1,0 +1,23 @@
+// semalyze-fixture: src/service/throw_bad.cpp
+// Raw throws in the service layer: a std::runtime_error, a string
+// literal, and a plain int. Callers switch on the typed hierarchy
+// (QueryError / SnapshotIoError / ConfigError); any of these turns a
+// recoverable condition into catch(...) or std::terminate.
+#include <stdexcept>
+
+namespace sepdc::service {
+
+int check_k(int k) {
+  if (k < 0) {
+    throw std::runtime_error("k negative");  // expect: sepdc-typed-throw
+  }
+  if (k == 0) {
+    throw "k zero";  // expect: sepdc-typed-throw
+  }
+  if (k > 1024) {
+    throw 42;  // expect: sepdc-typed-throw
+  }
+  return k;
+}
+
+}  // namespace sepdc::service

@@ -1,0 +1,37 @@
+// semalyze-fixture: src/service/guarded_ok.cpp
+// A mutex-owning class with every member accounted for: lock-guarded,
+// atomic, const, a reference, a self-synchronizing type (Histogram), or
+// carrying an explicit SEPDC_UNGUARDED_OK justification. semalyze's
+// sepdc-guarded-by-completeness finds nothing to flag.
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class GuardedOk {
+ public:
+  explicit GuardedOk(const std::size_t& capacity) : capacity_(capacity) {}
+
+  void push(std::size_t v) SEPDC_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    queue_.push_back(v);
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::size_t> queue_ SEPDC_GUARDED_BY(mu_);
+  std::atomic<std::size_t> depth_{0};
+  const std::size_t limit_ = 64;
+  const std::size_t& capacity_;
+  metrics::Histogram wait_hist_;
+  std::thread worker_ SEPDC_UNGUARDED_OK("spawned in ctor, joined in dtor");
+};
+
+}  // namespace sepdc

@@ -1,0 +1,30 @@
+// semalyze-fixture: src/service/orders_ok.cpp
+// Every atomic operation spells its order explicitly — including the
+// multi-line calls that defeat a line-based linter (the memory_order
+// sits on a continuation line, so a per-line regex sees "store(" with
+// no order and would false-positive; semalyze matches the balanced
+// argument list and stays quiet).
+#include <atomic>
+#include <cstddef>
+
+namespace sepdc {
+
+std::size_t orders_ok(std::size_t rounds) {
+  std::atomic<std::size_t> counter{0};
+  std::atomic<bool> guard{false};
+  for (std::size_t i = 0; i < rounds; ++i) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  guard.store(
+      true,
+      std::memory_order_release);
+  while (!guard.load(std::memory_order_acquire)) {
+  }
+  std::size_t expected = rounds;
+  counter.compare_exchange_strong(expected, rounds + 1,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace sepdc

@@ -1,0 +1,18 @@
+// semalyze-fixture: src/service/seqcst_allowlist_demo.cpp
+// Explicit seq_cst is allowed only at sites curated in ALLOW_SEQ_CST
+// (tools/semalyze.py), keyed (virtual path, operation). This virtual
+// path carries the one demo entry, so the analyzer stays quiet here —
+// and fires on the byte-identical code at any other path (see
+// fail/sepdc-memory-order__seqcst_not_allowlisted.cpp).
+#include <atomic>
+
+namespace sepdc {
+
+bool publish_with_full_fence(std::atomic<int>& slot, int next) {
+  int cur = slot.load(std::memory_order_acquire);
+  return slot.compare_exchange_strong(cur, next,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst);
+}
+
+}  // namespace sepdc

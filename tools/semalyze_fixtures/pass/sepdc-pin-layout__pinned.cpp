@@ -1,0 +1,25 @@
+// semalyze-fixture: src/io/pin_ok.cpp
+// A record read through typed_section<> with its layout pinned in the
+// same translation unit, plus a scalar section (double) whose layout is
+// the ABI's problem and is exempt from the pin requirement.
+#include <cstddef>
+#include <cstdint>
+
+#include "io/snapshot_file.hpp"
+#include "support/arena.hpp"
+
+namespace sepdc::io {
+
+struct PinnedRec {
+  std::uint32_t a;
+  std::uint32_t b;
+};
+SEPDC_PIN_TRIVIAL_LAYOUT(PinnedRec, 8, 4);
+
+std::size_t read_sections(const ValidatedFile& vf) {
+  auto recs = detail::typed_section<PinnedRec>(vf, SectionId::kMeta);
+  auto coords = detail::typed_section<double>(vf, SectionId::kBlockCoords);
+  return recs.size() + coords.size();
+}
+
+}  // namespace sepdc::io

@@ -1,0 +1,15 @@
+// semalyze-fixture: src/core/throw_elsewhere.cpp
+// The typed-throw contract polices src/service/ and src/io/ only; core
+// code may use standard exceptions (this file must produce no finding).
+#include <stdexcept>
+
+namespace sepdc::core {
+
+int parse_or_die(int v) {
+  if (v < 0) {
+    throw std::runtime_error("negative");
+  }
+  return v;
+}
+
+}  // namespace sepdc::core

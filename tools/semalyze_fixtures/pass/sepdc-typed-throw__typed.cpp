@@ -1,0 +1,27 @@
+// semalyze-fixture: src/io/throw_ok.cpp
+// The three typed errors and the bare rethrow are the only sanctioned
+// throws in src/service/ and src/io/ (callers switch on the typed
+// hierarchy; see docs/static_analysis.md).
+#include <string>
+
+#include "core/config.hpp"
+#include "io/snapshot_file.hpp"
+#include "service/delta_tier.hpp"
+
+namespace sepdc::io {
+
+void raise_typed(int which) {
+  try {
+    if (which == 0) {
+      throw SnapshotIoError(SnapshotError::kTooSmall, "short file");
+    }
+    if (which == 1) {
+      throw service::QueryError("k", "must be positive");
+    }
+    throw core::ConfigError("dims", "unsupported dimension");
+  } catch (const SnapshotIoError&) {
+    throw;
+  }
+}
+
+}  // namespace sepdc::io
