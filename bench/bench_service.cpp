@@ -150,8 +150,14 @@ void reconcile_broker_stats(const service::ServiceStatsSnapshot& s,
                             std::size_t expected) {
   SEPDC_CHECK_MSG(s.submitted == expected,
                   "broker submitted != bench submitted");
-  SEPDC_CHECK_MSG(s.batched + s.punted == s.submitted,
-                  "batched + punted != submitted");
+  SEPDC_CHECK_MSG(s.batched + s.punted + s.fast_lane == s.submitted,
+                  "batched + punted + fast_lane != submitted");
+  SEPDC_CHECK_MSG(
+      s.flush_by_size + s.flush_by_deadline + s.flush_by_stop == s.flushes,
+      "flush trigger taxonomy does not reconcile with flushes");
+  SEPDC_CHECK_MSG(s.fast_lane_latency.count() == s.fast_lane,
+                  "fast_lane_latency histogram does not reconcile with "
+                  "fast_lane");
   SEPDC_CHECK_MSG(s.knn_submitted + s.radius_submitted == s.submitted,
                   "per-type submissions do not reconcile with submitted");
   SEPDC_CHECK_MSG(s.knn_answered == s.knn_submitted,
@@ -567,6 +573,272 @@ LiveUpdateResult run_live_update_broker(const CellParams& p,
   return result;
 }
 
+// --- slo_sweep: SLO routing under swept offered load ---
+//
+// The ROADMAP item-4 acceptance story (docs/service_architecture.md,
+// "SLO routing & degradation"): with the fast lane, adaptive batching,
+// and admission control on, sweep bulk offered load across fractions of
+// measured capacity while one paced interactive client holds a latency
+// SLO. Targets: interactive attainment >= 90% even at 2x-capacity
+// offered load (bulk shed with typed errors instead of collapsing every
+// class), and a lone interactive query through the idle broker within
+// 3x of the direct index path (vs ~60x for a full flush wait).
+
+service::BrokerConfig slo_broker_config(const CellParams& p,
+                                        std::chrono::microseconds budget) {
+  service::BrokerConfig cfg;
+  cfg.max_batch = p.bulk;
+  cfg.flush_interval = std::chrono::microseconds(200);
+  cfg.index.seed = p.seed;
+  cfg.trace = p.trace;
+  cfg.slo.fast_lane = true;
+  cfg.slo.adaptive = true;
+  cfg.slo.min_flush_interval = std::chrono::microseconds(50);
+  cfg.slo.max_flush_interval = std::chrono::microseconds(1000);
+  cfg.slo.min_batch = 8;
+  cfg.slo.max_batch = 512;
+  cfg.slo.target_queue_wait = std::chrono::microseconds(300);
+  cfg.slo.interactive_budget = budget;
+  cfg.slo.bulk_budget = budget;
+  // Shed a bulk request when its projected backlog alone would eat half
+  // the budget: paced `bulk`-sized chunks (~tens of µs projected) always
+  // pass, while the overload cells' jumbo burst chunks (projected in the
+  // ms) are deterministically rejected.
+  cfg.slo.shed_factor = 0.5;
+  return cfg;
+}
+
+// Closed-loop capacity probe: one saturating bulk client against the
+// plain broker config; its throughput anchors the sweep's offered rates.
+double probe_capacity_qps(const CellParams& p, par::ThreadPool& pool) {
+  service::BrokerConfig cfg;
+  cfg.max_batch = p.bulk;
+  cfg.flush_interval = std::chrono::microseconds(200);
+  cfg.index.seed = p.seed;
+  service::QueryBroker<2> broker(p.points, cfg, pool);
+  std::size_t done = 0, qi = 0;
+  Timer t;
+  while (t.seconds() < 0.2) {
+    std::size_t len = std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+    auto rows = broker.bulk_radius(p.queries.subspan(qi, len), p.radius);
+    (void)rows;
+    done += len;
+    qi = (qi + len) % p.queries.size();
+  }
+  double elapsed = t.seconds();
+  return elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+}
+
+struct FastLaneResult {
+  double direct_p50_us = 0.0;  // bare index, no service in front
+  double broker_p50_us = 0.0;  // idle broker with the fast lane on
+  double p50_ratio = 0.0;      // broker / direct (target <= 3)
+  std::size_t queries = 0;
+};
+
+// Lone-client latency: the fast lane must put the idle broker within a
+// small constant of the direct index path, not a full flush interval.
+FastLaneResult run_fast_lane(const CellParams& p, par::ThreadPool& pool,
+                             std::chrono::microseconds budget) {
+  FastLaneResult r;
+  const std::size_t nq = std::min<std::size_t>(2000, p.queries.size() * 4);
+  core::SeparatorIndexConfig icfg;
+  icfg.seed = p.seed;
+  core::SeparatorIndex<2> index(p.points, icfg, pool);
+  metrics::Histogram direct;
+  for (std::size_t i = 0; i < nq; ++i) {
+    Timer t;
+    auto row = index.knn(p.queries[i % p.queries.size()], p.k);
+    (void)row;
+    direct.record_seconds(t.seconds());
+  }
+
+  service::QueryBroker<2> broker(p.points, slo_broker_config(p, budget),
+                                 pool);
+  metrics::Histogram lane;
+  for (std::size_t i = 0; i < nq; ++i) {
+    Timer t;
+    auto row = broker.knn(p.queries[i % p.queries.size()], p.k);
+    (void)row;
+    lane.record_seconds(t.seconds());
+  }
+  auto s = broker.stats();
+  reconcile_broker_stats(s, nq);
+  SEPDC_CHECK_MSG(s.fast_lane + s.punted == nq,
+                  "fast_lane cell: a lone client found the broker busy");
+
+  r.queries = nq;
+  r.direct_p50_us = direct.snapshot().p50_us();
+  r.broker_p50_us = lane.snapshot().p50_us();
+  r.p50_ratio =
+      r.direct_p50_us > 0.0 ? r.broker_p50_us / r.direct_p50_us : 0.0;
+  return r;
+}
+
+struct SloSweepResult {
+  double factor = 0.0;        // offered bulk load / probed capacity
+  double offered_qps = 0.0;   // bulk queries/s the clients tried to send
+  double bulk_qps = 0.0;      // bulk queries/s actually answered
+  double interactive_qps = 0.0;
+  double interactive_p50_us = 0.0;
+  double interactive_p99_us = 0.0;
+  double attainment = 0.0;    // interactive answers within the budget
+  std::size_t interactive_queries = 0;
+  std::size_t bulk_attempted = 0;
+  std::size_t bulk_answered = 0;
+  std::size_t bulk_shed = 0;
+  service::ServiceStatsSnapshot stats{};
+};
+
+SloSweepResult run_slo_cell(const CellParams& p, par::ThreadPool& pool,
+                            double factor, double capacity_qps,
+                            std::chrono::microseconds budget) {
+  service::QueryBroker<2> broker(p.points, slo_broker_config(p, budget),
+                                 pool);
+  SloSweepResult r;
+  r.factor = factor;
+  const double offered = capacity_qps * factor;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bulk_attempted{0}, bulk_answered{0};
+  std::atomic<std::size_t> bulk_shed{0}, wrong_errors{0};
+  std::atomic<std::size_t> inter_done{0}, inter_in_slo{0};
+  metrics::Histogram inter_latency;
+
+  constexpr unsigned kBulkThreads = 2;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kBulkThreads; ++c) {
+    threads.emplace_back([&, c] {
+      // Paced open loop: each thread owes its share of the offered rate,
+      // one `bulk`-sized chunk at a time. A shed chunk is counted and
+      // the client moves on (the degradation contract: typed error,
+      // caller backs off) — offered load stays offered.
+      const double chunks_per_s =
+          offered / (kBulkThreads * static_cast<double>(p.bulk));
+      const auto period =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::duration<double>(
+                  chunks_per_s > 0.0 ? 1.0 / chunks_per_s : 1.0));
+      std::size_t qi = (c * 7919) % p.queries.size();
+      auto next = std::chrono::steady_clock::now();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t len =
+            std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+        bulk_attempted.fetch_add(len, std::memory_order_relaxed);
+        try {
+          auto rows =
+              broker.bulk_radius(p.queries.subspan(qi, len), p.radius);
+          (void)rows;
+          bulk_answered.fetch_add(len, std::memory_order_relaxed);
+        } catch (const service::QueryError& e) {
+          if (e.field() != "overload")
+            wrong_errors.fetch_add(1, std::memory_order_relaxed);
+          bulk_shed.fetch_add(len, std::memory_order_relaxed);
+        }
+        qi = (qi + len) % p.queries.size();
+        next += period;
+        auto now = std::chrono::steady_clock::now();
+        if (next < now) next = now;  // saturated: don't accumulate debt
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+  // Overload cells (> 1x capacity) add a burst tenant: un-paced jumbo
+  // bulk chunks whose projected occupancy alone exceeds
+  // shed_factor × budget. This is the traffic admission control exists
+  // to reject — the sweep must show the typed-error degradation path
+  // under overload while the paced tenants keep flowing. The tenant
+  // starts after a short delay so the EWMA cost estimate the shed
+  // decision prices against is warmed by real batches first.
+  if (factor > 1.0) {
+    threads.emplace_back([&] {
+      constexpr std::size_t kBurst = 8192;
+      std::vector<Pt> burst(kBurst);
+      for (std::size_t i = 0; i < kBurst; ++i)
+        burst[i] = p.queries[i % p.queries.size()];
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      while (!stop.load(std::memory_order_relaxed)) {
+        bulk_attempted.fetch_add(kBurst, std::memory_order_relaxed);
+        try {
+          auto rows = broker.bulk_radius(
+              std::span<const Pt>(burst), p.radius);
+          (void)rows;
+          bulk_answered.fetch_add(kBurst, std::memory_order_relaxed);
+        } catch (const service::QueryError& e) {
+          if (e.field() != "overload")
+            wrong_errors.fetch_add(1, std::memory_order_relaxed);
+          bulk_shed.fetch_add(kBurst, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  // One paced interactive client holding the SLO: single knn queries at
+  // a fixed modest rate, latency judged against the class budget.
+  threads.emplace_back([&] {
+    const auto period = std::chrono::microseconds(1000);  // ~1000 qps
+    std::size_t qi = 0;
+    auto next = std::chrono::steady_clock::now();
+    while (!stop.load(std::memory_order_relaxed)) {
+      Timer t;
+      auto row = broker.knn(p.queries[qi], p.k);
+      (void)row;
+      const double secs = t.seconds();
+      inter_latency.record_seconds(secs);
+      inter_done.fetch_add(1, std::memory_order_relaxed);
+      if (secs * 1e6 <= static_cast<double>(budget.count()))
+        inter_in_slo.fetch_add(1, std::memory_order_relaxed);
+      qi = (qi + 1) % p.queries.size();
+      next += period;
+      auto now = std::chrono::steady_clock::now();
+      if (next < now) next = now;
+      std::this_thread::sleep_until(next);
+    }
+  });
+
+  Timer elapsed_timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double elapsed = elapsed_timer.seconds();
+
+  r.offered_qps = offered;
+  r.bulk_attempted = bulk_attempted.load(std::memory_order_relaxed);
+  r.bulk_answered = bulk_answered.load(std::memory_order_relaxed);
+  r.bulk_shed = bulk_shed.load(std::memory_order_relaxed);
+  r.interactive_queries = inter_done.load(std::memory_order_relaxed);
+  r.bulk_qps = elapsed > 0.0
+                   ? static_cast<double>(r.bulk_answered) / elapsed
+                   : 0.0;
+  r.interactive_qps =
+      elapsed > 0.0 ? static_cast<double>(r.interactive_queries) / elapsed
+                    : 0.0;
+  auto snap = inter_latency.snapshot();
+  r.interactive_p50_us = snap.p50_us();
+  r.interactive_p99_us = snap.p99_us();
+  r.attainment =
+      r.interactive_queries > 0
+          ? static_cast<double>(
+                inter_in_slo.load(std::memory_order_relaxed)) /
+                static_cast<double>(r.interactive_queries)
+          : 0.0;
+
+  r.stats = broker.stats();
+  SEPDC_CHECK_MSG(wrong_errors.load(std::memory_order_relaxed) == 0,
+                  "slo_sweep: a shed surfaced as something other than "
+                  "QueryError(\"overload\")");
+  // The books must balance exactly even with shedding in the mix:
+  // attempts == submitted + shed, and shed never leaks into submitted.
+  reconcile_broker_stats(r.stats,
+                         r.bulk_answered + r.interactive_queries);
+  SEPDC_CHECK_MSG(r.stats.shed == r.bulk_shed,
+                  "slo_sweep: broker shed count != bench shed count");
+  SEPDC_CHECK_MSG(r.bulk_attempted + r.interactive_queries ==
+                      r.stats.submitted + r.stats.shed,
+                  "slo_sweep: attempts != submitted + shed");
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,6 +859,9 @@ int main(int argc, char** argv) {
       .flag("trace", "",
             "write Chrome-trace JSON of broker phase spans (empty to "
             "disable; open in chrome://tracing or Perfetto)")
+      .flag("only", "",
+            "run a single scenario (steady|rebuild|deadline|live_update|"
+            "cold_start|slo_sweep); empty runs everything")
       .flag("json", "BENCH_service.json",
             "machine-readable results file (empty to disable)");
   if (!cli.parse(argc, argv)) return 0;
@@ -632,9 +907,17 @@ int main(int argc, char** argv) {
   std::optional<metrics::TraceRecorder> trace;
   if (!cli.get("trace").empty()) trace.emplace();
 
+  // --only gates whole scenarios so CI can smoke-run one of them (the
+  // slo_sweep smoke in the static-analysis job) in seconds, not minutes.
+  const std::string only = cli.get("only");
+  auto enabled = [&](const char* scenario) {
+    return only.empty() || only == scenario;
+  };
+
   for (Kind kind : {Kind::kKnn, Kind::kRadius}) {
     const std::string workload = kind == Kind::kKnn ? "knn" : "radius";
     for (const char* scenario : {"steady", "rebuild", "deadline"}) {
+      if (!enabled(scenario)) continue;
       const bool rebuild = std::string(scenario) == "rebuild";
       const bool deadline = std::string(scenario) == "deadline";
       for (std::int64_t clients : cli.get_int_list("clients")) {
@@ -691,8 +974,9 @@ int main(int argc, char** argv) {
   // latency, so the readers must not saturate the machine by themselves
   // (at full saturation both designs just measure CPU contention).
   const unsigned lu_clients = std::max(1u, top_clients / 2);
+  const bool run_lu = enabled("live_update");
   LiveUpdateResult lu_base, lu_broker;
-  {
+  if (run_lu) {
     CellParams p = base;
     p.kind = Kind::kRadius;
     p.clients = lu_clients;
@@ -704,40 +988,79 @@ int main(int argc, char** argv) {
                                   ? lu_base.p99_request_us /
                                         lu_broker.p99_request_us
                                   : 0.0;
-  table.new_row()
-      .cell("radius")
-      .cell("live_update")
-      .cell("baseline")
-      .cell(lu_clients)
-      .cell(lu_base.qps, 0)
-      .cell(lu_base.p50_request_us, 1)
-      .cell(lu_base.p99_request_us, 1)
-      .cell(lu_base.rebuilds)
-      .cell(0)
-      .cell(1.0, 2);
-  table.new_row()
-      .cell("radius")
-      .cell("live_update")
-      .cell("broker")
-      .cell(lu_clients)
-      .cell(lu_broker.qps, 0)
-      .cell(lu_broker.p50_request_us, 1)
-      .cell(lu_broker.p99_request_us, 1)
-      .cell(lu_broker.compactions)
-      .cell(lu_broker.stats.punted)
-      .cell(lu_p99_ratio, 2);
+  if (run_lu) {
+    table.new_row()
+        .cell("radius")
+        .cell("live_update")
+        .cell("baseline")
+        .cell(lu_clients)
+        .cell(lu_base.qps, 0)
+        .cell(lu_base.p50_request_us, 1)
+        .cell(lu_base.p99_request_us, 1)
+        .cell(lu_base.rebuilds)
+        .cell(0)
+        .cell(1.0, 2);
+    table.new_row()
+        .cell("radius")
+        .cell("live_update")
+        .cell("broker")
+        .cell(lu_clients)
+        .cell(lu_broker.qps, 0)
+        .cell(lu_broker.p50_request_us, 1)
+        .cell(lu_broker.p99_request_us, 1)
+        .cell(lu_broker.compactions)
+        .cell(lu_broker.stats.punted)
+        .cell(lu_p99_ratio, 2);
+  }
   table.print(std::cout);
 
-  std::printf(
-      "\nlive update, sustained mutations at %u clients "
-      "(target: broker p99 >= 10x below rebuild-per-batch):\n"
-      "  baseline %.1f us p99 over %zu updates (%zu rebuilds) | "
-      "broker %.1f us p99 over %zu updates (%zu compactions) | %.1fx\n"
-      "  stale answers for acknowledged updates: %zu (must be 0)\n",
-      lu_clients, lu_base.p99_request_us, lu_base.updates,
-      lu_base.rebuilds, lu_broker.p99_request_us, lu_broker.updates,
-      lu_broker.compactions, lu_p99_ratio,
-      lu_base.stale + lu_broker.stale);
+  if (run_lu)
+    std::printf(
+        "\nlive update, sustained mutations at %u clients "
+        "(target: broker p99 >= 10x below rebuild-per-batch):\n"
+        "  baseline %.1f us p99 over %zu updates (%zu rebuilds) | "
+        "broker %.1f us p99 over %zu updates (%zu compactions) | %.1fx\n"
+        "  stale answers for acknowledged updates: %zu (must be 0)\n",
+        lu_clients, lu_base.p99_request_us, lu_base.updates,
+        lu_base.rebuilds, lu_broker.p99_request_us, lu_broker.updates,
+        lu_broker.compactions, lu_p99_ratio,
+        lu_base.stale + lu_broker.stale);
+
+  // --- slo_sweep: SLO routing under swept offered load ---
+  const bool run_slo = enabled("slo_sweep");
+  const auto slo_budget = std::chrono::microseconds(2000);
+  double slo_capacity = 0.0;
+  FastLaneResult fast_lane{};
+  std::vector<SloSweepResult> slo_cells;
+  if (run_slo) {
+    CellParams p = base;
+    p.kind = Kind::kRadius;
+    p.trace = trace ? &*trace : nullptr;
+    slo_capacity = probe_capacity_qps(p, pool);
+    fast_lane = run_fast_lane(p, pool, slo_budget);
+    for (double factor : {0.25, 1.0, 2.0})
+      slo_cells.push_back(
+          run_slo_cell(p, pool, factor, slo_capacity, slo_budget));
+    std::printf(
+        "\nslo_sweep, probed capacity %.0f qps, interactive SLO %lld us "
+        "(target: >= 90%% attainment at 2x offered load, bulk shed with "
+        "typed errors):\n",
+        slo_capacity, static_cast<long long>(slo_budget.count()));
+    for (const auto& c : slo_cells)
+      std::printf(
+          "  %.2fx offered: interactive p50 %.1f us p99 %.1f us, "
+          "attainment %.1f%% | bulk answered %zu shed %zu | "
+          "operating point %zu us / batch %zu (tighten %zu, relax %zu)\n",
+          c.factor, c.interactive_p50_us, c.interactive_p99_us,
+          c.attainment * 100.0, c.bulk_answered, c.bulk_shed,
+          c.stats.cur_flush_interval_us, c.stats.cur_max_batch,
+          c.stats.controller_tighten, c.stats.controller_relax);
+    std::printf(
+        "  idle fast lane: broker p50 %.1f us vs direct %.1f us => "
+        "%.2fx (target <= 3x)\n",
+        fast_lane.broker_p50_us, fast_lane.direct_p50_us,
+        fast_lane.p50_ratio);
+  }
 
   // --- cold_start: time-to-first-answer, fresh build vs mmap load ---
   // The persistence acceptance number (docs/persistence.md): a broker
@@ -754,7 +1077,8 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() /
        "bench_service_cold_start.sepdc")
           .string();
-  {
+  const bool run_cold = enabled("cold_start");
+  if (run_cold) {
     service::BrokerConfig bcfg;
     bcfg.index.seed = base.seed;
     service::QueryBroker<2> warm(base.points, bcfg, pool);
@@ -781,12 +1105,13 @@ int main(int argc, char** argv) {
   }
   const double cold_speedup =
       cold.load_s > 0.0 ? cold.build_s / cold.load_s : 0.0;
-  std::printf(
-      "\ncold start, time to first answer at n=%zu (target >= 10x):\n"
-      "  build %.2f ms | mmap load %.2f ms | %.1fx "
-      "(snapshot %.1f MiB)\n",
-      n, cold.build_s * 1e3, cold.load_s * 1e3, cold_speedup,
-      static_cast<double>(cold.bytes) / (1024.0 * 1024.0));
+  if (run_cold)
+    std::printf(
+        "\ncold start, time to first answer at n=%zu (target >= 10x):\n"
+        "  build %.2f ms | mmap load %.2f ms | %.1fx "
+        "(snapshot %.1f MiB)\n",
+        n, cold.build_s * 1e3, cold.load_s * 1e3, cold_speedup,
+        static_cast<double>(cold.bytes) / (1024.0 * 1024.0));
 
   // Headline: broker vs one-query-at-a-time baseline at the largest
   // client count, per workload and scenario.
@@ -803,14 +1128,15 @@ int main(int argc, char** argv) {
     double b = qps_of(workload, scenario, "baseline");
     return b > 0.0 ? qps_of(workload, scenario, "broker") / b : 0.0;
   };
-  std::printf(
-      "\nbroker vs one-query-at-a-time baseline at %u clients "
-      "(target >= 3x on radius):\n"
-      "  radius: %.2fx steady, %.2fx under rebuild\n"
-      "  knn:    %.2fx steady, %.2fx under rebuild\n",
-      top_clients, speedup_of("radius", "steady"),
-      speedup_of("radius", "rebuild"), speedup_of("knn", "steady"),
-      speedup_of("knn", "rebuild"));
+  if (only.empty())
+    std::printf(
+        "\nbroker vs one-query-at-a-time baseline at %u clients "
+        "(target >= 3x on radius):\n"
+        "  radius: %.2fx steady, %.2fx under rebuild\n"
+        "  knn:    %.2fx steady, %.2fx under rebuild\n",
+        top_clients, speedup_of("radius", "steady"),
+        speedup_of("radius", "rebuild"), speedup_of("knn", "steady"),
+        speedup_of("knn", "rebuild"));
 
   if (std::string path = cli.get("trace"); !path.empty() && trace) {
     std::ofstream out(path);
@@ -850,6 +1176,43 @@ int main(int argc, char** argv) {
            << ", \"snapshots_published\": " << s.snapshots_published
            << "},\n";
     }
+    if (run_slo) {
+      json << "  {\"scenario\": \"slo_fast_lane\", \"queries\": "
+           << fast_lane.queries
+           << ", \"direct_p50_us\": " << fast_lane.direct_p50_us
+           << ", \"broker_p50_us\": " << fast_lane.broker_p50_us
+           << ", \"p50_ratio\": " << fast_lane.p50_ratio
+           << ", \"target\": 3.0},\n";
+      for (const auto& c : slo_cells) {
+        const auto& s = c.stats;
+        json << "  {\"workload\": \"mixed\", \"scenario\": \"slo_sweep\", "
+             << "\"mode\": \"broker\", \"offered_factor\": " << c.factor
+             << ", \"capacity_qps\": " << slo_capacity
+             << ", \"offered_bulk_qps\": " << c.offered_qps
+             << ", \"bulk_qps\": " << c.bulk_qps
+             << ", \"interactive_qps\": " << c.interactive_qps
+             << ", \"interactive_p50_us\": " << c.interactive_p50_us
+             << ", \"interactive_p99_us\": " << c.interactive_p99_us
+             << ", \"slo_budget_us\": " << slo_budget.count()
+             << ", \"slo_attainment\": " << c.attainment
+             << ", \"attainment_target\": 0.9"
+             << ", \"interactive_queries\": " << c.interactive_queries
+             << ", \"bulk_attempted\": " << c.bulk_attempted
+             << ", \"bulk_answered\": " << c.bulk_answered
+             << ", \"bulk_shed\": " << c.bulk_shed
+             << ", \"fast_lane\": " << s.fast_lane
+             << ", \"punted\": " << s.punted
+             << ", \"batched\": " << s.batched
+             << ", \"shed\": " << s.shed
+             << ", \"controller_updates\": " << s.controller_updates
+             << ", \"controller_tighten\": " << s.controller_tighten
+             << ", \"controller_relax\": " << s.controller_relax
+             << ", \"cur_flush_interval_us\": " << s.cur_flush_interval_us
+             << ", \"cur_max_batch\": " << s.cur_max_batch
+             << ", \"queue_wait_p99_us\": " << s.queue_wait.p99_us()
+             << "},\n";
+      }
+    }
     auto live_update_row = [&](const char* mode, const LiveUpdateResult& r) {
       json << "  {\"workload\": \"radius\", \"scenario\": \"live_update\", "
            << "\"mode\": \"" << mode << "\", \"clients\": " << lu_clients
@@ -866,18 +1229,21 @@ int main(int argc, char** argv) {
            << ", \"compaction_build_p99_us\": "
            << r.stats.compaction_build.p99_us() << "},\n";
     };
-    live_update_row("baseline", lu_base);
-    live_update_row("broker", lu_broker);
-    json << "  {\"scenario\": \"live_update_summary\", \"clients\": "
-         << lu_clients << ", \"p99_ratio\": " << lu_p99_ratio
-         << ", \"stale_answers\": " << lu_base.stale + lu_broker.stale
-         << ", \"target\": 10.0},\n";
-    json << "  {\"scenario\": \"cold_start\", \"n\": " << n
-         << ", \"build_ttfa_ms\": " << cold.build_s * 1e3
-         << ", \"load_ttfa_ms\": " << cold.load_s * 1e3
-         << ", \"snapshot_bytes\": " << cold.bytes
-         << ", \"cold_start_speedup\": " << cold_speedup
-         << ", \"target\": 10.0},\n";
+    if (run_lu) {
+      live_update_row("baseline", lu_base);
+      live_update_row("broker", lu_broker);
+      json << "  {\"scenario\": \"live_update_summary\", \"clients\": "
+           << lu_clients << ", \"p99_ratio\": " << lu_p99_ratio
+           << ", \"stale_answers\": " << lu_base.stale + lu_broker.stale
+           << ", \"target\": 10.0},\n";
+    }
+    if (run_cold)
+      json << "  {\"scenario\": \"cold_start\", \"n\": " << n
+           << ", \"build_ttfa_ms\": " << cold.build_s * 1e3
+           << ", \"load_ttfa_ms\": " << cold.load_s * 1e3
+           << ", \"snapshot_bytes\": " << cold.bytes
+           << ", \"cold_start_speedup\": " << cold_speedup
+           << ", \"target\": 10.0},\n";
     json << "  {\"scenario\": \"summary\", \"clients\": " << top_clients
          << ", \"speedup_radius_steady\": " << speedup_of("radius", "steady")
          << ", \"speedup_radius_rebuild\": "

@@ -29,13 +29,34 @@
 // Deadline-aware degradation follows the Punting Lemma's shape (run the
 // preferred algorithm only while it can still win; otherwise fall back
 // immediately rather than retrying): a query whose deadline cannot
-// survive the batch path — worst-case flush wait plus the estimated
-// batch service time — is *punted* at submission to the snapshot's
-// direct kd-tree / single-march fallback on the client's own thread.
-// Both paths are exact with the identical (dist2, id) tie-break, so
-// punting degrades latency, never answers. Per-outcome counters
-// (batched, punted, expired, rebuilt-under) land in a relaxed-atomic
+// survive the batch path — the *remaining* wait until the pending
+// queue's flush fires plus the estimated batch service time — is
+// *punted* at submission to the snapshot's direct kd-tree /
+// single-march fallback on the client's own thread. Both paths are
+// exact with the identical (dist2, id) tie-break, so punting degrades
+// latency, never answers. Per-outcome counters (batched, punted,
+// fast-lane, expired, rebuilt-under) land in a relaxed-atomic
 // ServiceStats.
+//
+// Latency-SLO routing (docs/service_architecture.md, "SLO routing &
+// degradation") layers four opt-in mechanisms on those signals:
+//   * SLO classes — every request carries SloClass::kInteractive or
+//     kBulk (defaulted per entry point), with per-class default budgets
+//     in SloConfig.
+//   * Idle fast-lane — when the queue is empty and no flush is in
+//     flight, an interactive request answers inline via the exact punt
+//     machinery, so a lone query sees direct-path latency instead of a
+//     full flush interval.
+//   * Adaptive batching — an AIMD controller on the flusher thread
+//     retunes the operating flush interval and batch cap from windowed
+//     queue-wait quantiles, bounded by configured min/max.
+//   * Admission control — a bulk-class request whose EWMA-estimated
+//     backlog exceeds shed_factor x its budget is rejected with
+//     QueryError("overload") before it can join (and lengthen) the
+//     queue, so overload degrades bulk predictably instead of
+//     collapsing every class's tail.
+// All four change latency and acceptance only — never the bytes of an
+// accepted answer.
 //
 // Result contracts (independent of batching, punting, and timing):
 //   knn rows    — exactly k nearest (fewer iff the snapshot has fewer
@@ -49,6 +70,7 @@
 #include <cmath>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -71,8 +93,59 @@
 namespace sepdc::service {
 
 // QueryError (thrown at submission, before any accounting, for
-// parameters the service cannot answer — k == 0, NaN radius, insert of
-// a live id) lives in delta_tier.hpp, shared with the live store.
+// parameters the service cannot answer — k == 0, NaN radius, negative
+// budget, insert of a live id) lives in delta_tier.hpp, shared with the
+// live store.
+
+// Per-request SLO class. Routing metadata, never correctness: both
+// classes get exact answers with the identical (dist2, id) tie-break;
+// they differ only in which degradations the broker may apply.
+//   kInteractive — latency-sensitive: eligible for the idle fast-lane,
+//                  never shed by admission control.
+//   kBulk        — throughput traffic: always takes the batch/punt
+//                  machinery, and may be shed with QueryError("overload")
+//                  when the estimated backlog exceeds its admission
+//                  budget multiple.
+// Entry-point defaults: single-query knn()/radius() submit interactive,
+// bulk_knn()/bulk_radius() submit bulk; every entry point accepts an
+// explicit class.
+enum class SloClass : std::uint8_t { kInteractive = 0, kBulk = 1 };
+
+// Latency-SLO routing knobs. Everything is off by default: a
+// default-constructed SloConfig makes the broker behave exactly like
+// the pre-SLO one (no fast lane, no shedding, fixed batching knobs).
+struct SloConfig {
+  // Default budget applied when a request of the class passes
+  // kNoDeadline; kNoDeadline here means "no default" (such requests
+  // never punt, never shed, never expire).
+  std::chrono::microseconds interactive_budget{0};
+  std::chrono::microseconds bulk_budget{0};
+  // Idle fast-lane: when no query is pending and no flush is in flight,
+  // answer interactive requests inline via the exact direct path
+  // instead of queueing them behind a flush interval.
+  bool fast_lane = false;
+  // Admission control: shed a bulk-class request with
+  // QueryError("overload") when the EWMA-estimated backlog
+  // (est_batch_us_per_query x queued-plus-incoming queries) exceeds
+  // shed_factor x the request's effective budget. 0 disables shedding;
+  // requests without a budget are never shed (they can afford any wait).
+  double shed_factor = 0.0;
+  // Adaptive batching: an AIMD controller on the flusher thread retunes
+  // the operating flush interval and batch cap every control_period
+  // flushes — halves both when the windowed queue-wait p99 overshoots
+  // target_queue_wait, regrows them additively when it sits below half
+  // the target — clamped to [min_flush_interval, max_flush_interval]
+  // and [min_batch, max_batch]. Decisions are visible as the
+  // controller_* counters, the cur_* gauges, and an "slo_controller"
+  // trace span.
+  bool adaptive = false;
+  std::chrono::microseconds min_flush_interval{25};
+  std::chrono::microseconds max_flush_interval{2000};
+  std::size_t min_batch = 8;
+  std::size_t max_batch = 1024;
+  std::chrono::microseconds target_queue_wait{150};
+  std::size_t control_period = 8;
+};
 
 struct BrokerConfig {
   // Flush the pending queue as soon as it holds this many queries.
@@ -90,6 +163,9 @@ struct BrokerConfig {
   // pool, in the background) once this many pending updates accumulate.
   // 0 disables the automatic trigger — compact() still works on demand.
   std::size_t delta_compaction_threshold = 256;
+  // Latency-SLO routing: class defaults, fast lane, adaptive batching,
+  // admission control. Defaults leave all of it off.
+  SloConfig slo;
 };
 
 template <int D>
@@ -104,7 +180,12 @@ class QueryBroker {
 
   static constexpr std::uint32_t kNoExclude =
       core::SeparatorIndex<D>::kNoExclude;
-  // budget == kNoDeadline means "never punt, never expires".
+  // Only kNoDeadline *exactly* means "no deadline: never punt, never
+  // shed, never expires" (unless the request's SLO class carries a
+  // default budget in SloConfig). A negative budget is not a deadline
+  // the service can honor and is rejected at the door with
+  // QueryError("budget") — before any counter moves — matching the
+  // k == 0 / non-finite-radius precedent.
   static constexpr std::chrono::microseconds kNoDeadline{0};
 
   // An empty `points` span starts the service delta-only: generation 1
@@ -114,6 +195,7 @@ class QueryBroker {
               const BrokerConfig& cfg, par::ThreadPool& pool)
       : cfg_(cfg), pool_(pool) {
     SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    init_operating_point();
     rebuild(points);  // generation 1, synchronous: never serve view-less
     flusher_ = std::thread([this] { flusher_loop(); });
   }
@@ -127,6 +209,7 @@ class QueryBroker {
               par::ThreadPool& pool)
       : cfg_(cfg), pool_(pool) {
     SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    init_operating_point();
     io::LoadedDelta<D> delta;
     store_.bootstrap_from(snapshot_path, &stats_, cfg_.trace, &delta);
     // Replay the file's pending delta into the live tier: a save taken
@@ -191,12 +274,14 @@ class QueryBroker {
 
   KnnRow knn(const geo::Point<D>& q, std::size_t k,
              std::chrono::microseconds budget = kNoDeadline,
-             std::uint32_t exclude = kNoExclude) {
+             std::uint32_t exclude = kNoExclude,
+             SloClass cls = SloClass::kInteractive) {
     std::uint32_t ex = exclude;
     auto rows = run_knn({&q, 1}, k, budget,
                         exclude == kNoExclude
                             ? std::span<const std::uint32_t>{}
-                            : std::span<const std::uint32_t>{&ex, 1});
+                            : std::span<const std::uint32_t>{&ex, 1},
+                        cls, /*bulk_entry=*/false);
     return std::move(rows[0]);
   }
 
@@ -208,22 +293,23 @@ class QueryBroker {
                                std::size_t k,
                                std::chrono::microseconds budget =
                                    kNoDeadline,
-                               std::span<const std::uint32_t> exclude = {}) {
-    ServiceStats::add(stats_.bulk_requests, 1);
-    return run_knn(queries, k, budget, exclude);
+                               std::span<const std::uint32_t> exclude = {},
+                               SloClass cls = SloClass::kBulk) {
+    return run_knn(queries, k, budget, exclude, cls, /*bulk_entry=*/true);
   }
 
   RadiusRow radius(const geo::Point<D>& q, double r,
-                   std::chrono::microseconds budget = kNoDeadline) {
-    auto rows = run_radius({&q, 1}, r, budget);
+                   std::chrono::microseconds budget = kNoDeadline,
+                   SloClass cls = SloClass::kInteractive) {
+    auto rows = run_radius({&q, 1}, r, budget, cls, /*bulk_entry=*/false);
     return std::move(rows[0]);
   }
 
   std::vector<RadiusRow> bulk_radius(
       std::span<const geo::Point<D>> queries, double r,
-      std::chrono::microseconds budget = kNoDeadline) {
-    ServiceStats::add(stats_.bulk_requests, 1);
-    return run_radius(queries, r, budget);
+      std::chrono::microseconds budget = kNoDeadline,
+      SloClass cls = SloClass::kBulk) {
+    return run_radius(queries, r, budget, cls, /*bulk_entry=*/true);
   }
 
   // ------------------------------------------------------- update API
@@ -330,6 +416,15 @@ class QueryBroker {
   }
   ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
   const BrokerConfig& config() const { return cfg_; }
+  // The adaptive controller's current operating point (== the config
+  // values when SloConfig::adaptive is off).
+  std::chrono::microseconds current_flush_interval() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+        cur_flush_interval());
+  }
+  std::size_t current_max_batch() const {
+    return cur_max_batch_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -338,6 +433,7 @@ class QueryBroker {
     std::span<const std::uint32_t> exclude;  // knn only; empty = none
     std::size_t k = 0;
     double radius = 0.0;
+    SloClass slo = SloClass::kInteractive;
     bool has_deadline = false;
     typename Clock::time_point deadline{};
     typename Clock::time_point enqueued{};  // stamps queue_wait
@@ -498,8 +594,16 @@ class QueryBroker {
   }
 
   // Punt decision (client side, at submission): would the batch path —
-  // worst-case flush wait plus the EWMA-estimated batch service time for
-  // everything already queued plus us — overrun the deadline?
+  // the worst-case wait until the flush fires plus the EWMA-estimated
+  // batch service time for everything already queued plus us — overrun
+  // the deadline? The flush wait is the *remaining* portion of the
+  // oldest pending request's interval (oldest enqueue + flush interval
+  // - now, clamped to [0, interval]), read from the atomic mirror the
+  // enqueue/flush paths maintain — charging every submission the full
+  // interval, as this used to, systematically over-punts under load: a
+  // queue that has already aged 150 of its 200 us only makes a new
+  // arrival wait 50 us more. An empty queue charges the full interval
+  // (this submission would start the clock itself).
   bool should_punt(typename Clock::time_point now,
                    typename Clock::time_point deadline,
                    std::size_t nqueries) const {
@@ -508,21 +612,95 @@ class QueryBroker {
     double est_us =
         stats_.est_batch_us_per_query.load(std::memory_order_relaxed) *
         waiting;
-    auto eta = now + cfg_.flush_interval +
+    const std::chrono::nanoseconds interval = cur_flush_interval();
+    std::chrono::nanoseconds wait = interval;
+    const std::int64_t oldest =
+        oldest_enqueue_ns_.load(std::memory_order_relaxed);
+    if (oldest != kNoOldest) {
+      const std::int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now.time_since_epoch())
+              .count();
+      wait = std::chrono::nanoseconds(std::clamp<std::int64_t>(
+          oldest + interval.count() - now_ns, 0, interval.count()));
+    }
+    auto eta = now + wait +
                std::chrono::microseconds(
                    static_cast<std::int64_t>(est_us));
     return eta > deadline;
   }
 
-  void account_answered(std::size_t nqueries, bool punted, bool is_knn,
-                        bool has_deadline,
+  // Mutually exclusive per-query outcomes (service_stats.hpp taxonomy):
+  // batched + punted + fast_lane == submitted.
+  enum class Outcome { kBatched, kPunted, kFastLane };
+
+  void account_answered(std::size_t nqueries, Outcome outcome,
+                        bool is_knn, bool has_deadline,
                         typename Clock::time_point deadline) {
-    ServiceStats::add(punted ? stats_.punted : stats_.batched, nqueries);
+    switch (outcome) {
+      case Outcome::kBatched:
+        ServiceStats::add(stats_.batched, nqueries);
+        break;
+      case Outcome::kPunted:
+        ServiceStats::add(stats_.punted, nqueries);
+        break;
+      case Outcome::kFastLane:
+        ServiceStats::add(stats_.fast_lane, nqueries);
+        break;
+    }
     ServiceStats::add(is_knn ? stats_.knn_answered : stats_.radius_answered,
                       nqueries);
     if (under_rebuild()) ServiceStats::add(stats_.rebuilt_under, nqueries);
     if (has_deadline && Clock::now() > deadline)
       ServiceStats::add(stats_.expired, nqueries);
+  }
+
+  // ------------------------------------------------ SLO routing helpers
+
+  // The budget the routing layer actually uses: an explicit budget wins;
+  // kNoDeadline falls back to the class default (itself kNoDeadline
+  // unless configured).
+  std::chrono::microseconds effective_budget(
+      std::chrono::microseconds budget, SloClass cls) const {
+    if (budget != kNoDeadline) return budget;
+    return cls == SloClass::kInteractive ? cfg_.slo.interactive_budget
+                                         : cfg_.slo.bulk_budget;
+  }
+
+  // Admission control: reject a bulk-class request whose estimated
+  // backlog (EWMA per-query batch cost x queued-plus-incoming queries)
+  // exceeds shed_factor x its budget. Runs before the request is
+  // accounted as submitted — a shed request increments only `shed`, so
+  // callers reconcile attempts == submitted + shed while the answer-side
+  // invariants (batched + punted + fast_lane == submitted) are
+  // untouched. Interactive requests and requests without a budget are
+  // never shed.
+  void admit_or_shed(SloClass cls, std::chrono::microseconds budget,
+                     std::size_t nqueries) {
+    const double factor = cfg_.slo.shed_factor;
+    if (cls != SloClass::kBulk || factor <= 0.0 || budget <= kNoDeadline)
+      return;
+    const double backlog_us =
+        stats_.est_batch_us_per_query.load(std::memory_order_relaxed) *
+        static_cast<double>(
+            pending_queries_.load(std::memory_order_relaxed) + nqueries);
+    if (backlog_us <=
+        factor * static_cast<double>(budget.count()))
+      return;
+    ServiceStats::add(stats_.shed, nqueries);
+    throw QueryError("overload",
+                     "bulk-class request shed: estimated backlog exceeds "
+                     "the admission budget multiple; retry with backoff");
+  }
+
+  // Idle fast-lane gate: interactive class, empty queue, no flush in
+  // flight. Both loads are heuristics — a racing enqueue or flush swap
+  // only changes which exact path answers, never the answer — so
+  // relaxed reads suffice.
+  bool fast_lane_open(SloClass cls) const {
+    return cfg_.slo.fast_lane && cls == SloClass::kInteractive &&
+           pending_queries_.load(std::memory_order_relaxed) == 0 &&
+           !flush_in_flight_.load(std::memory_order_relaxed);
   }
 
   // Translate a client (external) exclude id into the base index's
@@ -549,36 +727,100 @@ class QueryBroker {
     return merge_knn_rows(view, q, k, exclude, base_rows);
   }
 
+  // Answers a span of k-NN queries inline on the caller's thread via
+  // the exact direct path — shared by punting and the fast lane, which
+  // differ only in trace label, latency histogram, and outcome counter.
+  void knn_inline(std::span<const geo::Point<D>> queries, std::size_t k,
+                  std::span<const std::uint32_t> exclude,
+                  std::vector<KnnRow>& out, Outcome outcome,
+                  bool has_deadline,
+                  typename Clock::time_point deadline) {
+    const bool fast = outcome == Outcome::kFastLane;
+    metrics::TraceSpan span(cfg_.trace,
+                            fast ? "fast_lane_knn" : "punt_knn",
+                            "service");
+    Timer timer;
+    ViewPtr view = live_.current();
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      out[i] = answer_knn_direct(
+          *view, queries[i], k,
+          exclude.empty() ? kNoExclude : exclude[i]);
+    (fast ? stats_.fast_lane_latency : stats_.punt_latency)
+        .record_seconds(timer.seconds(), queries.size());
+    account_answered(queries.size(), outcome, /*is_knn=*/true,
+                     has_deadline, deadline);
+  }
+
+  void radius_inline(std::span<const geo::Point<D>> queries, double r,
+                     std::vector<RadiusRow>& out, Outcome outcome,
+                     bool has_deadline,
+                     typename Clock::time_point deadline) {
+    const bool fast = outcome == Outcome::kFastLane;
+    metrics::TraceSpan span(cfg_.trace,
+                            fast ? "fast_lane_radius" : "punt_radius",
+                            "service");
+    Timer timer;
+    ViewPtr view = live_.current();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (view->has_base()) {
+        view->base->index->for_each_in_ball(
+            queries[i], r, [&](std::uint32_t internal, double d2) {
+              const std::uint32_t ext =
+                  view->base->external_id(internal);
+              if (!view->base_masked(ext))
+                out[i].emplace_back(ext, d2);
+            });
+      }
+      view->for_each_delta_in_ball(
+          queries[i], r, [&](std::uint32_t id, double d2) {
+            out[i].emplace_back(id, d2);
+          });
+      sort_radius_row(out[i]);
+    }
+    (fast ? stats_.fast_lane_latency : stats_.punt_latency)
+        .record_seconds(timer.seconds(), queries.size());
+    account_answered(queries.size(), outcome, /*is_knn=*/false,
+                     has_deadline, deadline);
+  }
+
   std::vector<KnnRow> run_knn(std::span<const geo::Point<D>> queries,
                               std::size_t k,
                               std::chrono::microseconds budget,
-                              std::span<const std::uint32_t> exclude) {
+                              std::span<const std::uint32_t> exclude,
+                              SloClass cls, bool bulk_entry) {
     SEPDC_CHECK_MSG(exclude.empty() || exclude.size() == queries.size(),
                     "broker knn: exclude must be empty or per-query");
     // Validate before any accounting: an invalid query is rejected at
     // the door, never counted as submitted, never enqueued.
     if (k == 0) throw QueryError("k", "k-NN requires k >= 1");
+    if (budget < kNoDeadline)
+      throw QueryError("budget",
+                       "budget must be >= 0; only 0 (kNoDeadline) means "
+                       "no deadline");
     std::vector<KnnRow> out(queries.size());
     if (queries.empty()) return out;
+    budget = effective_budget(budget, cls);
+    admit_or_shed(cls, budget, queries.size());
     ServiceStats::add(stats_.submitted, queries.size());
     ServiceStats::add(stats_.knn_submitted, queries.size());
+    ServiceStats::add(cls == SloClass::kInteractive
+                          ? stats_.class_interactive
+                          : stats_.class_bulk,
+                      queries.size());
+    if (bulk_entry) ServiceStats::add(stats_.bulk_requests, 1);
 
     const bool has_deadline = budget > kNoDeadline;
     auto now = Clock::now();
     auto deadline =
         has_deadline ? now + budget : Clock::time_point::max();
+    if (fast_lane_open(cls)) {
+      knn_inline(queries, k, exclude, out, Outcome::kFastLane,
+                 has_deadline, deadline);
+      return out;
+    }
     if (has_deadline && should_punt(now, deadline, queries.size())) {
-      metrics::TraceSpan span(cfg_.trace, "punt_knn", "service");
-      Timer punt_timer;
-      ViewPtr view = live_.current();
-      for (std::size_t i = 0; i < queries.size(); ++i)
-        out[i] = answer_knn_direct(
-            *view, queries[i], k,
-            exclude.empty() ? kNoExclude : exclude[i]);
-      stats_.punt_latency.record_seconds(punt_timer.seconds(),
-                                         queries.size());
-      account_answered(queries.size(), /*punted=*/true, /*is_knn=*/true,
-                       has_deadline, deadline);
+      knn_inline(queries, k, exclude, out, Outcome::kPunted,
+                 has_deadline, deadline);
       return out;
     }
 
@@ -587,6 +829,7 @@ class QueryBroker {
     req.queries = queries;
     req.exclude = exclude;
     req.k = k;
+    req.slo = cls;
     req.has_deadline = has_deadline;
     req.deadline = deadline;
     req.knn_out = &out;
@@ -596,46 +839,41 @@ class QueryBroker {
 
   std::vector<RadiusRow> run_radius(
       std::span<const geo::Point<D>> queries, double r,
-      std::chrono::microseconds budget) {
+      std::chrono::microseconds budget, SloClass cls, bool bulk_entry) {
     // Validate before any accounting. The finite check is load-bearing:
     // execute() groups radius requests by == on the double, and NaN
     // compares unequal to everything — a NaN request would never join a
     // group (including its own) and would silently return garbage.
     if (!(std::isfinite(r) && r >= 0.0))
       throw QueryError("radius", "must be finite and >= 0");
+    if (budget < kNoDeadline)
+      throw QueryError("budget",
+                       "budget must be >= 0; only 0 (kNoDeadline) means "
+                       "no deadline");
     std::vector<RadiusRow> out(queries.size());
     if (queries.empty()) return out;
+    budget = effective_budget(budget, cls);
+    admit_or_shed(cls, budget, queries.size());
     ServiceStats::add(stats_.submitted, queries.size());
     ServiceStats::add(stats_.radius_submitted, queries.size());
+    ServiceStats::add(cls == SloClass::kInteractive
+                          ? stats_.class_interactive
+                          : stats_.class_bulk,
+                      queries.size());
+    if (bulk_entry) ServiceStats::add(stats_.bulk_requests, 1);
 
     const bool has_deadline = budget > kNoDeadline;
     auto now = Clock::now();
     auto deadline =
         has_deadline ? now + budget : Clock::time_point::max();
+    if (fast_lane_open(cls)) {
+      radius_inline(queries, r, out, Outcome::kFastLane, has_deadline,
+                    deadline);
+      return out;
+    }
     if (has_deadline && should_punt(now, deadline, queries.size())) {
-      metrics::TraceSpan span(cfg_.trace, "punt_radius", "service");
-      Timer punt_timer;
-      ViewPtr view = live_.current();
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        if (view->has_base()) {
-          view->base->index->for_each_in_ball(
-              queries[i], r, [&](std::uint32_t internal, double d2) {
-                const std::uint32_t ext =
-                    view->base->external_id(internal);
-                if (!view->base_masked(ext))
-                  out[i].emplace_back(ext, d2);
-              });
-        }
-        view->for_each_delta_in_ball(
-            queries[i], r, [&](std::uint32_t id, double d2) {
-              out[i].emplace_back(id, d2);
-            });
-        sort_radius_row(out[i]);
-      }
-      stats_.punt_latency.record_seconds(punt_timer.seconds(),
-                                         queries.size());
-      account_answered(queries.size(), /*punted=*/true, /*is_knn=*/false,
-                       has_deadline, deadline);
+      radius_inline(queries, r, out, Outcome::kPunted, has_deadline,
+                    deadline);
       return out;
     }
 
@@ -643,6 +881,7 @@ class QueryBroker {
     req.is_knn = false;
     req.queries = queries;
     req.radius = r;
+    req.slo = cls;
     req.has_deadline = has_deadline;
     req.deadline = deadline;
     req.radius_out = &out;
@@ -657,7 +896,14 @@ class QueryBroker {
     UniqueLock lock(mu_);
     SEPDC_CHECK_MSG(!stopping_, "query submitted to a stopped broker");
     req.enqueued = Clock::now();
-    if (queue_.empty()) oldest_enqueue_ = req.enqueued;
+    if (queue_.empty()) {
+      oldest_enqueue_ = req.enqueued;
+      oldest_enqueue_ns_.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              req.enqueued.time_since_epoch())
+              .count(),
+          std::memory_order_relaxed);
+    }
     queue_.push_back(&req);
     pending_queries_.fetch_add(req.queries.size(),
                                std::memory_order_relaxed);
@@ -674,40 +920,134 @@ class QueryBroker {
         while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
         continue;
       }
-      bool by_size = pending_queries_.load(std::memory_order_relaxed) >=
-                     cfg_.max_batch;
-      if (!by_size && !stopping_) {
-        auto flush_at = oldest_enqueue_ + cfg_.flush_interval;
-        for (;;) {
-          if (stopping_ ||
-              pending_queries_.load(std::memory_order_relaxed) >=
-                  cfg_.max_batch) {
-            by_size = true;
-            break;
-          }
+      const std::size_t max_batch =
+          cur_max_batch_.load(std::memory_order_relaxed);
+      if (pending_queries_.load(std::memory_order_relaxed) < max_batch &&
+          !stopping_) {
+        auto flush_at = oldest_enqueue_ + cur_flush_interval();
+        while (!stopping_ &&
+               pending_queries_.load(std::memory_order_relaxed) <
+                   max_batch) {
           if (queue_cv_.wait_until(lock, flush_at) ==
-              std::cv_status::timeout) {
-            // Timeout with the size condition unmet = flush on deadline.
-            by_size = stopping_ ||
-                      pending_queries_.load(std::memory_order_relaxed) >=
-                          cfg_.max_batch;
+              std::cv_status::timeout)
             break;
-          }
         }
       }
+      // Label the flush by what actually triggered it, decided at swap
+      // time with priority size > stop > deadline: a stop racing an
+      // already-full queue is still a size flush, but a stop with the
+      // size condition unmet counts as flush_by_stop — never
+      // flush_by_size, which used to absorb shutdown flushes and break
+      // the trigger taxonomy (flush_by_size + flush_by_deadline +
+      // flush_by_stop == flushes).
+      std::atomic<std::size_t>* trigger = &stats_.flush_by_deadline;
+      if (pending_queries_.load(std::memory_order_relaxed) >= max_batch)
+        trigger = &stats_.flush_by_size;
+      else if (stopping_)
+        trigger = &stats_.flush_by_stop;
       std::vector<Pending*> batch;
       batch.swap(queue_);
       pending_queries_.store(0, std::memory_order_relaxed);
+      oldest_enqueue_ns_.store(kNoOldest, std::memory_order_relaxed);
       ServiceStats::add(stats_.flushes, 1);
-      ServiceStats::add(
-          by_size ? stats_.flush_by_size : stats_.flush_by_deadline, 1);
+      ServiceStats::add(*trigger, 1);
 
+      flush_in_flight_.store(true, std::memory_order_relaxed);
       lock.unlock();
       execute(batch);
       lock.lock();
+      flush_in_flight_.store(false, std::memory_order_relaxed);
       for (Pending* r : batch) r->done = true;
       done_cv_.notify_all();
+      maybe_retune();
     }
+  }
+
+  // AIMD retune on the flusher thread, under mu_, every control_period
+  // flushes. Steers on the *windowed* queue-wait p99 (delta_since of
+  // the cumulative histogram, so one cold-start flush cannot dominate
+  // forever): an overshoot of the target halves both knobs
+  // (multiplicative decrease — drain queueing fast), an undershoot
+  // below half the target regrows both by ~25% (additive increase —
+  // reclaim batching efficiency slowly), in-band holds. Both knobs are
+  // clamped to the configured [min, max].
+  void maybe_retune() SEPDC_REQUIRES(mu_) {
+    if (!cfg_.slo.adaptive) return;
+    if (++flushes_since_retune_ < cfg_.slo.control_period) return;
+    flushes_since_retune_ = 0;
+    metrics::HistogramSnapshot cur = stats_.queue_wait.snapshot();
+    metrics::HistogramSnapshot window =
+        cur.delta_since(ctl_prev_queue_wait_);
+    ctl_prev_queue_wait_ = std::move(cur);
+    if (window.count() == 0) return;  // nothing batched this window
+    metrics::TraceSpan span(cfg_.trace, "slo_controller", "service");
+    ServiceStats::add(stats_.controller_updates, 1);
+    const double wait_p99_us = window.p99_us();
+    const double target_us =
+        static_cast<double>(cfg_.slo.target_queue_wait.count());
+    std::uint64_t interval_ns =
+        cur_flush_interval_ns_.load(std::memory_order_relaxed);
+    std::size_t max_batch =
+        cur_max_batch_.load(std::memory_order_relaxed);
+    if (wait_p99_us > target_us) {
+      interval_ns /= 2;
+      max_batch /= 2;
+      ServiceStats::add(stats_.controller_tighten, 1);
+    } else if (wait_p99_us < target_us / 2.0) {
+      interval_ns += interval_ns / 4 + 1;
+      max_batch += max_batch / 4 + 1;
+      ServiceStats::add(stats_.controller_relax, 1);
+    } else {
+      return;  // in-band: hold the operating point
+    }
+    interval_ns =
+        std::clamp(interval_ns, ns_count(cfg_.slo.min_flush_interval),
+                   ns_count(cfg_.slo.max_flush_interval));
+    max_batch = std::clamp(max_batch, cfg_.slo.min_batch,
+                           cfg_.slo.max_batch);
+    cur_flush_interval_ns_.store(interval_ns, std::memory_order_relaxed);
+    cur_max_batch_.store(max_batch, std::memory_order_relaxed);
+    ServiceStats::set_gauge(stats_.cur_flush_interval_us,
+                            static_cast<std::size_t>(interval_ns / 1000));
+    ServiceStats::set_gauge(stats_.cur_max_batch, max_batch);
+  }
+
+  // Seeds the operating point from the config, validated against and
+  // clamped into the SLO bounds when the adaptive controller is on.
+  void init_operating_point() {
+    std::uint64_t interval_ns = ns_count(cfg_.flush_interval);
+    std::size_t max_batch = cfg_.max_batch;
+    if (cfg_.slo.adaptive) {
+      SEPDC_CHECK_MSG(cfg_.slo.min_flush_interval.count() > 0 &&
+                          cfg_.slo.min_flush_interval <=
+                              cfg_.slo.max_flush_interval,
+                      "slo: need 0 < min_flush_interval <= max");
+      SEPDC_CHECK_MSG(cfg_.slo.min_batch >= 1 &&
+                          cfg_.slo.min_batch <= cfg_.slo.max_batch,
+                      "slo: need 1 <= min_batch <= max_batch");
+      SEPDC_CHECK_MSG(cfg_.slo.control_period >= 1,
+                      "slo: control_period must be >= 1");
+      interval_ns =
+          std::clamp(interval_ns, ns_count(cfg_.slo.min_flush_interval),
+                     ns_count(cfg_.slo.max_flush_interval));
+      max_batch = std::clamp(max_batch, cfg_.slo.min_batch,
+                             cfg_.slo.max_batch);
+    }
+    cur_flush_interval_ns_.store(interval_ns, std::memory_order_relaxed);
+    cur_max_batch_.store(max_batch, std::memory_order_relaxed);
+    ServiceStats::set_gauge(stats_.cur_flush_interval_us,
+                            static_cast<std::size_t>(interval_ns / 1000));
+    ServiceStats::set_gauge(stats_.cur_max_batch, max_batch);
+  }
+
+  static std::uint64_t ns_count(std::chrono::microseconds us) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(us).count());
+  }
+
+  std::chrono::nanoseconds cur_flush_interval() const {
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(
+        cur_flush_interval_ns_.load(std::memory_order_relaxed)));
   }
 
   // Runs one micro-batch against the current snapshot. Requests are
@@ -871,7 +1211,7 @@ class QueryBroker {
     }
 
     for (Pending* r : batch)
-      account_answered(r->queries.size(), /*punted=*/false, r->is_knn,
+      account_answered(r->queries.size(), Outcome::kBatched, r->is_knn,
                        r->has_deadline, r->deadline);
     ServiceStats::bump_max(stats_.max_flush_queries, total);
     stats_.batch_execute.record_seconds(timer.seconds());
@@ -903,6 +1243,27 @@ class QueryBroker {
   typename Clock::time_point oldest_enqueue_ SEPDC_GUARDED_BY(mu_);
   std::atomic<std::size_t> pending_queries_{0};
   bool stopping_ SEPDC_GUARDED_BY(mu_) = false;
+
+  // SLO routing state. The operating point (flush interval, batch cap)
+  // is a pair of relaxed atomics: written by the ctor and by the
+  // controller (flusher thread, under mu_), read lock-free by clients
+  // (should_punt) and the flusher itself. oldest_enqueue_ns_ mirrors
+  // oldest_enqueue_ for the punt path exactly the way pending_queries_
+  // mirrors the queue size: written only under mu_ (enqueue sets it,
+  // the flush swap resets it to kNoOldest), read relaxed; a slightly
+  // stale value shifts a punt/fast-lane decision, never an answer.
+  // flush_in_flight_ closes the fast lane while execute() runs so an
+  // inline answer cannot overlap a racing flush on a 1-core box and
+  // double the flush's tail.
+  static constexpr std::int64_t kNoOldest =
+      std::numeric_limits<std::int64_t>::max();
+  std::atomic<std::uint64_t> cur_flush_interval_ns_{0};
+  std::atomic<std::size_t> cur_max_batch_{1};
+  std::atomic<std::int64_t> oldest_enqueue_ns_{kNoOldest};
+  std::atomic<bool> flush_in_flight_{false};
+  // Controller scratch, touched only by the flusher under mu_.
+  std::size_t flushes_since_retune_ SEPDC_GUARDED_BY(mu_) = 0;
+  metrics::HistogramSnapshot ctl_prev_queue_wait_ SEPDC_GUARDED_BY(mu_);
   std::thread flusher_ SEPDC_UNGUARDED_OK(
       "started by the ctor before the broker is visible to clients; "
       "joined in stop() after stopping_ is published under mu_");

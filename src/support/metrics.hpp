@@ -21,7 +21,11 @@
 //
 // Snapshots are plain values and merge associatively and commutatively
 // (bucket-wise sums, min/max hull), so per-shard histograms can be
-// combined into a fleet view without coordination.
+// combined into a fleet view without coordination. They also subtract:
+// delta_since(prev) yields the *window* between two snapshots of the
+// same histogram — the control-loop primitive (the broker's adaptive
+// batching controller steers on windowed quantiles, not lifetime ones,
+// so one slow cold-start flush cannot dominate the signal forever).
 #pragma once
 
 #include <array>
@@ -71,6 +75,18 @@ class HistogramSnapshot {
   // Bucket-wise sum; associative and commutative. Merging an empty
   // snapshot is the identity.
   HistogramSnapshot& merge(const HistogramSnapshot& other);
+
+  // The window between `prev` and this snapshot of the *same* histogram:
+  // bucket-wise difference, valid because bucket counts and the sum are
+  // monotone under recording. Quantiles of the result describe only the
+  // observations recorded after `prev` was taken. The exact min/max of
+  // the window are not recoverable from two cumulative snapshots, so the
+  // window's hull is approximated by its occupied buckets' bounds —
+  // quantiles therefore stay within one bucket (<= 1/32 relative) of the
+  // true window quantile, the same bound as the base histogram.
+  // `prev` must be an earlier snapshot of the same histogram (or empty,
+  // which makes the window the whole history).
+  HistogramSnapshot delta_since(const HistogramSnapshot& prev) const;
 
  private:
   std::vector<std::uint64_t> counts_;
@@ -205,6 +221,28 @@ inline double HistogramSnapshot::quantile(double q) const {
     seen += c;
   }
   return static_cast<double>(max_);
+}
+
+inline HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& prev) const {
+  if (prev.count_ == 0) return *this;
+  std::vector<std::uint64_t> counts(counts_.size());
+  std::uint64_t min_v = ~std::uint64_t{0};
+  std::uint64_t max_v = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::uint64_t p = i < prev.counts_.size() ? prev.counts_[i] : 0;
+    counts[i] = counts_[i] - p;
+    if (counts[i] > 0) {
+      if (min_v == ~std::uint64_t{0}) min_v = Histogram::bucket_lower(i);
+      max_v = Histogram::bucket_upper(i) - 1;
+    }
+  }
+  // Tighten the bucket-bound hull with what the cumulative hulls prove:
+  // any window observation is within [overall min, overall max].
+  if (min_v < min_) min_v = min_;
+  if (max_v > max_) max_v = max_;
+  return HistogramSnapshot(std::move(counts), sum_ - prev.sum_, min_v,
+                           max_v);
 }
 
 inline HistogramSnapshot& HistogramSnapshot::merge(

@@ -1,11 +1,18 @@
 // Tests for service/service_stats.hpp, pinning the CAS-loop EWMA
-// estimator (observe_batch_cost) and the histogram snapshot plumbing.
+// estimator (observe_batch_cost), the histogram snapshot plumbing, and
+// the flush-trigger taxonomy the broker maintains
+// (flush_by_size + flush_by_deadline + flush_by_stop == flushes).
 #include "service/service_stats.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <span>
 #include <thread>
 #include <vector>
+
+#include "service/query_broker.hpp"
+#include "workload/generators.hpp"
 
 namespace {
 
@@ -61,6 +68,74 @@ TEST(ServiceStats, SnapshotCarriesHistograms) {
   EXPECT_EQ(s.punt_latency.count(), 2u);
   EXPECT_EQ(s.flush_size.count(), 1u);
   EXPECT_EQ(s.flush_size.sum(), 4u);
+}
+
+// Every flush is labeled by the trigger the flusher actually acted on,
+// and the three labels partition `flushes`. In particular a shutdown
+// drain whose size condition was never met counts as flush_by_stop —
+// the bug this pins is that it used to count as flush_by_size.
+TEST(ServiceStats, FlushTriggerTaxonomyReconciles) {
+  using sepdc::geo::Point;
+  using sepdc::service::BrokerConfig;
+  using sepdc::service::QueryBroker;
+  using std::chrono::microseconds;
+  sepdc::Rng rng(90);
+  auto points = sepdc::workload::generate<2>(
+      sepdc::workload::Kind::UniformCube, 200, rng);
+  std::span<const Point<2>> span(points);
+  auto& pool = sepdc::par::ThreadPool::global();
+
+  {
+    // Size trigger: a bulk of 16 against max_batch 4 flushes by size.
+    BrokerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.flush_interval = microseconds(60'000'000);
+    cfg.index.seed = 1;
+    QueryBroker<2> broker(span, cfg, pool);
+    broker.bulk_knn(span.subspan(0, 16), 3);
+    auto s = broker.stats();
+    EXPECT_EQ(s.flushes, 1u);
+    EXPECT_EQ(s.flush_by_size, 1u);
+    EXPECT_EQ(s.flush_by_size + s.flush_by_deadline + s.flush_by_stop,
+              s.flushes);
+  }
+  {
+    // Deadline trigger: one query against an unreachable size threshold.
+    BrokerConfig cfg;
+    cfg.max_batch = 1 << 20;
+    cfg.flush_interval = microseconds(500);
+    cfg.index.seed = 2;
+    QueryBroker<2> broker(span, cfg, pool);
+    broker.knn(points[0], 3);
+    auto s = broker.stats();
+    EXPECT_EQ(s.flushes, 1u);
+    EXPECT_EQ(s.flush_by_deadline, 1u);
+    EXPECT_EQ(s.flush_by_size + s.flush_by_deadline + s.flush_by_stop,
+              s.flushes);
+  }
+  {
+    // Stop trigger: a pending query whose size and deadline conditions
+    // are both unreachable is drained by shutdown().
+    BrokerConfig cfg;
+    cfg.max_batch = 1 << 20;
+    cfg.flush_interval = microseconds(60'000'000);
+    cfg.index.seed = 3;
+    QueryBroker<2> broker(span, cfg, pool);
+    std::thread client([&] { broker.knn(points[0], 3); });
+    while (broker.stats().submitted == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    broker.shutdown();
+    client.join();
+    auto s = broker.stats();
+    EXPECT_EQ(s.flushes, 1u);
+    EXPECT_EQ(s.flush_by_stop, 1u);
+    EXPECT_EQ(s.flush_by_size, 0u);
+    EXPECT_EQ(s.flush_by_deadline, 0u);
+    EXPECT_EQ(s.flush_by_size + s.flush_by_deadline + s.flush_by_stop,
+              s.flushes);
+    EXPECT_EQ(s.batched, 1u);  // drained, answered exactly, not dropped
+  }
 }
 
 }  // namespace

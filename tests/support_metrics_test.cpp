@@ -296,6 +296,54 @@ TEST(Trace, ThreadsGetDistinctTids) {
   EXPECT_EQ(tids, (std::vector<int>{1, 2, 3, 4}));
 }
 
+// --------------------------------------------------------- windowing
+
+TEST(HistogramSnapshot, DeltaSinceIsolatesTheWindow) {
+  Histogram h;
+  for (std::uint64_t v : {10, 20, 30}) h.record(v);
+  auto before = h.snapshot();
+  for (std::uint64_t v : {100, 200, 300, 400}) h.record(v);
+  auto after = h.snapshot();
+
+  auto window = after.delta_since(before);
+  EXPECT_EQ(window.count(), 4u);
+  EXPECT_EQ(window.sum(), 1000u);
+  // The window's quantiles describe only the post-`before` recordings;
+  // in the linear/small-bucket region the extremes are near-exact.
+  EXPECT_GE(window.min(), 100u);
+  EXPECT_LE(window.max(), 400u);
+  EXPECT_GE(window.quantile(0.0), 100.0);
+  EXPECT_LE(window.quantile(1.0), 400.0);
+  // Windowing inverts merging: prev + window rebuilds the cumulative
+  // snapshot, bucket for bucket.
+  HistogramSnapshot rebuilt = before;
+  rebuilt.merge(window);
+  EXPECT_EQ(rebuilt.count(), after.count());
+  EXPECT_EQ(rebuilt.sum(), after.sum());
+  EXPECT_EQ(rebuilt.counts(), after.counts());
+}
+
+TEST(HistogramSnapshot, DeltaSinceEdgeCases) {
+  Histogram h;
+  h.record(42, 3);
+  auto snap = h.snapshot();
+
+  // Empty prev: the window is the whole history.
+  auto whole = snap.delta_since(HistogramSnapshot{});
+  EXPECT_EQ(whole.count(), 3u);
+  EXPECT_EQ(whole.sum(), snap.sum());
+  EXPECT_EQ(whole.min(), 42u);
+  EXPECT_EQ(whole.max(), 42u);
+
+  // Identical snapshots: an empty window, quantiles all zero.
+  auto empty = snap.delta_since(snap);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.sum(), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+}
+
 TEST(Trace, ChromeTraceJsonShape) {
   TraceRecorder rec;
   { TraceSpan span(&rec, "phase_a", "cat_x"); }

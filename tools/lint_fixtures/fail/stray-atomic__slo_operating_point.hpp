@@ -1,0 +1,20 @@
+// lint-fixture: src/service/slo_controller.hpp
+//
+// An operating-point mirror grown outside the audited ownership sites:
+// adaptive-batching state belongs in query_broker.hpp (or the new file
+// must be argued into ATOMIC_ALLOWLIST), not scattered into fresh
+// headers where its memory-order protocol escapes review.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sepdc::service {
+
+struct SloOperatingPoint {
+  std::atomic<std::uint64_t> flush_interval_ns{0};
+  std::atomic<std::size_t> max_batch{1};
+};
+
+}  // namespace sepdc::service

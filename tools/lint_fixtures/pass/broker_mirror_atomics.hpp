@@ -1,0 +1,22 @@
+// lint-fixture: src/service/query_broker.hpp
+//
+// The broker's lock-free mirrors — oldest-enqueue timestamp for the
+// remaining-flush-wait punt estimate, the adaptive operating point, and
+// the flush-in-flight flag behind the idle fast lane — are atomics in
+// an allowlisted ownership site.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sepdc::service {
+
+struct BrokerMirrorsFixture {
+  std::atomic<std::int64_t> oldest_enqueue_ns{0};
+  std::atomic<std::uint64_t> cur_flush_interval_ns{0};
+  std::atomic<std::size_t> cur_max_batch{1};
+  std::atomic<bool> flush_in_flight{false};
+};
+
+}  // namespace sepdc::service

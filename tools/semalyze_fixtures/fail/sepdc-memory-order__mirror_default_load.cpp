@@ -1,0 +1,28 @@
+// semalyze-fixture: src/service/mirror_bad.cpp
+// The mirror idiom with the orders left implicit: the punt decision
+// reads the oldest-enqueue timestamp and the operating point off the
+// lock, so a default seq_cst here is exactly the unreviewed fence the
+// check exists to catch — including the store whose missing order hides
+// on a continuation line.
+#include <atomic>
+#include <cstdint>
+
+namespace sepdc {
+
+struct MirrorBad {
+  std::atomic<std::int64_t> oldest_enqueue_ns{0};
+  std::atomic<std::uint64_t> cur_flush_interval_ns{0};
+
+  void arm(std::int64_t now_ns) {
+    oldest_enqueue_ns.store(  // expect: sepdc-memory-order
+        now_ns);
+  }
+
+  bool should_punt(std::int64_t now_ns) const {
+    std::int64_t oldest = oldest_enqueue_ns.load();  // expect: sepdc-memory-order
+    auto interval = cur_flush_interval_ns.load();  // expect: sepdc-memory-order
+    return now_ns - oldest > static_cast<std::int64_t>(interval);
+  }
+};
+
+}  // namespace sepdc

@@ -1,0 +1,60 @@
+// semalyze-fixture: src/service/mirror_ok.cpp
+// The broker's mirror protocol, fully accounted for: queue and
+// controller state are lock-guarded, while the decision-path mirrors
+// (oldest-enqueue timestamp, adaptive operating point, flush-in-flight
+// flag) are atomics — exempt from GUARDED_BY — written under mu_ and
+// read off the lock with explicit orders. Both
+// sepdc-guarded-by-completeness and sepdc-memory-order stay quiet.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class MirrorOk {
+ public:
+  void enqueue(std::int64_t now_ns) SEPDC_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    if (queue_.empty())
+      oldest_enqueue_ns_.store(now_ns, std::memory_order_relaxed);
+    queue_.push_back(now_ns);
+  }
+
+  void retune() SEPDC_REQUIRES(mu_) {
+    flushes_since_retune_ = 0;
+    ctl_prev_queue_wait_ = wait_hist_.snapshot();
+    cur_flush_interval_ns_.store(1000, std::memory_order_relaxed);
+  }
+
+  bool should_punt(std::int64_t now_ns) const {
+    std::int64_t oldest = oldest_enqueue_ns_.load(std::memory_order_relaxed);
+    if (oldest == kNoOldest) return false;
+    auto interval = cur_flush_interval_ns_.load(std::memory_order_relaxed);
+    return now_ns - oldest > static_cast<std::int64_t>(interval);
+  }
+
+  bool fast_lane_open() const {
+    return !flush_in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kNoOldest =
+      std::numeric_limits<std::int64_t>::max();
+
+  mutable Mutex mu_;
+  std::vector<std::int64_t> queue_ SEPDC_GUARDED_BY(mu_);
+  std::size_t flushes_since_retune_ SEPDC_GUARDED_BY(mu_) = 0;
+  metrics::HistogramSnapshot ctl_prev_queue_wait_ SEPDC_GUARDED_BY(mu_);
+  metrics::Histogram wait_hist_;
+  std::atomic<std::int64_t> oldest_enqueue_ns_{kNoOldest};
+  std::atomic<std::uint64_t> cur_flush_interval_ns_{0};
+  std::atomic<bool> flush_in_flight_{false};
+};
+
+}  // namespace sepdc
