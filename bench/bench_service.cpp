@@ -56,6 +56,7 @@
 
 #include "core/config.hpp"
 #include "service/query_broker.hpp"
+#include "service/shard_router.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
@@ -839,6 +840,107 @@ SloSweepResult run_slo_cell(const CellParams& p, par::ThreadPool& pool,
   return r;
 }
 
+// --- sharded: scale past one broker with separator-based sharding ---
+//
+// The ShardRouter acceptance number (docs/sharding.md): S shared-nothing
+// brokers behind the separator-sphere shard function must scale aggregate
+// throughput near-linearly — target >= 3x at 4 shards vs 1 — because the
+// sphere-separator intersection bound keeps the fraction of queries that
+// must visit more than their home shard (boundary_fanout) a vanishing
+// fraction of traffic. Same client loop as run_broker, same bulk
+// requests, so S=1 isolates the router's own overhead.
+
+struct ShardedResult {
+  unsigned shards = 0;
+  double qps = 0.0;
+  double p50_request_us = 0.0;
+  double p99_request_us = 0.0;
+  std::size_t queries = 0;
+  double boundary_fanout = 0.0;
+  std::uint64_t fanout_queries = 0;
+  std::uint64_t shard_visits = 0;
+  std::uint64_t punted = 0;
+};
+
+ShardedResult run_sharded_cell(const CellParams& p, par::ThreadPool& pool,
+                               unsigned shards) {
+  service::ShardRouterConfig cfg;
+  cfg.shards = shards;
+  cfg.broker.max_batch = p.bulk;
+  cfg.broker.flush_interval = std::chrono::microseconds(200);
+  cfg.broker.index.seed = p.seed;
+  cfg.broker.trace = p.trace;
+  service::ShardRouter<2> router(p.points, cfg, pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  metrics::Histogram latency;  // ns per request, shared by all clients
+  ShardedResult result;
+  result.shards = shards;
+
+  Timer elapsed_timer;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < p.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t qi = (c * 7919) % p.queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t len =
+            std::min<std::size_t>(p.bulk, p.queries.size() - qi);
+        Timer t;
+        if (p.kind == Kind::kKnn) {
+          auto rows = router.bulk_knn(p.queries.subspan(qi, len), p.k);
+          (void)rows;
+        } else {
+          auto rows =
+              router.bulk_radius(p.queries.subspan(qi, len), p.radius);
+          (void)rows;
+        }
+        latency.record_seconds(t.seconds());
+        completed.fetch_add(len, std::memory_order_relaxed);
+        qi = (qi + len) % p.queries.size();
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(p.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  // Read counters only after the clients have joined — see run_baseline.
+  double elapsed = elapsed_timer.seconds();
+  std::size_t done = completed.load(std::memory_order_relaxed);
+
+  result.qps = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  result.queries = done;
+  auto snap = latency.snapshot();
+  result.p50_request_us = snap.p50_us();
+  result.p99_request_us = snap.p99_us();
+
+  // Router books must balance at quiescence: every bench query was
+  // accepted (nothing shed at these rates), every accepted query visited
+  // at least its home shard, and the per-shard brokers answered exactly
+  // what the router scattered to them.
+  auto rs = router.stats();
+  SEPDC_CHECK_MSG(rs.submitted == done,
+                  "sharded: router submitted != bench submitted");
+  SEPDC_CHECK_MSG(rs.shed == 0, "sharded: unexpected shed");
+  SEPDC_CHECK_MSG(rs.fanout_queries <= rs.submitted,
+                  "sharded: fanout_queries exceeds submitted");
+  SEPDC_CHECK_MSG(rs.shard_visits >= rs.submitted,
+                  "sharded: shard_visits below submitted");
+  auto agg = router.aggregated_stats();
+  SEPDC_CHECK_MSG(agg.knn_answered == agg.knn_submitted,
+                  "sharded: shard knn answered != submitted");
+  SEPDC_CHECK_MSG(agg.radius_answered == agg.radius_submitted,
+                  "sharded: shard radius answered != submitted");
+  SEPDC_CHECK_MSG(agg.submitted == rs.shard_visits,
+                  "sharded: shard submissions != router visits");
+  result.boundary_fanout = rs.boundary_fanout;
+  result.fanout_queries = rs.fanout_queries;
+  result.shard_visits = rs.shard_visits;
+  result.punted = agg.punted;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -861,7 +963,8 @@ int main(int argc, char** argv) {
             "disable; open in chrome://tracing or Perfetto)")
       .flag("only", "",
             "run a single scenario (steady|rebuild|deadline|live_update|"
-            "cold_start|slo_sweep); empty runs everything")
+            "cold_start|slo_sweep|sharded); empty runs everything")
+      .flag("shards", "1,2,4", "shard counts for the sharded scenario")
       .flag("json", "BENCH_service.json",
             "machine-readable results file (empty to disable)");
   if (!cli.parse(argc, argv)) return 0;
@@ -1062,6 +1165,59 @@ int main(int argc, char** argv) {
         fast_lane.p50_ratio);
   }
 
+  // --- sharded: aggregate throughput across S shared-nothing shards ---
+  const bool run_sharded = enabled("sharded");
+  std::vector<std::pair<std::string, ShardedResult>> sharded_cells;
+  if (run_sharded) {
+    for (Kind kind : {Kind::kKnn, Kind::kRadius}) {
+      const std::string workload = kind == Kind::kKnn ? "knn" : "radius";
+      double base_qps = 0.0;
+      for (std::int64_t shards : cli.get_int_list("shards")) {
+        CellParams p = base;
+        p.kind = kind;
+        p.clients = top_clients;
+        p.trace = trace ? &*trace : nullptr;
+        ShardedResult cell =
+            run_sharded_cell(p, pool, static_cast<unsigned>(shards));
+        if (cell.shards == 1) base_qps = cell.qps;
+        table.new_row()
+            .cell(workload)
+            .cell("sharded")
+            .cell("router-S" + std::to_string(cell.shards))
+            .cell(top_clients)
+            .cell(cell.qps, 0)
+            .cell(cell.p50_request_us, 1)
+            .cell(cell.p99_request_us, 1)
+            .cell(0)
+            .cell(cell.punted)
+            .cell(base_qps > 0.0 ? cell.qps / base_qps : 0.0, 2);
+        sharded_cells.emplace_back(workload, cell);
+      }
+    }
+    std::printf(
+        "\nsharded, %u clients over S shared-nothing shards "
+        "(target: >= 3x aggregate throughput at S=4 vs S=1):\n",
+        top_clients);
+    for (const auto& [workload, c] : sharded_cells)
+      std::printf(
+          "  %-6s S=%u: %.0f qps, p50 %.1f us p99 %.1f us, "
+          "boundary fanout %.4f (%llu of %zu queries, %llu shard "
+          "visits)\n",
+          workload.c_str(), c.shards, c.qps, c.p50_request_us,
+          c.p99_request_us, c.boundary_fanout,
+          static_cast<unsigned long long>(c.fanout_queries), c.queries,
+          static_cast<unsigned long long>(c.shard_visits));
+  }
+  auto sharded_speedup = [&](const std::string& workload, unsigned s) {
+    double one = 0.0, at = 0.0;
+    for (const auto& [w, c] : sharded_cells) {
+      if (w != workload) continue;
+      if (c.shards == 1) one = c.qps;
+      if (c.shards == s) at = c.qps;
+    }
+    return one > 0.0 ? at / one : 0.0;
+  };
+
   // --- cold_start: time-to-first-answer, fresh build vs mmap load ---
   // The persistence acceptance number (docs/persistence.md): a broker
   // bootstrapped from a snapshot file must answer its first query >= 10x
@@ -1236,6 +1392,26 @@ int main(int argc, char** argv) {
            << lu_clients << ", \"p99_ratio\": " << lu_p99_ratio
            << ", \"stale_answers\": " << lu_base.stale + lu_broker.stale
            << ", \"target\": 10.0},\n";
+    }
+    if (run_sharded) {
+      for (const auto& [workload, c] : sharded_cells)
+        json << "  {\"workload\": \"" << workload
+             << "\", \"scenario\": \"sharded\", \"mode\": \"router\", "
+             << "\"shards\": " << c.shards
+             << ", \"clients\": " << top_clients
+             << ", \"throughput_qps\": " << c.qps
+             << ", \"p50_request_us\": " << c.p50_request_us
+             << ", \"p99_request_us\": " << c.p99_request_us
+             << ", \"queries\": " << c.queries
+             << ", \"boundary_fanout\": " << c.boundary_fanout
+             << ", \"fanout_queries\": " << c.fanout_queries
+             << ", \"shard_visits\": " << c.shard_visits
+             << ", \"punted\": " << c.punted << "},\n";
+      json << "  {\"scenario\": \"sharded_summary\", \"clients\": "
+           << top_clients
+           << ", \"speedup_radius_4shards\": " << sharded_speedup("radius", 4)
+           << ", \"speedup_knn_4shards\": " << sharded_speedup("knn", 4)
+           << ", \"target\": 3.0},\n";
     }
     if (run_cold)
       json << "  {\"scenario\": \"cold_start\", \"n\": " << n

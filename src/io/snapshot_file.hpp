@@ -131,7 +131,38 @@ enum class SectionId : std::uint32_t {
   kDeltaIds = 15,     // u32[m], pending-insert external ids, sorted
   kDeltaPoints = 16,  // geo::Point<D>[m], parallel to kDeltaIds
   kTombstones = 17,   // u32[t], masked base external ids, sorted
+  // Sharding (docs/sharding.md). Optional: present only in files written
+  // by a ShardRouter save. open_snapshot_file validates the table
+  // generically, so files carrying them still load through plain
+  // load_snapshot (which simply never asks for 18/19) and pre-sharding
+  // files still load everywhere — no format-version bump needed.
+  kShardInfo = 18,    // ShardInfoRecord, exactly one
+  kShardNodes = 19,   // core::ForestNode<D>[], the shard-function cut in
+                      // preorder (root == ShardInfoRecord::root)
 };
+
+// shard_id of the router's manifest file (the commit point of a sharded
+// save — it carries the cut but no per-shard data of its own).
+inline constexpr std::uint32_t kShardManifestId = 0xffffffffu;
+// ShardInfoRecord::flags bit: the shard held no built base at save time,
+// so the file carries only the sharding + delta sections (point_count 0)
+// and bootstraps as a delta-only broker.
+inline constexpr std::uint32_t kShardFlagEmptyBase = 1u;
+
+// Fixed-size head of the sharding sections: how many shards the saved
+// cut produces, which of them this file holds, where the cut's root node
+// sits in kShardNodes, and a checksum of the node bytes — identical
+// across every file of one save, so bootstrap can refuse a torn mix of
+// two different saves' shards.
+struct ShardInfoRecord {
+  std::uint32_t shard_count = 0;
+  std::uint32_t shard_id = 0;      // kShardManifestId in the manifest
+  std::uint32_t root = 0;          // index into kShardNodes
+  std::uint32_t flags = 0;         // kShardFlagEmptyBase
+  std::uint64_t cut_checksum = 0;  // fnv1a64 of the kShardNodes bytes
+  std::uint64_t reserved = 0;
+};
+SEPDC_PIN_TRIVIAL_LAYOUT(ShardInfoRecord, 32, 8);
 
 // Scalars the queries need but the arenas don't carry. Lives in its own
 // checksummed section; pinned per dimension below.
@@ -219,6 +250,16 @@ std::span<const std::byte> section_bytes(const ValidatedFile& file,
                                          std::uint32_t id,
                                          std::uint32_t expected_elem_size);
 
+// Whether the file carries a section at all — the gate for the optional
+// sharding sections (section_bytes throws on absence by design: every
+// pre-sharding section is mandatory).
+inline bool has_section(const ValidatedFile& file, SectionId id) {
+  const auto want = static_cast<std::uint32_t>(id);
+  for (const SectionRecord& rec : file.sections)
+    if (rec.id == want) return true;
+  return false;
+}
+
 template <class T>
 std::span<const T> typed_section(const ValidatedFile& file, SectionId id) {
   std::span<const std::byte> raw = section_bytes(
@@ -248,6 +289,14 @@ struct SnapshotSidecar {
   std::span<const std::uint32_t> delta_ids;
   std::span<const geo::Point<D>> delta_points;
   std::span<const std::uint32_t> tombstones;
+  // Sharding sections (docs/sharding.md), written only when
+  // shard_count > 0: the shard-function cut (preorder ForestNode array,
+  // shard_root indexing into it) plus which shard of the cut this file
+  // holds. The cut checksum is derived from shard_nodes at write time.
+  std::span<const core::ForestNode<D>> shard_nodes;
+  std::uint32_t shard_count = 0;
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_root = 0;
 };
 
 // Serializes a built index + its kd-tree fallback. `version` is the
@@ -305,7 +354,7 @@ void save_snapshot(const std::string& path,
                                 static_cast<std::uint32_t>(sizeof(T)),
                                 data, count * sizeof(T)};
   };
-  const detail::SectionBytes sections[] = {
+  std::vector<detail::SectionBytes> sections = {
       sec(SectionId::kMeta, &meta, 1),
       sec(SectionId::kPoints, points.data(), points.size()),
       sec(SectionId::kPerm, index.perm().data(), index.perm().size()),
@@ -333,8 +382,69 @@ void save_snapshot(const std::string& path,
       sec(SectionId::kTombstones, sidecar.tombstones.data(),
           sidecar.tombstones.size()),
   };
+  ShardInfoRecord shard_info;  // must outlive write_snapshot_file
+  if (sidecar.shard_count > 0) {
+    SEPDC_CHECK_MSG(!sidecar.shard_nodes.empty() &&
+                        sidecar.shard_root < sidecar.shard_nodes.size(),
+                    "save_snapshot: sharding sidecar needs a cut with a "
+                    "valid root");
+    shard_info.shard_count = sidecar.shard_count;
+    shard_info.shard_id = sidecar.shard_id;
+    shard_info.root = sidecar.shard_root;
+    shard_info.cut_checksum =
+        fnv1a64(sidecar.shard_nodes.data(),
+                sidecar.shard_nodes.size() * sizeof(core::ForestNode<D>));
+    sections.push_back(sec(SectionId::kShardInfo, &shard_info, 1));
+    sections.push_back(sec(SectionId::kShardNodes,
+                           sidecar.shard_nodes.data(),
+                           sidecar.shard_nodes.size()));
+  }
   detail::write_snapshot_file(path, static_cast<std::uint32_t>(D),
                               points.size(), version, sections);
+}
+
+// Writes a sharding-only file: the manifest (shard_id == kShardManifestId)
+// that commits a sharded save, or an empty shard's placeholder
+// (kShardFlagEmptyBase) that carries its pending delta but no built base.
+// Both are plain v2 containers with point_count 0; load_snapshot refuses
+// them (no points), read_shard_file below understands them.
+template <int D>
+void save_shard_stub(const std::string& path,
+                     std::span<const core::ForestNode<D>> shard_nodes,
+                     std::uint32_t shard_count, std::uint32_t shard_id,
+                     std::uint32_t shard_root, std::uint64_t version,
+                     std::span<const std::uint32_t> delta_ids = {},
+                     std::span<const geo::Point<D>> delta_points = {},
+                     std::span<const std::uint32_t> tombstones = {}) {
+  SEPDC_CHECK_MSG(shard_count > 0 && !shard_nodes.empty() &&
+                      shard_root < shard_nodes.size(),
+                  "save_shard_stub: need a cut with a valid root");
+  SEPDC_CHECK_MSG(delta_ids.size() == delta_points.size(),
+                  "save_shard_stub: delta ids and points disagree");
+  ShardInfoRecord info;
+  info.shard_count = shard_count;
+  info.shard_id = shard_id;
+  info.root = shard_root;
+  if (shard_id != kShardManifestId) info.flags = kShardFlagEmptyBase;
+  info.cut_checksum =
+      fnv1a64(shard_nodes.data(),
+              shard_nodes.size() * sizeof(core::ForestNode<D>));
+  auto sec = [](SectionId id, const auto* data, std::size_t count) {
+    using T = std::remove_cvref_t<decltype(*data)>;
+    return detail::SectionBytes{static_cast<std::uint32_t>(id),
+                                static_cast<std::uint32_t>(sizeof(T)),
+                                data, count * sizeof(T)};
+  };
+  const detail::SectionBytes sections[] = {
+      sec(SectionId::kShardInfo, &info, 1),
+      sec(SectionId::kShardNodes, shard_nodes.data(), shard_nodes.size()),
+      sec(SectionId::kDeltaIds, delta_ids.data(), delta_ids.size()),
+      sec(SectionId::kDeltaPoints, delta_points.data(),
+          delta_points.size()),
+      sec(SectionId::kTombstones, tombstones.data(), tombstones.size()),
+  };
+  detail::write_snapshot_file(path, static_cast<std::uint32_t>(D), 0,
+                              version, sections);
 }
 
 // The pending delta replayed from a snapshot file — owned copies (the
@@ -537,6 +647,108 @@ LoadedSnapshot<D> load_snapshot(const std::string& path) {
   out.delta.ids.assign(delta_ids.begin(), delta_ids.end());
   out.delta.points.assign(delta_points.begin(), delta_points.end());
   out.delta.tombstones.assign(tombstones.begin(), tombstones.end());
+  return out;
+}
+
+// ------------------------------------------------------------- sharding
+
+// The sharding head of one file of a sharded save: the ShardInfoRecord
+// plus an owned copy of the cut nodes (the cut is tiny — O(shard_count)
+// nodes — so copying beats holding a mapping alive). For stub files
+// (manifest / empty shard) the pending delta rides along too.
+template <int D>
+struct LoadedShardFile {
+  std::uint32_t shard_count = 0;
+  std::uint32_t shard_id = 0;      // kShardManifestId for the manifest
+  std::uint32_t root = 0;
+  bool empty_base = false;         // stub: no built index in this file
+  std::uint64_t cut_checksum = 0;  // identical across one save's files
+  std::uint64_t saved_version = 0;
+  std::vector<core::ForestNode<D>> nodes;
+  LoadedDelta<D> delta;            // populated only for empty_base files
+};
+
+// Reads and validates the sharding sections of `path`. Throws
+// SnapshotIoError when the file has no sharding sections or they are
+// inconsistent (bad root, child pointers not strictly forward — the
+// acyclicity the preorder layout guarantees — or a checksum mismatch
+// against the node bytes). The base index of a non-stub shard file is
+// loaded separately through the ordinary load_snapshot(path).
+template <int D>
+LoadedShardFile<D> read_shard_file(const std::string& path) {
+  detail::ValidatedFile file =
+      detail::open_snapshot_file(path, static_cast<std::uint32_t>(D));
+  if (!detail::has_section(file, SectionId::kShardInfo) ||
+      !detail::has_section(file, SectionId::kShardNodes))
+    throw SnapshotIoError(SnapshotError::kBadSectionTable,
+                          "file carries no sharding sections: " + path);
+  auto info_span = detail::typed_section<ShardInfoRecord>(
+      file, SectionId::kShardInfo);
+  if (info_span.size() != 1)
+    detail::fail_structure("shard info must hold exactly one record");
+  const ShardInfoRecord info = info_span[0];
+  auto nodes = detail::typed_section<core::ForestNode<D>>(
+      file, SectionId::kShardNodes);
+  if (info.shard_count == 0 || nodes.empty() ||
+      info.root >= nodes.size())
+    detail::fail_structure("shard cut inconsistent");
+  if (info.shard_id != kShardManifestId &&
+      info.shard_id >= info.shard_count)
+    detail::fail_structure("shard id out of range");
+  const std::uint64_t checksum =
+      fnv1a64(nodes.data(), nodes.size() * sizeof(core::ForestNode<D>));
+  if (checksum != info.cut_checksum)
+    throw SnapshotIoError(SnapshotError::kBadChecksum,
+                          "shard cut checksum mismatch: " + path);
+  std::size_t leaves = 0;
+  const auto nnodes = static_cast<std::uint32_t>(nodes.size());
+  for (std::uint32_t id = 0; id < nnodes; ++id) {
+    const core::ForestNode<D>& n = nodes[id];
+    if (n.is_leaf()) {
+      ++leaves;
+      continue;
+    }
+    // Children strictly after the parent: bounds plus acyclicity in one
+    // check (the preorder writer guarantees it).
+    if (n.inner >= nnodes || n.outer >= nnodes || n.inner <= id ||
+        n.outer <= id || n.inner == n.outer)
+      detail::fail_structure("shard cut child pointers invalid");
+  }
+  if (leaves != info.shard_count)
+    detail::fail_structure("shard cut leaf count disagrees with "
+                           "shard_count");
+
+  LoadedShardFile<D> out;
+  out.shard_count = info.shard_count;
+  out.shard_id = info.shard_id;
+  out.root = info.root;
+  out.empty_base = (info.flags & kShardFlagEmptyBase) != 0;
+  out.cut_checksum = info.cut_checksum;
+  out.saved_version = file.header.saved_version;
+  out.nodes.assign(nodes.begin(), nodes.end());
+  if (out.empty_base) {
+    auto delta_ids = detail::typed_section<std::uint32_t>(
+        file, SectionId::kDeltaIds);
+    auto delta_points = detail::typed_section<geo::Point<D>>(
+        file, SectionId::kDeltaPoints);
+    auto tombs = detail::typed_section<std::uint32_t>(
+        file, SectionId::kTombstones);
+    if (delta_ids.size() != delta_points.size())
+      detail::fail_structure("delta id and point sections disagree");
+    if (!tombs.empty())
+      detail::fail_structure("empty-base shard cannot carry tombstones");
+    for (std::size_t i = 0; i < delta_ids.size(); ++i) {
+      if (delta_ids[i] == 0xffffffffu ||
+          (i > 0 && delta_ids[i] <= delta_ids[i - 1]))
+        detail::fail_structure("delta ids not strictly increasing or "
+                               "reserved");
+      for (int dim = 0; dim < D; ++dim)
+        if (!std::isfinite(delta_points[i][dim]))
+          detail::fail_structure("delta point coordinate not finite");
+    }
+    out.delta.ids.assign(delta_ids.begin(), delta_ids.end());
+    out.delta.points.assign(delta_points.begin(), delta_points.end());
+  }
   return out;
 }
 

@@ -430,6 +430,63 @@ class LiveStore {
     return outcome_locked();
   }
 
+  // Bulk insert under one view publication. Validation is all-or-
+  // nothing: every id must be fresh (not reserved, not live, not
+  // repeated inside the batch) and every point finite *before* anything
+  // is applied — a batch with one bad entry throws QueryError and
+  // changes nothing, matching the single-element contract. The whole
+  // batch then lands in a single publish_locked(), so readers see either
+  // none of it or all of it (and seq advances by exactly one).
+  UpdateOutcome insert_bulk(std::span<const std::uint32_t> ids,
+                            std::span<const Point> points)
+      SEPDC_EXCLUDES(mu_) {
+    SEPDC_ASSERT(ids.size() == points.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == DeltaSegment<D>::kReservedId)
+        throw QueryError("id", "0xffffffff is reserved");
+      for (int dim = 0; dim < D; ++dim)
+        if (!std::isfinite(points[i][dim]))
+          throw QueryError("point", "coordinates must be finite");
+    }
+    LockGuard lock(mu_);
+    std::set<std::uint32_t> batch_ids;
+    for (std::uint32_t id : ids) {
+      if (live_locked(id))
+        throw QueryError("id", "insert of an id that is already live");
+      if (!batch_ids.insert(id).second)
+        throw QueryError("id", "bulk insert repeats an id");
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      adds_.emplace(ids[i], points[i]);
+    publish_locked();
+    return outcome_locked();
+  }
+
+  // Bulk remove under one view publication; same all-or-nothing
+  // validation (every id live, none repeated) and single-publication
+  // visibility as insert_bulk.
+  UpdateOutcome remove_bulk(std::span<const std::uint32_t> ids)
+      SEPDC_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    std::set<std::uint32_t> batch_ids;
+    for (std::uint32_t id : ids) {
+      if (!live_locked(id))
+        throw QueryError("id", "remove of an id that is not live");
+      if (!batch_ids.insert(id).second)
+        throw QueryError("id", "bulk remove repeats an id");
+    }
+    for (std::uint32_t id : ids) {
+      auto it = adds_.find(id);
+      if (it != adds_.end()) {
+        adds_.erase(it);
+      } else {
+        tombs_.insert(id);
+      }
+    }
+    publish_locked();
+    return outcome_locked();
+  }
+
   // Removes a live point. Throws QueryError — and changes nothing —
   // when the id is not live.
   UpdateOutcome remove(std::uint32_t id) SEPDC_EXCLUDES(mu_) {

@@ -128,8 +128,27 @@ struct SloConfig {
   // QueryError("overload") when the EWMA-estimated backlog
   // (est_batch_us_per_query x queued-plus-incoming queries) exceeds
   // shed_factor x the request's effective budget. 0 disables shedding;
-  // requests without a budget are never shed (they can afford any wait).
+  // requests without a budget are priced by the queue-depth backstop
+  // below instead (they can afford any wait, but the queue cannot
+  // afford them without bound).
   double shed_factor = 0.0;
+  // Cost-based shed pricing for interactive traffic: an interactive
+  // request whose estimated backlog already exceeds
+  // interactive_shed_factor x its budget is hopeless — it would punt and
+  // still miss — so it fails fast with QueryError("overload") instead of
+  // burning a direct-path answer past its SLO. 0 disables (the
+  // pre-existing behavior: interactive traffic never sheds). Kept
+  // separate from shed_factor because interactive punting is usually the
+  // better degradation; only enable this when the punt path itself is
+  // saturating.
+  double interactive_shed_factor = 0.0;
+  // Queue-depth backstop for budget-less bulk traffic: without a budget
+  // there is no admission price, so under sustained overload such
+  // requests used to join (and lengthen) the queue without bound while
+  // interactive attainment collapsed. When > 0, a budget-less bulk
+  // request is shed with QueryError("overload") once the pending queue
+  // holds this many queries. 0 disables the backstop.
+  std::size_t bulk_queue_backstop = 0;
   // Adaptive batching: an AIMD controller on the flusher thread retunes
   // the operating flush interval and batch cap every control_period
   // flushes — halves both when the windowed queue-wait p99 overshoots
@@ -200,6 +219,26 @@ class QueryBroker {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
+  // Sharded start (shard_router.hpp): like the points ctor, but the
+  // base generation answers with the caller's external ids instead of
+  // positions 0..n-1 — a shard owns an arbitrary subset of the global
+  // id space. `external_ids` must be parallel to `points`; strictly
+  // increasing ids additionally make the saved snapshot loadable (the
+  // io layer pins that ordering), which shard subsets of an ascending
+  // sequence satisfy by construction.
+  QueryBroker(std::span<const geo::Point<D>> points,
+              std::span<const std::uint32_t> external_ids,
+              const BrokerConfig& cfg, par::ThreadPool& pool)
+      : cfg_(cfg), pool_(pool) {
+    SEPDC_CHECK_MSG(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    SEPDC_CHECK_MSG(external_ids.size() == points.size(),
+                    "external_ids must be parallel to points");
+    init_operating_point();
+    RebuildScope scope(*this);
+    rebuild_locked_free(points, external_ids);
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+
   // Cold-start from a snapshot file (docs/persistence.md): generation 1
   // is mmap-loaded instead of built, so time-to-first-answer is bounded
   // by validation + page faults, not by an index build. Throws
@@ -242,6 +281,46 @@ class QueryBroker {
                          view->base->version, sidecar);
     ServiceStats::add(stats_.snapshot_saves, 1);
     return true;
+  }
+
+  // Sharded save (shard_router.hpp): save_snapshot plus the shard
+  // function sections, and — unlike save_snapshot — never a no-op: a
+  // shard whose base is still the empty generation writes the stub
+  // format (shard function + flattened delta) instead, so every shard
+  // of a sharded save produces a loadable file. Returns the saved base
+  // version (0 for a stub).
+  std::uint64_t save_shard(const std::string& path,
+                           std::span<const core::ForestNode<D>> cut,
+                           std::uint32_t shard_count,
+                           std::uint32_t shard_id, std::uint32_t root) {
+    ViewPtr view = live_.current();
+    metrics::TraceSpan span(cfg_.trace, "index_save", "snapshot");
+    if (view == nullptr || !view->has_base()) {
+      FlatDelta<D> flat =
+          view != nullptr ? flatten_delta(*view) : FlatDelta<D>{};
+      // No base means nothing to tombstone against: the flattened
+      // delta is pure adds (read_shard_file pins this).
+      io::save_shard_stub<D>(path, cut, shard_count, shard_id, root,
+                             /*version=*/0, flat.ids, flat.points,
+                             flat.tombstones);
+      ServiceStats::add(stats_.snapshot_saves, 1);
+      return 0;
+    }
+    FlatDelta<D> flat = flatten_delta(*view);
+    io::SnapshotSidecar<D> sidecar;
+    if (view->base->external_ids != nullptr)
+      sidecar.external_ids = *view->base->external_ids;
+    sidecar.delta_ids = flat.ids;
+    sidecar.delta_points = flat.points;
+    sidecar.tombstones = flat.tombstones;
+    sidecar.shard_nodes = cut;
+    sidecar.shard_count = shard_count;
+    sidecar.shard_id = shard_id;
+    sidecar.shard_root = root;
+    io::save_snapshot<D>(path, *view->base->index, *view->base->fallback,
+                         view->base->version, sidecar);
+    ServiceStats::add(stats_.snapshot_saves, 1);
+    return view->base->version;
   }
 
   ~QueryBroker() { shutdown(); }
@@ -336,6 +415,39 @@ class QueryBroker {
     ServiceStats::add(stats_.removes, 1);
     ServiceStats::bump_max(stats_.delta_peak, outcome.delta_pending);
     stats_.update_apply.record_seconds(timer.seconds());
+    maybe_compact(outcome.delta_pending);
+  }
+
+  // Bulk mutation: the whole batch becomes visible in *one* live-view
+  // publication (per-element insert() used to publish O(batch) views —
+  // every one a shared_ptr allocation plus a full delta-segment rebuild).
+  // All-or-nothing: every element is validated before anything is
+  // applied, so a batch with one bad entry throws QueryError and changes
+  // nothing — no counter moves, no view publishes. As-of-submission
+  // semantics are those of the batch: when the call returns, every
+  // element is visible to every query submitted afterwards.
+  void insert_bulk(std::span<const std::uint32_t> ids,
+                   std::span<const geo::Point<D>> points) {
+    SEPDC_CHECK_MSG(ids.size() == points.size(),
+                    "broker insert_bulk: ids and points must be parallel");
+    if (ids.empty()) return;
+    Timer timer;
+    auto outcome = live_.insert_bulk(ids, points);
+    ServiceStats::add(stats_.updates_submitted, ids.size());
+    ServiceStats::add(stats_.inserts, ids.size());
+    ServiceStats::bump_max(stats_.delta_peak, outcome.delta_pending);
+    stats_.update_apply.record_seconds(timer.seconds(), ids.size());
+    maybe_compact(outcome.delta_pending);
+  }
+
+  void remove_bulk(std::span<const std::uint32_t> ids) {
+    if (ids.empty()) return;
+    Timer timer;
+    auto outcome = live_.remove_bulk(ids);
+    ServiceStats::add(stats_.updates_submitted, ids.size());
+    ServiceStats::add(stats_.removes, ids.size());
+    ServiceStats::bump_max(stats_.delta_peak, outcome.delta_pending);
+    stats_.update_apply.record_seconds(timer.seconds(), ids.size());
     maybe_compact(outcome.delta_pending);
   }
 
@@ -454,7 +566,8 @@ class QueryBroker {
   };
 
   std::uint64_t rebuild_locked_free(
-      std::span<const geo::Point<D>> points) {
+      std::span<const geo::Point<D>> points,
+      std::span<const std::uint32_t> external_ids = {}) {
     metrics::TraceSpan span(cfg_.trace, "rebuild", "service");
     ServiceStats::add(stats_.rebuilds, 1);
     std::uint64_t version = store_.claim_version();
@@ -464,8 +577,19 @@ class QueryBroker {
     } else {
       core::SeparatorIndexConfig icfg = cfg_.index;
       icfg.seed += version;  // decorrelate generations
+      // An identity id map (ids == positions) collapses to the implicit
+      // convention, mirroring run_compaction.
+      std::shared_ptr<const std::vector<std::uint32_t>> ext;
+      if (!external_ids.empty()) {
+        bool identity = true;
+        for (std::size_t i = 0; i < external_ids.size() && identity; ++i)
+          identity = external_ids[i] == static_cast<std::uint32_t>(i);
+        if (!identity)
+          ext = std::make_shared<const std::vector<std::uint32_t>>(
+              external_ids.begin(), external_ids.end());
+      }
       snap = SnapshotStore<D>::build(points, icfg, pool_, version,
-                                     cfg_.trace);
+                                     cfg_.trace, std::move(ext));
     }
     store_.publish(snap, &stats_);
     // Monotone on both sides: if a newer rebuild already installed its
@@ -667,19 +791,35 @@ class QueryBroker {
                                          : cfg_.slo.bulk_budget;
   }
 
-  // Admission control: reject a bulk-class request whose estimated
-  // backlog (EWMA per-query batch cost x queued-plus-incoming queries)
-  // exceeds shed_factor x its budget. Runs before the request is
-  // accounted as submitted — a shed request increments only `shed`, so
-  // callers reconcile attempts == submitted + shed while the answer-side
-  // invariants (batched + punted + fast_lane == submitted) are
-  // untouched. Interactive requests and requests without a budget are
-  // never shed.
+  // Admission control. Runs before the request is accounted as
+  // submitted — a shed request increments only `shed` (plus its class
+  // split), so callers reconcile attempts == submitted + shed while the
+  // answer-side invariants (batched + punted + fast_lane == submitted)
+  // are untouched. Two prices, both opt-in:
+  //   * cost-based — a request whose EWMA-estimated backlog
+  //     (est_batch_us_per_query x queued-plus-incoming queries) exceeds
+  //     factor x its effective budget is hopeless and fails fast. Bulk
+  //     uses shed_factor, interactive uses interactive_shed_factor.
+  //   * queue-depth backstop — a budget-less bulk request carries no
+  //     price, so once the pending queue holds bulk_queue_backstop
+  //     queries it is shed on depth alone (this used to be the unbounded
+  //     growth path: budget-less bulk was never shed at all).
   void admit_or_shed(SloClass cls, std::chrono::microseconds budget,
                      std::size_t nqueries) {
-    const double factor = cfg_.slo.shed_factor;
-    if (cls != SloClass::kBulk || factor <= 0.0 || budget <= kNoDeadline)
+    const bool bulk = cls == SloClass::kBulk;
+    if (bulk && budget <= kNoDeadline) {
+      const std::size_t backstop = cfg_.slo.bulk_queue_backstop;
+      if (backstop > 0 &&
+          pending_queries_.load(std::memory_order_relaxed) + nqueries >
+              backstop)
+        shed(cls, nqueries,
+             "budget-less bulk request shed: pending queue exceeds "
+             "bulk_queue_backstop; retry with backoff");
       return;
+    }
+    const double factor = bulk ? cfg_.slo.shed_factor
+                               : cfg_.slo.interactive_shed_factor;
+    if (factor <= 0.0 || budget <= kNoDeadline) return;
     const double backlog_us =
         stats_.est_batch_us_per_query.load(std::memory_order_relaxed) *
         static_cast<double>(
@@ -687,10 +827,21 @@ class QueryBroker {
     if (backlog_us <=
         factor * static_cast<double>(budget.count()))
       return;
+    shed(cls, nqueries,
+         bulk ? "bulk-class request shed: estimated backlog exceeds "
+                "the admission budget multiple; retry with backoff"
+              : "interactive request shed: estimated backlog already "
+                "exceeds the budget multiple; retry with backoff");
+  }
+
+  [[noreturn]] void shed(SloClass cls, std::size_t nqueries,
+                         const char* message) {
     ServiceStats::add(stats_.shed, nqueries);
-    throw QueryError("overload",
-                     "bulk-class request shed: estimated backlog exceeds "
-                     "the admission budget multiple; retry with backoff");
+    ServiceStats::add(cls == SloClass::kInteractive
+                          ? stats_.shed_interactive
+                          : stats_.shed_bulk,
+                      nqueries);
+    throw QueryError("overload", message);
   }
 
   // Idle fast-lane gate: interactive class, empty queue, no flush in
@@ -975,6 +1126,36 @@ class QueryBroker {
     if (!cfg_.slo.adaptive) return;
     if (++flushes_since_retune_ < cfg_.slo.control_period) return;
     flushes_since_retune_ = 0;
+    // Rebuild/compaction pressure: while a background build holds the
+    // pool, batch service times are about to degrade — but the windowed
+    // p99 only shows the damage an entire window later, so steering on
+    // it kept *relaxing* into the stall. Tighten pre-emptively instead:
+    // halve both knobs every control period the pressure persists (the
+    // normal relax path regrows them once the build drains).
+    if (rebuilds_in_flight_.load(std::memory_order_acquire) > 0 ||
+        compactions_in_flight_.load(std::memory_order_acquire) > 0) {
+      metrics::TraceSpan span(cfg_.trace, "slo_controller", "service");
+      ServiceStats::add(stats_.controller_updates, 1);
+      ServiceStats::add(stats_.controller_tighten, 1);
+      ServiceStats::add(stats_.controller_pressure_tighten, 1);
+      std::uint64_t interval_ns =
+          cur_flush_interval_ns_.load(std::memory_order_relaxed) / 2;
+      std::size_t max_batch =
+          cur_max_batch_.load(std::memory_order_relaxed) / 2;
+      interval_ns =
+          std::clamp(interval_ns, ns_count(cfg_.slo.min_flush_interval),
+                     ns_count(cfg_.slo.max_flush_interval));
+      max_batch = std::clamp(max_batch, cfg_.slo.min_batch,
+                             cfg_.slo.max_batch);
+      cur_flush_interval_ns_.store(interval_ns,
+                                   std::memory_order_relaxed);
+      cur_max_batch_.store(max_batch, std::memory_order_relaxed);
+      ServiceStats::set_gauge(
+          stats_.cur_flush_interval_us,
+          static_cast<std::size_t>(interval_ns / 1000));
+      ServiceStats::set_gauge(stats_.cur_max_batch, max_batch);
+      return;
+    }
     metrics::HistogramSnapshot cur = stats_.queue_wait.snapshot();
     metrics::HistogramSnapshot window =
         cur.delta_since(ctl_prev_queue_wait_);

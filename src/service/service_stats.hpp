@@ -17,9 +17,10 @@
 //               without waiting out a flush interval.
 //   batched + punted + fast_lane == submitted.
 // Shed requests are counted *outside* this taxonomy: a query rejected by
-// admission control (overload, bulk class) increments only `shed` — it
-// was never accepted, so it never appears in submitted/answered, and the
-// caller-side invariant is attempts == submitted + shed.
+// admission control (overload) increments only `shed` plus its class
+// split (shed == shed_interactive + shed_bulk) — it was never accepted,
+// so it never appears in submitted/answered, and the caller-side
+// invariant is attempts == submitted + shed.
 // Orthogonal markers:
 //   expired       — the answer was produced after its deadline (still
 //                    exact; the service degrades latency, never results),
@@ -73,6 +74,8 @@ struct ServiceStatsSnapshot {
   std::size_t punted = 0;          // answered via the direct fallback
   std::size_t fast_lane = 0;       // answered inline on an idle broker
   std::size_t shed = 0;            // rejected by admission control
+  std::size_t shed_interactive = 0;  // shed, interactive class
+  std::size_t shed_bulk = 0;         // shed, bulk class
   std::size_t expired = 0;         // answered after their deadline
   std::size_t rebuilt_under = 0;   // answered while a rebuild was in flight
   std::size_t bulk_requests = 0;   // multi-query submissions
@@ -104,6 +107,17 @@ struct ServiceStatsSnapshot {
   std::size_t controller_updates = 0;  // decisions taken
   std::size_t controller_tighten = 0;  // decisions that shrank the knobs
   std::size_t controller_relax = 0;    // decisions that grew the knobs
+  std::size_t controller_pressure_tighten = 0;  // tightened under
+                                                // rebuild/compaction pressure
+  // Sharding (shard_router.hpp): a router counts every accepted query
+  // once in fanout_queries iff it had to visit more than one shard, and
+  // each shard visit (including the home shard) in shard_visits.
+  // boundary_fanout = fanout_queries / submitted is the measured
+  // boundary-crossing fraction the paper's intersection-number bound
+  // O(k^(1/d) n^((d-1)/d)) promises stays a vanishing share.
+  std::size_t fanout_queries = 0;  // queries that crossed a separator
+  std::size_t shard_visits = 0;    // total per-shard sub-queries issued
+  double boundary_fanout = 0.0;    // derived: fanout_queries / submitted
   std::size_t cur_flush_interval_us = 0;  // gauge: operating flush interval
   std::size_t cur_max_batch = 0;          // gauge: operating batch cap
   double est_batch_us_per_query = 0.0;  // EWMA batch service cost
@@ -124,6 +138,8 @@ class ServiceStats {
   std::atomic<std::size_t> punted{0};
   std::atomic<std::size_t> fast_lane{0};
   std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> shed_interactive{0};
+  std::atomic<std::size_t> shed_bulk{0};
   std::atomic<std::size_t> expired{0};
   std::atomic<std::size_t> rebuilt_under{0};
   std::atomic<std::size_t> bulk_requests{0};
@@ -152,6 +168,9 @@ class ServiceStats {
   std::atomic<std::size_t> controller_updates{0};
   std::atomic<std::size_t> controller_tighten{0};
   std::atomic<std::size_t> controller_relax{0};
+  std::atomic<std::size_t> controller_pressure_tighten{0};
+  std::atomic<std::size_t> fanout_queries{0};
+  std::atomic<std::size_t> shard_visits{0};
   // Gauges (plain stores, last writer wins): the broker's current
   // operating point, written at construction and by every controller
   // decision so observers can see the adaptation without broker access.
@@ -215,6 +234,8 @@ class ServiceStats {
     s.punted = punted.load(std::memory_order_relaxed);
     s.fast_lane = fast_lane.load(std::memory_order_relaxed);
     s.shed = shed.load(std::memory_order_relaxed);
+    s.shed_interactive = shed_interactive.load(std::memory_order_relaxed);
+    s.shed_bulk = shed_bulk.load(std::memory_order_relaxed);
     s.expired = expired.load(std::memory_order_relaxed);
     s.rebuilt_under = rebuilt_under.load(std::memory_order_relaxed);
     s.bulk_requests = bulk_requests.load(std::memory_order_relaxed);
@@ -250,6 +271,14 @@ class ServiceStats {
     s.controller_tighten =
         controller_tighten.load(std::memory_order_relaxed);
     s.controller_relax = controller_relax.load(std::memory_order_relaxed);
+    s.controller_pressure_tighten =
+        controller_pressure_tighten.load(std::memory_order_relaxed);
+    s.fanout_queries = fanout_queries.load(std::memory_order_relaxed);
+    s.shard_visits = shard_visits.load(std::memory_order_relaxed);
+    s.boundary_fanout =
+        s.submitted > 0 ? static_cast<double>(s.fanout_queries) /
+                              static_cast<double>(s.submitted)
+                        : 0.0;
     s.cur_flush_interval_us =
         cur_flush_interval_us.load(std::memory_order_relaxed);
     s.cur_max_batch = cur_max_batch.load(std::memory_order_relaxed);

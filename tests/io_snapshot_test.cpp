@@ -630,5 +630,164 @@ TEST_F(DeltaCorruption, NonFiniteDeltaPointFailsStructure) {
   expect_load_fails(SnapshotError::kBadStructure);
 }
 
+// ---------------------------------------------------- sharding sections
+// Sections 18 (kShardInfo) and 19 (kShardNodes) are optional additions
+// to the v2 container: files with and without them interload — the
+// plain loader ignores them, read_shard_file requires them.
+
+// A 3-node cut: a sphere separator at the root, two leaf regions.
+std::vector<core::ForestNode<2>> make_test_cut() {
+  std::vector<core::ForestNode<2>> nodes(3);
+  nodes[0].begin = 0;
+  nodes[0].end = 100;
+  nodes[0].inner = 1;
+  nodes[0].outer = 2;
+  nodes[0].separator = geo::SeparatorShape<2>::make_sphere(
+      geo::Sphere<2>{Pt{{0.5, 0.5}}, 0.3});
+  nodes[1].begin = 0;
+  nodes[1].end = 60;  // leaves keep kNoChild children
+  nodes[2].begin = 60;
+  nodes[2].end = 100;
+  return nodes;
+}
+
+class ShardSections : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cut_ = make_test_cut();
+    path_ = temp_path("shard_sections.sepdc");
+  }
+
+  void expect_read_fails(SnapshotError expected) {
+    try {
+      (void)read_shard_file<2>(path_);
+      FAIL() << "read_shard_file did not throw";
+    } catch (const SnapshotIoError& e) {
+      EXPECT_EQ(e.code(), expected) << e.what();
+    }
+  }
+
+  std::vector<core::ForestNode<2>> cut_;
+  std::string path_;
+};
+
+TEST_F(ShardSections, StubRoundTrips) {
+  const std::vector<std::uint32_t> ids = {3, 9, 41};
+  const std::vector<Pt> pts = {
+      Pt{{0.1, 0.2}}, Pt{{0.6, 0.6}}, Pt{{0.9, 0.1}}};
+  save_shard_stub<2>(path_, cut_, 2, 1, 0, 7, ids, pts);
+
+  auto f = read_shard_file<2>(path_);
+  EXPECT_EQ(f.shard_count, 2u);
+  EXPECT_EQ(f.shard_id, 1u);
+  EXPECT_EQ(f.root, 0u);
+  EXPECT_TRUE(f.empty_base);
+  EXPECT_EQ(f.saved_version, 7u);
+  ASSERT_EQ(f.nodes.size(), cut_.size());
+  EXPECT_EQ(f.nodes[0].inner, 1u);
+  EXPECT_EQ(f.nodes[0].outer, 2u);
+  EXPECT_TRUE(f.nodes[1].is_leaf());
+  ASSERT_EQ(f.delta.ids.size(), ids.size());
+  EXPECT_EQ(f.delta.ids, ids);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (int d = 0; d < 2; ++d)
+      EXPECT_EQ(f.delta.points[i][d], pts[i][d]);
+
+  // A stub is not a loadable snapshot (no points, no index sections).
+  EXPECT_THROW((void)load_snapshot<2>(path_), SnapshotIoError);
+}
+
+TEST_F(ShardSections, ManifestHasNoEmptyBaseFlag) {
+  save_shard_stub<2>(path_, cut_, 2, kShardManifestId, 0, 3);
+  auto f = read_shard_file<2>(path_);
+  EXPECT_EQ(f.shard_id, kShardManifestId);
+  EXPECT_FALSE(f.empty_base);
+  EXPECT_TRUE(f.delta.ids.empty());
+}
+
+TEST_F(ShardSections, FullSnapshotCarriesSidecarShardingAndStillLoads) {
+  par::ThreadPool pool(4);
+  auto points = make_points(workload::Kind::UniformCube, 300, 113);
+  auto built = build_snapshot(points, pool, 5);
+  SnapshotSidecar<2> sidecar;
+  sidecar.shard_nodes = cut_;
+  sidecar.shard_count = 2;
+  sidecar.shard_id = 0;
+  sidecar.shard_root = 0;
+  save_snapshot<2>(path_, *built->index, *built->fallback, built->version,
+                   sidecar);
+
+  // The sharding head reads back...
+  auto f = read_shard_file<2>(path_);
+  EXPECT_EQ(f.shard_count, 2u);
+  EXPECT_EQ(f.shard_id, 0u);
+  EXPECT_FALSE(f.empty_base);
+  // ...and the ordinary loader still loads the same file, byte-checked,
+  // ignoring the extra sections (old readers keep working — the v2
+  // format version did not move).
+  auto loaded = load_snapshot<2>(path_);
+  EXPECT_EQ(loaded.point_count, points.size());
+  EXPECT_EQ(loaded.saved_version, 5u);
+}
+
+TEST_F(ShardSections, PlainSnapshotHasNoShardingSections) {
+  par::ThreadPool pool(4);
+  auto points = make_points(workload::Kind::UniformCube, 200, 117);
+  auto built = build_snapshot(points, pool);
+  save_snapshot<2>(path_, *built->index, *built->fallback,
+                   built->version);
+  expect_read_fails(SnapshotError::kBadSectionTable);
+}
+
+TEST_F(ShardSections, FlippedCutByteFailsChecksum) {
+  save_shard_stub<2>(path_, cut_, 2, 0, 0, 1);
+  // Find the kShardNodes payload via the file's own section table and
+  // flip one byte of a separator coordinate.
+  FileHeader hdr{};
+  std::vector<SectionRecord> table;
+  {
+    std::ifstream f(path_, std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+    table.resize(hdr.section_count);
+    f.read(reinterpret_cast<char*>(table.data()),
+           static_cast<std::streamsize>(table.size() *
+                                        sizeof(SectionRecord)));
+    ASSERT_TRUE(f.good());
+  }
+  std::uint64_t nodes_offset = 0;
+  for (const SectionRecord& r : table)
+    if (r.id == static_cast<std::uint32_t>(SectionId::kShardNodes))
+      nodes_offset = r.offset;
+  ASSERT_GT(nodes_offset, 0u);
+  flip_byte(path_, nodes_offset + 40);
+  expect_read_fails(SnapshotError::kBadChecksum);
+}
+
+TEST_F(ShardSections, BadStructureRejected) {
+  // Shard id beyond shard_count.
+  save_shard_stub<2>(path_, cut_, 2, 5, 0, 1);
+  expect_read_fails(SnapshotError::kBadStructure);
+  // Leaf count disagrees with shard_count.
+  save_shard_stub<2>(path_, cut_, 3, 0, 0, 1);
+  expect_read_fails(SnapshotError::kBadStructure);
+  // Child pointer not strictly forward: a self-cycle at the root.
+  auto bad = cut_;
+  bad[0].outer = 0;
+  save_shard_stub<2>(path_, bad, 2, 0, 0, 1);
+  expect_read_fails(SnapshotError::kBadStructure);
+  // Tombstones in an empty-base stub.
+  const std::vector<std::uint32_t> ids = {3};
+  const std::vector<Pt> pts = {Pt{{0.1, 0.2}}};
+  const std::vector<std::uint32_t> tombs = {1};
+  save_shard_stub<2>(path_, cut_, 2, 0, 0, 1, ids, pts, tombs);
+  expect_read_fails(SnapshotError::kBadStructure);
+  // Unsorted delta ids.
+  const std::vector<std::uint32_t> bad_ids = {9, 3};
+  const std::vector<Pt> two = {Pt{{0.1, 0.2}}, Pt{{0.3, 0.4}}};
+  save_shard_stub<2>(path_, cut_, 2, 0, 0, 1, bad_ids, two);
+  expect_read_fails(SnapshotError::kBadStructure);
+}
+
 }  // namespace
 }  // namespace sepdc::io

@@ -292,6 +292,10 @@ TEST(ServiceSlo, ShedRequestsReconcileUnderConcurrency) {
   EXPECT_GT(shed_queries.load(), 0u);
   auto s = broker.stats();
   EXPECT_EQ(s.shed, shed_queries.load());
+  // Only the bulk class shed here, and the class split partitions shed.
+  EXPECT_EQ(s.shed_bulk, s.shed);
+  EXPECT_EQ(s.shed_interactive, 0u);
+  EXPECT_EQ(s.shed, s.shed_interactive + s.shed_bulk);
   EXPECT_EQ(s.submitted, warm + answered_queries.load());
   EXPECT_EQ(s.submitted + s.shed,
             warm + answered_queries.load() + shed_queries.load());
@@ -337,6 +341,166 @@ TEST(ServiceSlo, AdaptiveControllerTightensToFloor) {
   // The configured values are immutable; only the operating point moved.
   EXPECT_EQ(broker.config().flush_interval, microseconds(200));
   EXPECT_EQ(broker.config().max_batch, 64u);
+}
+
+// ------------------------------------------- budget-less bulk backstop
+
+// Regression: budget-less bulk traffic used to bypass admission control
+// entirely — shed pricing only looked at requests that carry a budget,
+// so a misbehaving bulk client with no deadline could grow the pending
+// queue without bound: no counter moved, no error surfaced, and
+// interactive traffic starved behind the backlog. The queue-depth
+// backstop sheds budget-less bulk with QueryError("overload") before
+// any counter moves once the pending queue would exceed
+// bulk_queue_backstop.
+TEST(ServiceSlo, BudgetlessBulkBackstopSheds) {
+  const std::size_t n = 200, k = 3;
+  auto points = make_points(n, 49);
+  std::span<const Pt> span(points);
+  BrokerConfig cfg;
+  cfg.max_batch = 1024;  // the size trigger never fires
+  cfg.flush_interval = microseconds(10'000'000);  // flusher stalled
+  cfg.index.seed = 23;
+  cfg.slo.bulk_queue_backstop = 20;
+  std::vector<std::thread> helpers;
+  std::atomic<std::size_t> answered{0};
+  {
+    QueryBroker<2> broker(span, cfg, par::ThreadPool::global());
+    // Two budget-less bulk submissions of 8 park in the stalled queue
+    // (8 and 16 pending both fit under the backstop of 20); they block
+    // until the shutdown drain answers them.
+    for (int t = 0; t < 2; ++t) {
+      helpers.emplace_back([&, t] {
+        auto rows =
+            broker.bulk_knn(span.subspan(8 * t, 8), k);
+        for (const auto& row : rows)
+          if (row.size() == k) answered.fetch_add(1);
+      });
+    }
+    while (broker.stats().submitted < 16) std::this_thread::yield();
+
+    // 16 pending + 8 more crosses the backstop: shed at the door.
+    try {
+      broker.bulk_knn(span.subspan(16, 8), k);
+      FAIL() << "budget-less bulk over the backstop did not shed";
+    } catch (const QueryError& e) {
+      EXPECT_EQ(e.field(), "overload");
+    }
+    auto s = broker.stats();
+    EXPECT_EQ(s.submitted, 16u) << "shed request moved submitted";
+    EXPECT_EQ(s.shed, 8u);
+    EXPECT_EQ(s.shed_bulk, 8u);
+    EXPECT_EQ(s.shed_interactive, 0u);
+    EXPECT_EQ(s.shed, s.shed_interactive + s.shed_bulk);
+    // Destruction drains the queue: the parked requests are answered,
+    // not lost (flush_by_stop), so the books balance at quiescence.
+  }
+  for (auto& t : helpers) t.join();
+  EXPECT_EQ(answered.load(), 16u);
+}
+
+// ------------------------------------------- interactive cost shedding
+
+// Regression: interactive traffic could never shed — admission pricing
+// only applied to the bulk class, so a hopeless interactive request
+// (estimated cost far beyond its budget) waited out the queue anyway,
+// missed its deadline, and wasted a batch slot doing it. With
+// interactive_shed_factor set, admission prices the request against the
+// EWMA batch-cost estimate and fails fast instead.
+TEST(ServiceSlo, InteractiveRequestsShedByCost) {
+  const std::size_t n = 300, k = 3;
+  auto points = make_points(n, 50);
+  BrokerConfig cfg;
+  cfg.max_batch = 32;
+  cfg.flush_interval = microseconds(100);
+  cfg.index.seed = 29;
+  cfg.slo.interactive_shed_factor = 1e-6;
+  QueryBroker<2> broker(std::span<const Pt>(points), cfg,
+                        par::ThreadPool::global());
+
+  // Warm the estimator budget-less: without a budget there is nothing
+  // to price against, so these can never shed.
+  for (std::size_t i = 0; i < 48; ++i) broker.knn(points[i], k);
+  ASSERT_GT(broker.stats().est_batch_us_per_query, 0.0);
+  const auto before = broker.stats();
+
+  // A 1 us budget against a warm (microseconds-per-query) estimate and
+  // a microscopic factor: deterministically hopeless.
+  try {
+    broker.knn(points[0], k, microseconds(1));
+    FAIL() << "hopeless interactive request did not shed";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.field(), "overload");
+  }
+  auto s = broker.stats();
+  EXPECT_EQ(s.shed, before.shed + 1);
+  EXPECT_EQ(s.shed_interactive, 1u);
+  EXPECT_EQ(s.shed_bulk, 0u);
+  EXPECT_EQ(s.shed, s.shed_interactive + s.shed_bulk);
+  EXPECT_EQ(s.submitted, before.submitted) << "shed moved submitted";
+  EXPECT_EQ(s.batched + s.punted + s.fast_lane, s.submitted);
+
+  // Budget-less interactive traffic keeps flowing.
+  EXPECT_EQ(broker.knn(points[1], k).size(), k);
+}
+
+// ----------------------------------------- controller under compaction
+
+// Regression: the AIMD controller was blind to rebuild/compaction
+// pressure — while a compaction monopolized the pool, the only signal
+// was the queue-wait histogram, which lags a full control window, so
+// the controller held relaxed knobs through the thing it most needed to
+// tighten for. Now any in-flight rebuild or compaction tightens
+// pre-emptively (counted as controller_pressure_tighten), and the knobs
+// regrow once the pressure clears.
+TEST(ServiceSlo, ControllerTightensUnderCompactionPressure) {
+  auto points = make_points(200, 51);
+  BrokerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.flush_interval = microseconds(200);
+  cfg.index.seed = 31;
+  cfg.delta_compaction_threshold = 4;
+  cfg.slo.adaptive = true;
+  cfg.slo.min_flush_interval = microseconds(25);
+  cfg.slo.max_flush_interval = microseconds(400);
+  cfg.slo.min_batch = 2;
+  cfg.slo.max_batch = 64;
+  // A target no workload here can overshoot: absent pressure the
+  // controller could only ever relax, so any tightening below is
+  // attributable to the pressure signal alone.
+  cfg.slo.target_queue_wait = microseconds(1'000'000);
+  cfg.slo.control_period = 1;
+  // Zero-worker pool: a submitted compaction parks in the queue until
+  // someone helping-waits on it, holding compactions_in_flight high for
+  // exactly as long as the test wants. Queries still flow — batch
+  // kernels caller-help.
+  par::ThreadPool pool(1);
+  QueryBroker<2> broker(std::span<const Pt>(points), cfg, pool);
+
+  // Arm the pressure: the 4th pending update seals a compaction job
+  // onto the parked pool.
+  for (std::uint32_t i = 0; i < 6; ++i)
+    broker.insert(10000 + i, points[i]);
+
+  // Every flush retunes (control_period 1); the pressure branch halves
+  // both knobs down to the configured floor — never below.
+  for (std::size_t i = 0; i < 40; ++i) broker.knn(points[i % 200], 3);
+  auto s = broker.stats();
+  EXPECT_GT(s.controller_pressure_tighten, 0u);
+  EXPECT_GT(s.controller_tighten, 0u);
+  EXPECT_EQ(broker.current_flush_interval(), microseconds(25));
+  EXPECT_EQ(broker.current_max_batch(), 2u);
+  EXPECT_EQ(broker.config().flush_interval, microseconds(200));
+
+  // Drain runs the parked compaction on this thread (helping wait);
+  // pressure clears and the far-away target lets the knobs regrow.
+  broker.drain_rebuilds();
+  EXPECT_EQ(broker.stats().compactions, 1u);
+  for (std::size_t i = 0; i < 40; ++i) broker.knn(points[i % 200], 3);
+  s = broker.stats();
+  EXPECT_GT(s.controller_relax, 0u);
+  EXPECT_GT(broker.current_flush_interval(), microseconds(25));
+  EXPECT_GT(broker.current_max_batch(), 2u);
 }
 
 // Mirror image: with the target far above every observed wait, the

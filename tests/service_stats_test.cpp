@@ -18,6 +18,31 @@ namespace {
 
 using sepdc::service::ServiceStats;
 
+// The shed class split and the sharding counters ride the same relaxed
+// snapshot path as everything else: shed partitions into
+// shed_interactive + shed_bulk (so attempts == submitted + shed stays
+// exact per class), and boundary_fanout is derived at snapshot time as
+// fanout_queries / submitted — 0 when nothing was submitted, never NaN.
+TEST(ServiceStats, ShedSplitAndFanoutSnapshot) {
+  ServiceStats stats;
+  EXPECT_DOUBLE_EQ(stats.snapshot().boundary_fanout, 0.0);
+
+  ServiceStats::add(stats.submitted, 80);
+  ServiceStats::add(stats.shed, 12);
+  ServiceStats::add(stats.shed_interactive, 5);
+  ServiceStats::add(stats.shed_bulk, 7);
+  ServiceStats::add(stats.fanout_queries, 20);
+  ServiceStats::add(stats.shard_visits, 130);
+
+  auto s = stats.snapshot();
+  EXPECT_EQ(s.shed, 12u);
+  EXPECT_EQ(s.shed, s.shed_interactive + s.shed_bulk);
+  EXPECT_EQ(s.submitted + s.shed, 92u);  // attempts
+  EXPECT_EQ(s.fanout_queries, 20u);
+  EXPECT_EQ(s.shard_visits, 130u);
+  EXPECT_DOUBLE_EQ(s.boundary_fanout, 20.0 / 80.0);
+}
+
 TEST(ServiceStats, EwmaSingleWriterSequence) {
   ServiceStats stats;
   stats.observe_batch_cost(10.0);  // first observation seeds the estimate

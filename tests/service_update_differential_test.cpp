@@ -145,7 +145,7 @@ void run_schedule(const UpdateVariant& v, workload::Kind kind,
 
   for (std::size_t op = 0; op < ops; ++op) {
     const std::size_t dice = rng.below(100);
-    if (dice < 20) {
+    if (dice < 16) {
       // Insert — every fourth one duplicates the coordinates of a live
       // point, so zero-distance ties span base and delta.
       Pt p;
@@ -158,12 +158,43 @@ void run_schedule(const UpdateVariant& v, workload::Kind kind,
       broker.insert(id, p);
       oracle.live.emplace(id, p);
       ++n_inserts;
-    } else if (dice < 35) {
+    } else if (dice < 22) {
+      // Bulk insert: one view publication for the whole batch, with a
+      // coordinate duplicated from the live set when possible so ties
+      // span base, delta, and within-batch.
+      const std::size_t batch = 2 + rng.below(7);
+      std::vector<std::uint32_t> ids;
+      std::vector<Pt> pts;
+      for (std::size_t b = 0; b < batch; ++b) {
+        ids.push_back(next_id++);
+        if (!oracle.live.empty() && b == 0) {
+          pts.push_back(oracle.live.find(oracle.any_id(rng))->second);
+        } else {
+          pts.push_back(Pt{{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)}});
+        }
+      }
+      broker.insert_bulk(ids, pts);
+      for (std::size_t b = 0; b < batch; ++b)
+        oracle.live.emplace(ids[b], pts[b]);
+      n_inserts += batch;
+    } else if (dice < 32) {
       if (oracle.live.empty()) continue;
       const std::uint32_t id = oracle.any_id(rng);
       broker.remove(id);
       oracle.live.erase(id);
       ++n_removes;
+    } else if (dice < 38) {
+      // Bulk remove of distinct live ids, one view publication.
+      if (oracle.live.size() < 4) continue;
+      std::vector<std::uint32_t> ids;
+      while (ids.size() < 3) {
+        const std::uint32_t id = oracle.any_id(rng);
+        if (std::find(ids.begin(), ids.end(), id) == ids.end())
+          ids.push_back(id);
+      }
+      broker.remove_bulk(ids);
+      for (std::uint32_t id : ids) oracle.live.erase(id);
+      n_removes += ids.size();
     } else if (dice < 65) {
       const Pt q{{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)}};
       const std::size_t k = 1 + rng.below(6);
@@ -306,6 +337,108 @@ TEST(ServiceUpdateValidation, InvalidUpdatesThrowBeforeAccounting) {
   EXPECT_EQ(s.update_apply.count(), 2u);
   // And the id is dead again: a second remove is invalid.
   EXPECT_THROW(broker.remove(100), QueryError);
+}
+
+// Regression (per-op view publication): a bulk mutation batch must
+// publish exactly one LiveView — before insert_bulk/remove_bulk, each
+// element published its own view, so a 64-point ingest cost 64 shared-
+// pointer swaps and readers could observe every partial prefix of the
+// batch.
+TEST(ServiceUpdateBulk, BulkBatchPublishesOneView) {
+  auto& pool = par::ThreadPool::global();
+  Rng rng(4800);
+  auto points = workload::uniform_cube<2>(80, rng);
+  BrokerConfig cfg;
+  cfg.delta_compaction_threshold = 0;  // no background publications
+  QueryBroker<2> broker(std::span<const Pt>(points), cfg, pool);
+
+  std::vector<std::uint32_t> ids;
+  std::vector<Pt> pts;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ids.push_back(1000 + i);
+    pts.push_back(Pt{{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)}});
+  }
+  std::uint64_t seq = broker.live_seq();
+  broker.insert_bulk(ids, pts);
+  EXPECT_EQ(broker.live_seq(), seq + 1)
+      << "bulk insert published more than one view";
+  EXPECT_EQ(broker.live_count(), points.size() + ids.size());
+
+  seq = broker.live_seq();
+  broker.remove_bulk(std::span<const std::uint32_t>(ids).subspan(0, 32));
+  EXPECT_EQ(broker.live_seq(), seq + 1)
+      << "bulk remove published more than one view";
+  EXPECT_EQ(broker.live_count(), points.size() + 32);
+
+  auto s = broker.stats();
+  EXPECT_EQ(s.updates_submitted, 96u);
+  EXPECT_EQ(s.inserts, 64u);
+  EXPECT_EQ(s.removes, 32u);
+  // The apply histogram counts per element (weighted record), so the
+  // histogram/counter reconciliation invariant survives bulk batches.
+  EXPECT_EQ(s.update_apply.count(), s.updates_submitted);
+}
+
+// A bulk batch is validated before any element mutates: one bad entry
+// anywhere rejects the whole batch with nothing applied, nothing
+// published, and no counter moved.
+TEST(ServiceUpdateBulk, BulkBatchValidatesBeforeAnyMutation) {
+  auto& pool = par::ThreadPool::global();
+  Rng rng(4900);
+  auto points = workload::uniform_cube<2>(48, rng);
+  BrokerConfig cfg;
+  QueryBroker<2> broker(std::span<const Pt>(points), cfg, pool);
+  const std::uint64_t seq = broker.live_seq();
+
+  const Pt good{{0.5, 0.5}};
+  const Pt bad{{std::numeric_limits<double>::quiet_NaN(), 0.0}};
+  struct Case {
+    const char* what;
+    std::vector<std::uint32_t> ids;
+    std::vector<Pt> pts;
+    const char* field;
+  };
+  const Case cases[] = {
+      {"NaN mid-batch", {500, 501, 502}, {good, bad, good}, "point"},
+      {"live id mid-batch", {500, 5, 502}, {good, good, good}, "id"},
+      {"repeated id in batch", {500, 501, 500}, {good, good, good}, "id"},
+      {"reserved id mid-batch",
+       {500, 0xffffffffu, 502},
+       {good, good, good},
+       "id"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.what);
+    try {
+      broker.insert_bulk(c.ids, c.pts);
+      FAIL() << "bad bulk insert did not throw";
+    } catch (const QueryError& e) {
+      EXPECT_EQ(e.field(), c.field);
+    }
+    EXPECT_EQ(broker.live_seq(), seq) << "rejected bulk batch published";
+    EXPECT_EQ(broker.live_count(), points.size());
+    EXPECT_FALSE(broker.contains(500)) << "partial bulk insert applied";
+  }
+
+  // Bulk remove: a dead id or an in-batch repeat rejects the batch.
+  try {
+    broker.remove_bulk(std::vector<std::uint32_t>{3, 9999});
+    FAIL() << "bulk remove of a dead id did not throw";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.field(), "id");
+  }
+  try {
+    broker.remove_bulk(std::vector<std::uint32_t>{3, 4, 3});
+    FAIL() << "bulk remove with a repeat did not throw";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.field(), "id");
+  }
+  EXPECT_TRUE(broker.contains(3)) << "partial bulk remove applied";
+  EXPECT_EQ(broker.live_seq(), seq);
+
+  auto s = broker.stats();
+  EXPECT_EQ(s.updates_submitted, 0u);
+  EXPECT_EQ(s.update_apply.count(), 0u);
 }
 
 // remove + reinsert of the same external id — within one delta segment,

@@ -1,0 +1,18 @@
+// lint-fixture: src/router/shard_router.hpp
+//
+// The same save-sequence mirror as the real shard router, but in a
+// path outside the audited ownership sites: moving a file that owns
+// atomics out of ATOMIC_ALLOWLIST must re-raise the review gate, not
+// silently carry the old approval along.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sepdc::router {
+
+struct MovedShardRouterFixture {
+  std::atomic<std::uint64_t> last_saved_seq{0};
+};
+
+}  // namespace sepdc::router

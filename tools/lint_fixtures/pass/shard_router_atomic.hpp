@@ -1,0 +1,18 @@
+// lint-fixture: src/service/shard_router.hpp
+//
+// The shard router's save-sequence mirror: whole-save serialization
+// lives behind save_mu_, and last_saved_seq_ mirrors the committed
+// sequence number for lock-free observers. shard_router.hpp is an
+// audited ownership site in ATOMIC_ALLOWLIST.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sepdc::service {
+
+struct ShardRouterMirrorFixture {
+  std::atomic<std::uint64_t> last_saved_seq{0};
+};
+
+}  // namespace sepdc::service

@@ -72,6 +72,7 @@ ATOMIC_ALLOWLIST = {
     "src/service/snapshot.hpp",
     "src/service/query_broker.hpp",
     "src/service/delta_tier.hpp",
+    "src/service/shard_router.hpp",
     "src/core/run_context.hpp",
     "src/core/partition_forest.hpp",
     "src/core/engine.hpp",

@@ -1,0 +1,37 @@
+// semalyze-fixture: src/service/router_members_bad.cpp
+// The shard router's member shape with the annotations stripped: the
+// save sequence and manifest list mutate under save_mu_ but carry no
+// GUARDED_BY, and the per-shard handles have no justification. Clang's
+// -Wthread-safety only checks annotated members, so these escape it;
+// semalyze requires every member to be guarded, atomic, const, or
+// justified.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class RouterMembersBad {
+ public:
+  std::uint64_t save(const std::string& path) SEPDC_EXCLUDES(save_mu_) {
+    LockGuard lock(save_mu_);
+    const std::uint64_t seq = ++save_seq_;
+    manifest_paths_.push_back(path);
+    last_saved_seq_.store(seq, std::memory_order_release);
+    return seq;
+  }
+
+ private:
+  Mutex save_mu_;
+  std::uint64_t save_seq_ = 0;  // expect: sepdc-guarded-by-completeness
+  std::vector<std::string> manifest_paths_;  // expect: sepdc-guarded-by-completeness
+  std::vector<int> shard_handles_;  // expect: sepdc-guarded-by-completeness
+  std::atomic<std::uint64_t> last_saved_seq_{0};
+};
+
+}  // namespace sepdc

@@ -1,0 +1,48 @@
+// semalyze-fixture: src/service/router_members_ok.cpp
+// The shard router's member protocol, fully accounted for: the save
+// sequence is lock-guarded, the committed-sequence mirror is an atomic
+// (exempt from GUARDED_BY) written under the lock and read off it with
+// explicit orders, the routing state is const (immutable after
+// construction), and the per-shard handles carry an UNGUARDED_OK
+// justification. Both sepdc-guarded-by-completeness and
+// sepdc-memory-order stay quiet.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace sepdc {
+
+class RouterMembersOk {
+ public:
+  explicit RouterMembersOk(std::uint32_t shards) : shard_count_(shards) {}
+
+  std::uint64_t save(const std::string& path) SEPDC_EXCLUDES(save_mu_) {
+    LockGuard lock(save_mu_);
+    const std::uint64_t seq = ++save_seq_;
+    manifest_paths_.push_back(path);
+    last_saved_seq_.store(seq, std::memory_order_release);
+    return seq;
+  }
+
+  std::uint64_t last_saved_seq() const {
+    return last_saved_seq_.load(std::memory_order_acquire);
+  }
+
+  std::uint32_t shard_count() const { return shard_count_; }
+
+ private:
+  const std::uint32_t shard_count_;
+  std::vector<int> shard_handles_
+      SEPDC_UNGUARDED_OK("immutable after construction");
+  Mutex save_mu_;
+  std::uint64_t save_seq_ SEPDC_GUARDED_BY(save_mu_) = 0;
+  std::vector<std::string> manifest_paths_ SEPDC_GUARDED_BY(save_mu_);
+  std::atomic<std::uint64_t> last_saved_seq_{0};
+};
+
+}  // namespace sepdc
